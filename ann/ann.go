@@ -1,0 +1,298 @@
+// Package ann is the public API of the library: efficient
+// All-Nearest-Neighbor (ANN) and All-k-Nearest-Neighbor (AkNN) queries
+// over multi-dimensional point datasets, implementing Chen & Patel,
+// "Efficient Evaluation of All-Nearest-Neighbor Queries" (ICDE 2007).
+//
+// The typical flow is: build an Index over each dataset, then run
+// AllNearestNeighbors (or AllKNearestNeighbors) across the two indexes.
+// For self-joins ("for every point, its nearest other point"), build one
+// index and use the Self variants.
+//
+//	r, _ := ann.BuildIndex(queryPoints, ann.IndexConfig{})
+//	s, _ := ann.BuildIndex(targetPoints, ann.IndexConfig{})
+//	results, _ := ann.AllNearestNeighbors(r, s, ann.QueryConfig{})
+//
+// Indexes default to the paper's MBRQT (an MBR-enhanced bucket PR
+// quadtree); an R*-tree backend is available through IndexConfig.Kind.
+// Queries default to the paper's NXNDIST pruning metric; the traditional
+// MAXMAXDIST is available through QueryConfig for comparison.
+package ann
+
+import (
+	"fmt"
+	"math"
+
+	"allnn/internal/core"
+	"allnn/internal/geom"
+	"allnn/internal/index"
+	"allnn/internal/mbrqt"
+	"allnn/internal/rstar"
+	"allnn/internal/storage"
+)
+
+// Point is a point in D-dimensional space. All points of a dataset must
+// share the same length.
+type Point = []float64
+
+// ObjectID identifies a point within its dataset; BuildIndex assigns
+// sequential ids (the position in the input slice).
+type ObjectID = uint64
+
+// IndexKind selects the index structure backing an Index.
+type IndexKind int
+
+const (
+	// MBRQT is the paper's MBR-enhanced bucket PR quadtree (default;
+	// fastest for ANN workloads).
+	MBRQT IndexKind = iota
+	// RStar is a classic R*-tree. ANN over R*-trees is the paper's RBA
+	// configuration, provided mainly for comparison.
+	RStar
+)
+
+// String implements fmt.Stringer.
+func (k IndexKind) String() string {
+	if k == RStar {
+		return "R*-tree"
+	}
+	return "MBRQT"
+}
+
+// Metric selects the ANN pruning metric.
+type Metric int
+
+const (
+	// NXNDist is the paper's tight pruning bound (default).
+	NXNDist Metric = iota
+	// MaxMaxDist is the traditional loose bound; expect large slowdowns.
+	MaxMaxDist
+)
+
+// IndexConfig configures BuildIndex. The zero value is ready to use.
+type IndexConfig struct {
+	// Kind selects the index structure (default MBRQT).
+	Kind IndexKind
+	// BufferPoolBytes bounds the buffer pool caching the index pages
+	// (default 64 MB; the disk-resident pages live in memory unless
+	// PageFile is set).
+	BufferPoolBytes int
+	// PageFile, when non-empty, stores the index pages in a file at this
+	// path instead of in memory.
+	PageFile string
+}
+
+// QueryConfig configures the ANN/AkNN execution.
+type QueryConfig struct {
+	// Metric selects the pruning bound (default NXNDist).
+	Metric Metric
+}
+
+// Neighbor is one neighbor in a query result.
+type Neighbor struct {
+	// ID is the neighbor's position in the target dataset.
+	ID ObjectID
+	// Point is the neighbor's coordinates.
+	Point Point
+	// Dist is the Euclidean distance from the query point.
+	Dist float64
+}
+
+// Result lists the neighbors of one query point, ascending by distance.
+type Result struct {
+	// ID is the query point's position in the query dataset.
+	ID ObjectID
+	// Point is the query point's coordinates.
+	Point Point
+	// Neighbors holds the k nearest target points (fewer if the target
+	// dataset is smaller).
+	Neighbors []Neighbor
+}
+
+// Index is a dataset indexed for ANN processing.
+type Index struct {
+	tree  index.Tree
+	pool  *storage.BufferPool
+	store storage.Store
+	size  int
+}
+
+// BuildIndex bulk-loads an index over points. Object ids are the
+// positions in the slice.
+func BuildIndex(points []Point, cfg IndexConfig) (*Index, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("ann: cannot index an empty dataset")
+	}
+	dim := len(points[0])
+	gp := make([]geom.Point, len(points))
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("ann: point %d has dimensionality %d, expected %d", i, len(p), dim)
+		}
+		gp[i] = geom.Point(p)
+	}
+	poolBytes := cfg.BufferPoolBytes
+	if poolBytes <= 0 {
+		poolBytes = 64 << 20
+	}
+	var store storage.Store
+	if cfg.PageFile != "" {
+		fs, err := storage.NewFileStore(cfg.PageFile)
+		if err != nil {
+			return nil, err
+		}
+		store = fs
+	} else {
+		store = storage.NewMemStore()
+	}
+	pool := storage.NewBufferPool(store, storage.FramesForBytes(poolBytes))
+
+	var tree index.Tree
+	var err error
+	switch cfg.Kind {
+	case RStar:
+		tree, err = rstar.BulkLoad(pool, gp, nil, rstar.Config{})
+	default:
+		tree, err = mbrqt.BulkLoad(pool, gp, nil, mbrqt.Config{})
+	}
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	return &Index{tree: tree, pool: pool, store: store, size: len(points)}, nil
+}
+
+// Close releases the index's storage (removing nothing unless the page
+// file was temporary). An Index must not be used after Close.
+func (ix *Index) Close() error { return ix.store.Close() }
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return ix.size }
+
+// Dim returns the dimensionality of the indexed points.
+func (ix *Index) Dim() int { return ix.tree.Dim() }
+
+// NearestNeighbors returns the k nearest indexed points to q, ascending
+// by distance.
+func (ix *Index) NearestNeighbors(q Point, k int) ([]Neighbor, error) {
+	res, err := index.NearestNeighbors(ix.tree, geom.Point(q), k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(res))
+	for i, r := range res {
+		out[i] = Neighbor{ID: uint64(r.Object), Point: Point(r.Point), Dist: math.Sqrt(r.DistSq)}
+	}
+	return out, nil
+}
+
+// RangeSearch returns the ids of all indexed points inside the box
+// [lo, hi] (boundaries inclusive).
+func (ix *Index) RangeSearch(lo, hi Point) ([]ObjectID, error) {
+	res, err := index.RangeSearch(ix.tree, geom.NewRect(geom.Point(lo), geom.Point(hi)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ObjectID, len(res))
+	for i, r := range res {
+		out[i] = uint64(r.Object)
+	}
+	return out, nil
+}
+
+// AllNearestNeighbors computes, for every point of r, its nearest
+// neighbor in s.
+func AllNearestNeighbors(r, s *Index, cfg QueryConfig) ([]Result, error) {
+	return AllKNearestNeighbors(r, s, 1, cfg)
+}
+
+// AllKNearestNeighbors computes, for every point of r, its k nearest
+// neighbors in s.
+func AllKNearestNeighbors(r, s *Index, k int, cfg QueryConfig) ([]Result, error) {
+	var out []Result
+	err := StreamAllKNearestNeighbors(r, s, k, cfg, func(res Result) error {
+		out = append(out, res)
+		return nil
+	})
+	return out, err
+}
+
+// SelfAllNearestNeighbors computes, for every point of ix, its nearest
+// *other* point in the same dataset (the self pairing is excluded) — the
+// form used by single-linkage clustering and most scientific workloads.
+func SelfAllNearestNeighbors(ix *Index, cfg QueryConfig) ([]Result, error) {
+	return SelfAllKNearestNeighbors(ix, 1, cfg)
+}
+
+// SelfAllKNearestNeighbors computes, for every point of ix, its k nearest
+// other points in the same dataset.
+func SelfAllKNearestNeighbors(ix *Index, k int, cfg QueryConfig) ([]Result, error) {
+	var out []Result
+	err := run(ix, ix, k, cfg, true, func(res Result) error {
+		out = append(out, res)
+		return nil
+	})
+	return out, err
+}
+
+// StreamAllKNearestNeighbors is AllKNearestNeighbors with a streaming
+// callback instead of a materialised slice; emit is called once per query
+// point, in index traversal order.
+func StreamAllKNearestNeighbors(r, s *Index, k int, cfg QueryConfig, emit func(Result) error) error {
+	return run(r, s, k, cfg, false, emit)
+}
+
+func run(r, s *Index, k int, cfg QueryConfig, excludeSelf bool, emit func(Result) error) error {
+	if k < 1 {
+		return fmt.Errorf("ann: k must be at least 1, got %d", k)
+	}
+	opts := core.Options{
+		K:           k,
+		ExcludeSelf: excludeSelf,
+	}
+	if cfg.Metric == MaxMaxDist {
+		opts.Metric = core.MaxMaxDist
+	}
+	_, err := core.Run(r.tree, s.tree, opts, func(res core.Result) error {
+		out := Result{
+			ID:        uint64(res.Object),
+			Point:     Point(res.Point),
+			Neighbors: make([]Neighbor, len(res.Neighbors)),
+		}
+		for i, n := range res.Neighbors {
+			out.Neighbors[i] = Neighbor{ID: uint64(n.Object), Point: Point(n.Point), Dist: n.Dist}
+		}
+		return emit(out)
+	})
+	return err
+}
+
+// WithinDistance reports every pair of points (one from r, one from s)
+// whose Euclidean distance is at most d — the distance join operation.
+// For self-joins pass the same index twice and set excludeSelf.
+func WithinDistance(r, s *Index, d float64, excludeSelf bool, emit func(rID, sID ObjectID, dist float64) error) error {
+	_, err := core.DistanceJoin(r.tree, s.tree, d, excludeSelf, func(p core.Pair) error {
+		return emit(uint64(p.R), uint64(p.S), p.Dist)
+	})
+	return err
+}
+
+// Pair is one result of ClosestPairs.
+type Pair struct {
+	R, S ObjectID
+	Dist float64
+}
+
+// ClosestPairs returns the k closest (r, s) pairs across the two indexes,
+// ascending by distance. For self-joins pass the same index twice and set
+// excludeSelf (each unordered pair then appears in both directions).
+func ClosestPairs(r, s *Index, k int, excludeSelf bool) ([]Pair, error) {
+	pairs, _, err := core.KClosestPairs(r.tree, s.tree, k, excludeSelf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Pair, len(pairs))
+	for i, p := range pairs {
+		out[i] = Pair{R: uint64(p.R), S: uint64(p.S), Dist: p.Dist}
+	}
+	return out, nil
+}

@@ -1,0 +1,311 @@
+// Package allnn's root benchmark suite: one testing.B benchmark per table
+// and figure of the paper's evaluation (Section 4), plus ablations of the
+// design choices DESIGN.md calls out. These run at a reduced cardinality
+// (BenchScale of the paper's 500K-700K) so that `go test -bench=.`
+// completes in minutes; the cmd/annbench harness runs the same
+// experiments at arbitrary scale and prints the paper-style tables.
+package allnn_test
+
+import (
+	"testing"
+
+	"allnn/internal/bench"
+	"allnn/internal/bnn"
+	"allnn/internal/core"
+	"allnn/internal/datagen"
+	"allnn/internal/geom"
+	"allnn/internal/gorder"
+	"allnn/internal/index"
+	"allnn/internal/mbrqt"
+	"allnn/internal/rstar"
+	"allnn/internal/storage"
+)
+
+// benchN is the dataset cardinality used by the benchmarks (the paper's
+// datasets hold 500K-700K points; benchmarks run a scaled-down slice so
+// the full -bench=. sweep stays tractable).
+const benchN = 8000
+
+// poolBytes is the paper's buffer pool size.
+const poolBytes = 512 * 1024
+
+// buildSelf builds a flushed index over pts and reopens it through a
+// fresh pool of the paper's size; the same tree serves as I_R and I_S
+// (self-join), as in the TAC/FC experiments.
+func buildSelf(b *testing.B, kind bench.IndexKind, pts []geom.Point) (index.Tree, *storage.BufferPool) {
+	b.Helper()
+	store := storage.NewMemStore()
+	buildPool := storage.NewBufferPool(store, 1<<14)
+	var meta storage.PageID
+	switch kind {
+	case bench.KindRStar:
+		t, err := rstar.BulkLoad(buildPool, pts, nil, rstar.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		meta = t.MetaPage()
+	default:
+		t, err := mbrqt.BulkLoad(buildPool, pts, nil, mbrqt.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		meta = t.MetaPage()
+	}
+	pool := storage.NewBufferPool(store, storage.FramesForBytes(poolBytes))
+	var tree index.Tree
+	var err error
+	if kind == bench.KindRStar {
+		tree, err = rstar.Open(pool, meta)
+	} else {
+		tree, err = mbrqt.Open(pool, meta)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree, pool
+}
+
+func runEngine(b *testing.B, tree index.Tree, opts core.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(tree, tree, opts, func(core.Result) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func runGorder(b *testing.B, pts []geom.Point, opts gorder.Options) {
+	b.Helper()
+	ds := gorder.FromPoints(pts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := storage.NewBufferPool(storage.NewMemStore(), storage.FramesForBytes(poolBytes))
+		if _, err := gorder.Join(ds, ds, pool, opts, func(core.Result) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 2: dataset generation ----------------------------------------------
+
+func BenchmarkTable2DatasetTAC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = datagen.TACSurrogate(1, benchN)
+	}
+}
+
+func BenchmarkTable2DatasetFC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = datagen.FCSurrogate(1, benchN)
+	}
+}
+
+func BenchmarkTable2DatasetSynthetic6D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = datagen.Synthetic500K(1, benchN, 6)
+	}
+}
+
+// --- Figure 3(a): ANN on TAC across algorithms and metrics --------------------
+
+func fig3aPoints() []geom.Point { return datagen.TACSurrogate(1, benchN) }
+
+func BenchmarkFig3aMBA_NXNDist(b *testing.B) {
+	tree, _ := buildSelf(b, bench.KindMBRQT, fig3aPoints())
+	runEngine(b, tree, core.Options{Metric: core.NXNDist, ExcludeSelf: true})
+}
+
+func BenchmarkFig3aMBA_MaxMaxDist(b *testing.B) {
+	tree, _ := buildSelf(b, bench.KindMBRQT, fig3aPoints())
+	runEngine(b, tree, core.Options{Metric: core.MaxMaxDist, ExcludeSelf: true})
+}
+
+func BenchmarkFig3aRBA_NXNDist(b *testing.B) {
+	tree, _ := buildSelf(b, bench.KindRStar, fig3aPoints())
+	runEngine(b, tree, core.Options{Metric: core.NXNDist, ExcludeSelf: true})
+}
+
+func BenchmarkFig3aRBA_MaxMaxDist(b *testing.B) {
+	tree, _ := buildSelf(b, bench.KindRStar, fig3aPoints())
+	runEngine(b, tree, core.Options{Metric: core.MaxMaxDist, ExcludeSelf: true})
+}
+
+func BenchmarkFig3aBNN_NXNDist(b *testing.B)    { benchBNN(b, core.NXNDist) }
+func BenchmarkFig3aBNN_MaxMaxDist(b *testing.B) { benchBNN(b, core.MaxMaxDist) }
+
+func benchBNN(b *testing.B, metric core.Metric) {
+	pts := fig3aPoints()
+	tree, _ := buildSelf(b, bench.KindRStar, pts)
+	ds := bnn.FromPoints(pts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bnn.BNN(ds, tree, bnn.Options{Metric: metric, ExcludeSelf: true},
+			func(core.Result) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3aGORDER(b *testing.B) {
+	runGorder(b, fig3aPoints(), gorder.Options{ExcludeSelf: true})
+}
+
+// --- Figure 3(b): ANN on FC across buffer pool sizes --------------------------
+
+func benchFig3bMBA(b *testing.B, pool int) {
+	pts := datagen.FCSurrogate(1, benchN)
+	store := storage.NewMemStore()
+	buildPool := storage.NewBufferPool(store, 1<<14)
+	t, err := mbrqt.BulkLoad(buildPool, pts, nil, mbrqt.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := t.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	qp := storage.NewBufferPool(store, storage.FramesForBytes(pool))
+	tree, err := mbrqt.Open(qp, t.MetaPage())
+	if err != nil {
+		b.Fatal(err)
+	}
+	runEngine(b, tree, core.Options{ExcludeSelf: true})
+}
+
+func BenchmarkFig3bMBA_Pool512KB(b *testing.B) { benchFig3bMBA(b, 512<<10) }
+func BenchmarkFig3bMBA_Pool8MB(b *testing.B)   { benchFig3bMBA(b, 8<<20) }
+
+func benchFig3bGORDER(b *testing.B, pool int) {
+	pts := datagen.FCSurrogate(1, benchN)
+	ds := gorder.FromPoints(pts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp := storage.NewBufferPool(storage.NewMemStore(), storage.FramesForBytes(pool))
+		if _, err := gorder.Join(ds, ds, bp, gorder.Options{ExcludeSelf: true},
+			func(core.Result) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3bGORDER_Pool512KB(b *testing.B) { benchFig3bGORDER(b, 512<<10) }
+func BenchmarkFig3bGORDER_Pool8MB(b *testing.B)   { benchFig3bGORDER(b, 8<<20) }
+
+// --- Figure 4: effect of dimensionality ---------------------------------------
+
+func benchFig4MBA(b *testing.B, dim int) {
+	tree, _ := buildSelf(b, bench.KindMBRQT, datagen.Synthetic500K(1, benchN, dim))
+	runEngine(b, tree, core.Options{ExcludeSelf: true})
+}
+
+func BenchmarkFig4MBA_2D(b *testing.B) { benchFig4MBA(b, 2) }
+func BenchmarkFig4MBA_4D(b *testing.B) { benchFig4MBA(b, 4) }
+func BenchmarkFig4MBA_6D(b *testing.B) { benchFig4MBA(b, 6) }
+
+func benchFig4GORDER(b *testing.B, dim int) {
+	runGorder(b, datagen.Synthetic500K(1, benchN, dim), gorder.Options{ExcludeSelf: true})
+}
+
+func BenchmarkFig4GORDER_2D(b *testing.B) { benchFig4GORDER(b, 2) }
+func BenchmarkFig4GORDER_4D(b *testing.B) { benchFig4GORDER(b, 4) }
+func BenchmarkFig4GORDER_6D(b *testing.B) { benchFig4GORDER(b, 6) }
+
+// --- Figures 5 and 6: AkNN on TAC and FC --------------------------------------
+
+func benchAkNNMBA(b *testing.B, pts []geom.Point, k int) {
+	tree, _ := buildSelf(b, bench.KindMBRQT, pts)
+	runEngine(b, tree, core.Options{K: k, ExcludeSelf: true})
+}
+
+func BenchmarkFig5MBA_TAC_k10(b *testing.B) { benchAkNNMBA(b, datagen.TACSurrogate(1, benchN), 10) }
+func BenchmarkFig5MBA_TAC_k50(b *testing.B) { benchAkNNMBA(b, datagen.TACSurrogate(1, benchN), 50) }
+
+func BenchmarkFig5GORDER_TAC_k10(b *testing.B) {
+	runGorder(b, datagen.TACSurrogate(1, benchN), gorder.Options{K: 10, ExcludeSelf: true})
+}
+
+func BenchmarkFig6MBA_FC_k10(b *testing.B) { benchAkNNMBA(b, datagen.FCSurrogate(1, benchN), 10) }
+func BenchmarkFig6MBA_FC_k50(b *testing.B) { benchAkNNMBA(b, datagen.FCSurrogate(1, benchN), 50) }
+
+func BenchmarkFig6GORDER_FC_k10(b *testing.B) {
+	runGorder(b, datagen.FCSurrogate(1, benchN), gorder.Options{K: 10, ExcludeSelf: true})
+}
+
+// --- Ablations -----------------------------------------------------------------
+
+func BenchmarkAblateTraversalBreadthFirst(b *testing.B) {
+	tree, _ := buildSelf(b, bench.KindMBRQT, fig3aPoints())
+	runEngine(b, tree, core.Options{Traversal: core.BreadthFirst, ExcludeSelf: true})
+}
+
+func BenchmarkAblateVolatileBounds(b *testing.B) {
+	tree, _ := buildSelf(b, bench.KindMBRQT, fig3aPoints())
+	runEngine(b, tree, core.Options{VolatileBounds: true, ExcludeSelf: true})
+}
+
+func BenchmarkAblatePerObjectGather(b *testing.B) {
+	tree, _ := buildSelf(b, bench.KindMBRQT, fig3aPoints())
+	runEngine(b, tree, core.Options{PerObjectGather: true, ExcludeSelf: true})
+}
+
+func BenchmarkAblateKBoundMaxAll_k10(b *testing.B) {
+	// The max-of-MAXD bound barely prunes, so this ablation runs on a
+	// quarter of the benchmark cardinality to stay tractable.
+	tree, _ := buildSelf(b, bench.KindMBRQT, fig3aPoints()[:benchN/4])
+	runEngine(b, tree, core.Options{K: 10, KBound: core.KBoundMaxAll, ExcludeSelf: true})
+}
+
+func BenchmarkAblateKBoundKth_k10(b *testing.B) {
+	tree, _ := buildSelf(b, bench.KindMBRQT, fig3aPoints()[:benchN/4])
+	runEngine(b, tree, core.Options{K: 10, KBound: core.KBoundKth, ExcludeSelf: true})
+}
+
+func BenchmarkAblateMNNBaseline(b *testing.B) {
+	pts := fig3aPoints()
+	tree, _ := buildSelf(b, bench.KindRStar, pts)
+	ds := bnn.FromPoints(pts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bnn.MNN(ds, tree, bnn.Options{ExcludeSelf: true},
+			func(core.Result) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Index micro-benchmarks -----------------------------------------------------
+
+func BenchmarkIndexBuildMBRQT(b *testing.B) {
+	pts := fig3aPoints()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := storage.NewBufferPool(storage.NewMemStore(), 1<<14)
+		if _, err := mbrqt.BulkLoad(pool, pts, nil, mbrqt.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexBuildRStarSTR(b *testing.B) {
+	pts := fig3aPoints()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := storage.NewBufferPool(storage.NewMemStore(), 1<<14)
+		if _, err := rstar.BulkLoad(pool, pts, nil, rstar.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

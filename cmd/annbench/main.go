@@ -1,0 +1,74 @@
+// Command annbench regenerates the paper's evaluation tables and figures.
+//
+// Examples:
+//
+//	annbench -exp fig3a              # one experiment at the default scale
+//	annbench -all -scale 0.1         # the full evaluation at 10% cardinality
+//	annbench -exp fig3b -latency 2ms # different modeled disk latency
+//
+// The -scale flag multiplies the paper's dataset cardinalities (500K-700K
+// points); 1.0 reproduces the full sizes but takes correspondingly long.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"allnn/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("annbench: ")
+	var (
+		exp     = flag.String("exp", "", "experiment to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		scale   = flag.Float64("scale", 0.05, "fraction of the paper's dataset cardinalities")
+		latency = flag.Duration("latency", time.Millisecond, "modeled time per page transfer")
+		pool    = flag.Int("pool", 512*1024, "buffer pool size in bytes (experiments that vary it ignore this)")
+		seed    = flag.Int64("seed", 1, "dataset generator seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	cfg := bench.Config{
+		Scale:       *scale,
+		PageLatency: *latency,
+		PoolBytes:   *pool,
+		Seed:        *seed,
+		Out:         os.Stdout,
+	}
+
+	switch {
+	case *all:
+		for _, e := range bench.Experiments() {
+			fmt.Printf("\n=== %s: %s ===\n", e.Name, e.Description)
+			start := time.Now()
+			if err := e.Run(cfg); err != nil {
+				log.Fatalf("%s: %v", e.Name, err)
+			}
+			fmt.Printf("(%s finished in %s)\n", e.Name, time.Since(start).Round(time.Millisecond))
+		}
+	case *exp != "":
+		e, ok := bench.Find(*exp)
+		if !ok {
+			log.Fatalf("unknown experiment %q (use -list)", *exp)
+		}
+		if err := e.Run(cfg); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

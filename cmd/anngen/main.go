@@ -1,0 +1,80 @@
+// Command anngen generates the experimental datasets (the GSTD-style
+// synthetic workloads and the TAC/FC surrogates) as binary dataset files
+// readable by annquery and the benchmark harness.
+//
+// Examples:
+//
+//	anngen -kind synthetic -n 500000 -dim 4 -out 500K4D.pts
+//	anngen -kind tac -n 700000 -out tac.pts
+//	anngen -kind fc  -n 580000 -out fc.pts
+//	anngen -kind uniform -n 100000 -dim 2 -extent 1000 -out uni.pts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"allnn/internal/datagen"
+	"allnn/internal/geom"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("anngen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run parses args and generates a dataset; separated from main for
+// testability.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("anngen", flag.ContinueOnError)
+	var (
+		kind     = fs.String("kind", "synthetic", "dataset kind: uniform | clusters | skewed | synthetic | tac | fc")
+		n        = fs.Int("n", 100000, "number of points")
+		dim      = fs.Int("dim", 2, "dimensionality (uniform/clusters/skewed/synthetic)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		extent   = fs.Float64("extent", 1000, "space extent per dimension (uniform/clusters/skewed)")
+		clusters = fs.Int("clusters", 40, "number of clusters (clusters kind)")
+		spread   = fs.Float64("spread", 0.02, "cluster spread as a fraction of the extent")
+		skew     = fs.Float64("skew", 3, "skew exponent (skewed kind)")
+		out      = fs.String("out", "", "output file (required)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	if *n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", *n)
+	}
+
+	var pts []geom.Point
+	switch *kind {
+	case "uniform":
+		pts = datagen.Uniform(*seed, *n, datagen.ScaledBounds(*dim, *extent))
+	case "clusters":
+		pts = datagen.GaussianClusters(*seed, *n, datagen.ScaledBounds(*dim, *extent), *clusters, *spread)
+	case "skewed":
+		pts = datagen.Skewed(*seed, *n, datagen.ScaledBounds(*dim, *extent), *skew)
+	case "synthetic":
+		pts = datagen.Synthetic500K(*seed, *n, *dim)
+	case "tac":
+		pts = datagen.TACSurrogate(*seed, *n)
+	case "fc":
+		pts = datagen.FCSurrogate(*seed, *n)
+	default:
+		return fmt.Errorf("unknown dataset kind %q", *kind)
+	}
+
+	if err := datagen.WriteFile(*out, pts); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d %d-dimensional points to %s\n", len(pts), len(pts[0]), *out)
+	return nil
+}

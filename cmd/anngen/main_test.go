@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"allnn/internal/datagen"
+)
+
+func TestRunGeneratesEachKind(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"uniform", "clusters", "skewed", "synthetic", "tac", "fc"} {
+		out := filepath.Join(dir, kind+".pts")
+		var buf bytes.Buffer
+		err := run([]string{"-kind", kind, "-n", "500", "-dim", "3", "-out", out}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !strings.Contains(buf.String(), "wrote 500") {
+			t.Fatalf("%s: unexpected output %q", kind, buf.String())
+		}
+		pts, err := datagen.ReadFile(out)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(pts) != 500 {
+			t.Fatalf("%s: file holds %d points", kind, len(pts))
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "uniform"}, &buf); err == nil {
+		t.Error("expected error without -out")
+	}
+	if err := run([]string{"-kind", "nope", "-out", filepath.Join(t.TempDir(), "x")}, &buf); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+	if err := run([]string{"-n", "0", "-out", filepath.Join(t.TempDir(), "x")}, &buf); err == nil {
+		t.Error("expected error for n=0")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	a := filepath.Join(dir, "a.pts")
+	b := filepath.Join(dir, "b.pts")
+	if err := run([]string{"-kind", "tac", "-n", "200", "-seed", "9", "-out", a}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "tac", "-n", "200", "-seed", "9", "-out", b}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := datagen.ReadFile(a)
+	pb, _ := datagen.ReadFile(b)
+	for i := range pa {
+		if !pa[i].Equal(pb[i]) {
+			t.Fatal("same seed produced different files")
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Command annquery runs an ANN or AkNN query over dataset files produced
+// by anngen, printing one line per query point.
+//
+// Examples:
+//
+//	annquery -r queries.pts -s targets.pts -k 1
+//	annquery -r catalog.pts -self -k 5 -index rstar -metric maxmax
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"allnn/ann"
+	"allnn/internal/datagen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("annquery: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run parses args and executes the query; separated from main for
+// testability.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("annquery", flag.ContinueOnError)
+	var (
+		rPath   = fs.String("r", "", "query dataset file (required)")
+		sPath   = fs.String("s", "", "target dataset file (defaults to -r with -self)")
+		selfQ   = fs.Bool("self", false, "self-join: exclude each point's own pairing")
+		k       = fs.Int("k", 1, "neighbors per query point")
+		kindStr = fs.String("index", "mbrqt", "index structure: mbrqt | rstar")
+		metric  = fs.String("metric", "nxndist", "pruning metric: nxndist | maxmax")
+		quiet   = fs.Bool("quiet", false, "suppress per-point output; print only the summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rPath == "" {
+		return fmt.Errorf("-r is required")
+	}
+	if *sPath == "" {
+		if !*selfQ {
+			return fmt.Errorf("either -s or -self is required")
+		}
+		*sPath = *rPath
+	}
+
+	cfg := ann.IndexConfig{}
+	switch *kindStr {
+	case "mbrqt":
+		cfg.Kind = ann.MBRQT
+	case "rstar":
+		cfg.Kind = ann.RStar
+	default:
+		return fmt.Errorf("unknown index kind %q", *kindStr)
+	}
+	qcfg := ann.QueryConfig{}
+	switch *metric {
+	case "nxndist":
+		qcfg.Metric = ann.NXNDist
+	case "maxmax":
+		qcfg.Metric = ann.MaxMaxDist
+	default:
+		return fmt.Errorf("unknown metric %q", *metric)
+	}
+
+	rRaw, err := datagen.ReadFile(*rPath)
+	if err != nil {
+		return err
+	}
+	rPts := make([]ann.Point, len(rRaw))
+	for i, p := range rRaw {
+		rPts[i] = ann.Point(p)
+	}
+
+	buildStart := time.Now()
+	rIx, err := ann.BuildIndex(rPts, cfg)
+	if err != nil {
+		return err
+	}
+	sIx := rIx
+	if *sPath != *rPath {
+		sRaw, err := datagen.ReadFile(*sPath)
+		if err != nil {
+			return err
+		}
+		sPts := make([]ann.Point, len(sRaw))
+		for i, p := range sRaw {
+			sPts[i] = ann.Point(p)
+		}
+		sIx, err = ann.BuildIndex(sPts, cfg)
+		if err != nil {
+			return err
+		}
+	}
+	buildTime := time.Since(buildStart)
+
+	w := bufio.NewWriter(stdout)
+	defer w.Flush()
+	queryStart := time.Now()
+	count := 0
+	emit := func(res ann.Result) error {
+		count++
+		if *quiet {
+			return nil
+		}
+		fmt.Fprintf(w, "%d", res.ID)
+		for _, nn := range res.Neighbors {
+			fmt.Fprintf(w, "\t%d:%.6g", nn.ID, nn.Dist)
+		}
+		fmt.Fprintln(w)
+		return nil
+	}
+	if *selfQ && sIx == rIx {
+		results, err := ann.SelfAllKNearestNeighbors(rIx, *k, qcfg)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			if err := emit(res); err != nil {
+				return err
+			}
+		}
+	} else {
+		if err := ann.StreamAllKNearestNeighbors(rIx, sIx, *k, qcfg, emit); err != nil {
+			return err
+		}
+	}
+	queryTime := time.Since(queryStart)
+	fmt.Fprintf(stderr, "annquery: %d results, index build %v, query %v (%s, %s, k=%d)\n",
+		count, buildTime.Round(time.Millisecond), queryTime.Round(time.Millisecond),
+		*kindStr, *metric, *k)
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"allnn/internal/datagen"
+	"allnn/internal/geom"
+)
+
+func writeDataset(t *testing.T, name string, pts []geom.Point) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := datagen.WriteFile(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCrossJoin(t *testing.T) {
+	r := writeDataset(t, "r.pts", []geom.Point{{0, 0}, {10, 10}})
+	s := writeDataset(t, "s.pts", []geom.Point{{1, 1}, {9, 9}, {50, 50}})
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-r", r, "-s", s, "-k", "1"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d result lines, want 2: %q", len(lines), out.String())
+	}
+	// Query 0 at (0,0) must match target 0 at (1,1).
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "0\t0:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected query 0 -> target 0 in output: %q", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "2 results") {
+		t.Fatalf("summary missing: %q", errBuf.String())
+	}
+}
+
+func TestRunSelfJoinAllIndexesAndMetrics(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {1, 1}, {5, 5}, {6, 6}}
+	r := writeDataset(t, "r.pts", pts)
+	for _, idx := range []string{"mbrqt", "rstar"} {
+		for _, metric := range []string{"nxndist", "maxmax"} {
+			var out, errBuf bytes.Buffer
+			err := run([]string{"-r", r, "-self", "-k", "2", "-index", idx, "-metric", metric}, &out, &errBuf)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", idx, metric, err)
+			}
+			lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+			if len(lines) != 4 {
+				t.Fatalf("%s/%s: %d lines", idx, metric, len(lines))
+			}
+			// Each line: id + 2 neighbors.
+			for _, l := range lines {
+				if len(strings.Split(l, "\t")) != 3 {
+					t.Fatalf("%s/%s: malformed line %q", idx, metric, l)
+				}
+			}
+		}
+	}
+}
+
+func TestRunQuiet(t *testing.T) {
+	r := writeDataset(t, "r.pts", []geom.Point{{0, 0}, {1, 1}})
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-r", r, "-self", "-quiet"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("quiet mode still printed: %q", out.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{}, &out, &errBuf); err == nil {
+		t.Error("expected error without -r")
+	}
+	r := writeDataset(t, "r.pts", []geom.Point{{0, 0}})
+	if err := run([]string{"-r", r}, &out, &errBuf); err == nil {
+		t.Error("expected error without -s or -self")
+	}
+	if err := run([]string{"-r", r, "-self", "-index", "btree"}, &out, &errBuf); err == nil {
+		t.Error("expected error for unknown index")
+	}
+	if err := run([]string{"-r", r, "-self", "-metric", "euclid"}, &out, &errBuf); err == nil {
+		t.Error("expected error for unknown metric")
+	}
+	if err := run([]string{"-r", "/does/not/exist", "-self"}, &out, &errBuf); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

@@ -1,0 +1,3 @@
+module allnn
+
+go 1.22

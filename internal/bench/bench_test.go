@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig runs experiments at a cardinality small enough for unit
+// tests while still exercising every code path.
+func tinyConfig(out *bytes.Buffer) Config {
+	return Config{
+		Scale:       0.004, // a few thousand points per dataset
+		PageLatency: time.Millisecond,
+		PoolBytes:   512 * 1024,
+		Seed:        1,
+		Out:         out,
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := e.Run(tinyConfig(&out)); err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if out.Len() == 0 {
+				t.Fatalf("%s produced no output", e.Name)
+			}
+		})
+	}
+}
+
+func TestFindExperiment(t *testing.T) {
+	if _, ok := Find("fig3a"); !ok {
+		t.Fatal("fig3a not registered")
+	}
+	if _, ok := Find("nonsense"); ok {
+		t.Fatal("Find accepted an unknown name")
+	}
+}
+
+func TestFig3aMentionsAllConfigurations(t *testing.T) {
+	var out bytes.Buffer
+	if err := RunFig3a(tinyConfig(&out)); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"BNN MAXMAXDIST", "BNN NXNDIST",
+		"RBA MAXMAXDIST", "RBA NXNDIST",
+		"MBA MAXMAXDIST", "MBA NXNDIST",
+		"GORDER", "headline ratios",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fig3a output missing %q", want)
+		}
+	}
+}
+
+func TestFig3bSweepsPools(t *testing.T) {
+	var out bytes.Buffer
+	if err := RunFig3b(tinyConfig(&out)); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"512KB", "1024KB", "4096KB", "8192KB"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fig3b output missing pool size %q", want)
+		}
+	}
+}
+
+func TestAkNNSweepCoversK(t *testing.T) {
+	var out bytes.Buffer
+	if err := RunFig5(tinyConfig(&out)); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"k=10", "k=20", "k=30", "k=40", "k=50"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fig5 output missing %q", want)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Scale != 0.05 || cfg.PoolBytes != 512*1024 || cfg.Seed != 1 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	if got := cfg.scaled(500_000); got != 25_000 {
+		t.Fatalf("scaled(500K) = %d", got)
+	}
+	small := Config{Scale: 1e-9}.withDefaults()
+	if got := small.scaled(500_000); got != 100 {
+		t.Fatalf("scaled floor = %d, want 100", got)
+	}
+}
+
+func TestMeasurementTotal(t *testing.T) {
+	m := Measurement{CPU: time.Second, IOTime: 2 * time.Second}
+	if m.Total() != 3*time.Second {
+		t.Fatalf("Total = %v", m.Total())
+	}
+}
+
+func TestScanPages(t *testing.T) {
+	// 2-D points: 24 bytes each, 8188 usable bytes per page => 341/page.
+	if got := scanPages(341, 2); got != 1 {
+		t.Fatalf("scanPages(341, 2) = %d", got)
+	}
+	if got := scanPages(342, 2); got != 2 {
+		t.Fatalf("scanPages(342, 2) = %d", got)
+	}
+}
+
+func TestSpeedupFormat(t *testing.T) {
+	slow := Measurement{CPU: 10 * time.Second}
+	fast := Measurement{CPU: 2 * time.Second}
+	if got := speedup(slow, fast); got != "5.0x" {
+		t.Fatalf("speedup = %q", got)
+	}
+}

@@ -1,0 +1,74 @@
+// Package bruteforce provides the O(|R|·|S|) reference implementation of
+// ANN and AkNN used as ground truth by the test suites and as the
+// baseline sanity check of the benchmark harness.
+package bruteforce
+
+import (
+	"math"
+
+	"allnn/internal/geom"
+	"allnn/internal/index"
+	"allnn/internal/pq"
+)
+
+// Neighbor is one neighbor of a query point.
+type Neighbor struct {
+	Object index.ObjectID
+	Point  geom.Point
+	Dist   float64
+}
+
+// Result lists the k nearest neighbors of one query point, ascending by
+// distance.
+type Result struct {
+	Object    index.ObjectID
+	Point     geom.Point
+	Neighbors []Neighbor
+}
+
+// Dataset is a point collection with explicit object ids.
+type Dataset struct {
+	IDs    []index.ObjectID
+	Points []geom.Point
+}
+
+// FromPoints builds a dataset with ids 0..n-1.
+func FromPoints(pts []geom.Point) Dataset {
+	ids := make([]index.ObjectID, len(pts))
+	for i := range ids {
+		ids[i] = index.ObjectID(i)
+	}
+	return Dataset{IDs: ids, Points: pts}
+}
+
+// AkNN computes, for every point of r, its k nearest neighbors in s by
+// exhaustive scan. When excludeSelf is set, a neighbor with the same
+// ObjectID as the query point is skipped (use for self-joins).
+func AkNN(r, s Dataset, k int, excludeSelf bool) []Result {
+	out := make([]Result, len(r.Points))
+	for i, p := range r.Points {
+		best := pq.NewKBest[int](k)
+		for j, q := range s.Points {
+			if excludeSelf && s.IDs[j] == r.IDs[i] {
+				continue
+			}
+			best.Add(geom.DistSq(p, q), j)
+		}
+		items := best.Items()
+		neighbors := make([]Neighbor, len(items))
+		for n, it := range items {
+			neighbors[n] = Neighbor{
+				Object: s.IDs[it.Value],
+				Point:  s.Points[it.Value],
+				Dist:   math.Sqrt(it.Key),
+			}
+		}
+		out[i] = Result{Object: r.IDs[i], Point: p, Neighbors: neighbors}
+	}
+	return out
+}
+
+// ANN is AkNN with k = 1.
+func ANN(r, s Dataset, excludeSelf bool) []Result {
+	return AkNN(r, s, 1, excludeSelf)
+}

@@ -1,0 +1,65 @@
+package bruteforce
+
+import (
+	"math"
+	"testing"
+
+	"allnn/internal/geom"
+)
+
+func TestANNBasic(t *testing.T) {
+	r := FromPoints([]geom.Point{{0, 0}, {10, 10}})
+	s := FromPoints([]geom.Point{{1, 0}, {9, 10}, {100, 100}})
+	res := ANN(r, s, false)
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].Neighbors[0].Object != 0 || math.Abs(res[0].Neighbors[0].Dist-1) > 1e-12 {
+		t.Fatalf("NN of (0,0) = %+v", res[0].Neighbors[0])
+	}
+	if res[1].Neighbors[0].Object != 1 || math.Abs(res[1].Neighbors[0].Dist-1) > 1e-12 {
+		t.Fatalf("NN of (10,10) = %+v", res[1].Neighbors[0])
+	}
+}
+
+func TestAkNNOrderedAndComplete(t *testing.T) {
+	pts := []geom.Point{{0}, {1}, {3}, {6}, {10}}
+	res := AkNN(FromPoints(pts), FromPoints(pts), 3, true)
+	for _, r := range res {
+		if len(r.Neighbors) != 3 {
+			t.Fatalf("object %d: %d neighbors", r.Object, len(r.Neighbors))
+		}
+		for i := 1; i < len(r.Neighbors); i++ {
+			if r.Neighbors[i].Dist < r.Neighbors[i-1].Dist {
+				t.Fatalf("object %d: neighbors not sorted", r.Object)
+			}
+		}
+		for _, n := range r.Neighbors {
+			if n.Object == r.Object {
+				t.Fatalf("object %d returned itself despite excludeSelf", r.Object)
+			}
+		}
+	}
+	// NN of 0 is 1 (dist 1); of 10 is 6 (dist 4).
+	if res[0].Neighbors[0].Dist != 1 || res[4].Neighbors[0].Dist != 4 {
+		t.Fatalf("1-D neighbors wrong: %+v %+v", res[0].Neighbors[0], res[4].Neighbors[0])
+	}
+}
+
+func TestAkNNSmallTarget(t *testing.T) {
+	r := FromPoints([]geom.Point{{0, 0}})
+	s := FromPoints([]geom.Point{{1, 1}, {2, 2}})
+	res := AkNN(r, s, 10, false)
+	if len(res[0].Neighbors) != 2 {
+		t.Fatalf("expected all 2 targets, got %d", len(res[0].Neighbors))
+	}
+}
+
+func TestFromPointsIDs(t *testing.T) {
+	ds := FromPoints([]geom.Point{{1}, {2}, {3}})
+	for i, id := range ds.IDs {
+		if int(id) != i {
+			t.Fatalf("id %d = %d", i, id)
+		}
+	}
+}

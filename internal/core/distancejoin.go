@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"allnn/internal/geom"
+	"allnn/internal/index"
+)
+
+// Pair is one result of a distance join: two objects within the query
+// distance of each other.
+type Pair struct {
+	R, S   index.ObjectID
+	RPoint geom.Point
+	SPoint geom.Point
+	Dist   float64
+}
+
+// DistanceJoin reports every pair (r, s), r from ir and s from is, with
+// Euclidean distance at most d (the Distance Join of Hjaltason & Samet,
+// Section 2 of the paper — the operation ANN methods are most closely
+// related to). It uses the same synchronized bi-directional traversal as
+// the ANN engine, pruning subtree pairs whose MINMINDIST exceeds d.
+//
+// When excludeSelf is set, pairs with equal ObjectIDs are skipped (use
+// for self-joins).
+func DistanceJoin(ir, is index.Tree, d float64, excludeSelf bool, emit func(Pair) error) (Stats, error) {
+	var stats Stats
+	if ir.Dim() != is.Dim() {
+		return stats, fmt.Errorf("core: index dimensionality mismatch: %d vs %d", ir.Dim(), is.Dim())
+	}
+	if d < 0 {
+		return stats, fmt.Errorf("core: negative join distance %g", d)
+	}
+	rootR, err := ir.Root()
+	if err != nil {
+		return stats, err
+	}
+	rootS, err := is.Root()
+	if err != nil {
+		return stats, err
+	}
+	if rootR.Count == 0 || rootS.Count == 0 {
+		return stats, nil
+	}
+	e := &engine{ir: ir, is: is, stats: &stats}
+	return stats, e.joinPair(&rootR, &rootS, d*d, excludeSelf, emit)
+}
+
+// joinPair recursively expands the pair of subtrees, descending into the
+// larger side first (classic distance-join heuristic: it shrinks the
+// bounding boxes fastest).
+func (e *engine) joinPair(r, s *index.Entry, distSq float64, excludeSelf bool, emit func(Pair) error) error {
+	e.stats.DistanceCalcs++
+	if geom.MinDistSq(r.MBR, s.MBR) > distSq {
+		e.stats.PrunedOnProbe++
+		return nil
+	}
+	if r.IsObject() && s.IsObject() {
+		if excludeSelf && r.Object == s.Object {
+			return nil
+		}
+		d := geom.DistSq(r.Point, s.Point)
+		if d > distSq {
+			return nil
+		}
+		e.stats.Results++
+		return emit(Pair{
+			R: r.Object, S: s.Object,
+			RPoint: r.Point, SPoint: s.Point,
+			Dist: math.Sqrt(d),
+		})
+	}
+	// Expand the non-object side with the larger MBR margin.
+	expandR := !r.IsObject() && (s.IsObject() || r.MBR.Margin() >= s.MBR.Margin())
+	if expandR {
+		children, err := e.ir.Expand(*r)
+		if err != nil {
+			return err
+		}
+		e.stats.NodesExpandedR++
+		for i := range children {
+			if err := e.joinPair(&children[i], s, distSq, excludeSelf, emit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	children, err := e.is.Expand(*s)
+	if err != nil {
+		return err
+	}
+	e.stats.NodesExpandedS++
+	for i := range children {
+		if err := e.joinPair(r, &children[i], distSq, excludeSelf, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"allnn/internal/geom"
+	"allnn/internal/index"
+	"allnn/internal/pq"
+)
+
+// Run executes an ANN/AkNN query: for every point in the query index ir,
+// it finds the Options.K nearest points in the target index is, calling
+// emit once per query object. Results stream in index traversal order.
+//
+// Run is the paper's Algorithm 2 (MBA): it seeds the root LPQ, then
+// processes the LPQ queue depth-first (ANN-DFBI, Algorithm 3) with
+// bi-directional node expansion and the Three-Stage pruning of
+// Algorithm 4. Over MBRQT indexes this is MBA; over R*-trees, RBA.
+func Run(ir, is index.Tree, opts Options, emit func(Result) error) (Stats, error) {
+	opts = opts.withDefaults()
+	var stats Stats
+	if ir.Dim() != is.Dim() {
+		return stats, fmt.Errorf("core: index dimensionality mismatch: %d vs %d", ir.Dim(), is.Dim())
+	}
+	rootR, err := ir.Root()
+	if err != nil {
+		return stats, err
+	}
+	rootS, err := is.Root()
+	if err != nil {
+		return stats, err
+	}
+	if rootR.Count == 0 {
+		return stats, nil // nothing to query
+	}
+	e := &engine{ir: ir, is: is, opts: opts, emit: emit, stats: &stats}
+	if rootS.Count == 0 {
+		// No targets: every query object gets an empty neighbor list.
+		return stats, e.emitEmpty(rootR)
+	}
+
+	root := newLPQ(&rootR, infinity, opts.effectiveK(), opts.KBound, !opts.VolatileBounds, &stats)
+	mind, maxd := e.distances(&rootR, &rootS)
+	root.enqueue(lpqItem{e: &rootS, mind: mind, maxd: maxd})
+
+	switch opts.Traversal {
+	case BreadthFirst:
+		queue := []*lpq{root}
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			children, err := e.expandAndPrune(q)
+			if err != nil {
+				return stats, err
+			}
+			queue = append(queue, children...)
+		}
+	default: // DepthFirst
+		if err := e.dfbi(root); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// Collect runs the query and materialises all results.
+func Collect(ir, is index.Tree, opts Options) ([]Result, Stats, error) {
+	var out []Result
+	stats, err := Run(ir, is, opts, func(r Result) error {
+		out = append(out, r)
+		return nil
+	})
+	return out, stats, err
+}
+
+type engine struct {
+	ir, is index.Tree
+	opts   Options
+	emit   func(Result) error
+	stats  *Stats
+}
+
+// dfbi is Algorithm 3 (ANN-DFBI): expand the input LPQ, then recurse into
+// each child LPQ in FIFO order.
+func (e *engine) dfbi(q *lpq) error {
+	children, err := e.expandAndPrune(q)
+	if err != nil {
+		return err
+	}
+	for _, c := range children {
+		if err := e.dfbi(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// distances computes the squared (MIND, MAXD) pair between an owner entry
+// and a candidate entry — the Distances() call of Algorithm 4.
+func (e *engine) distances(owner, cand *index.Entry) (mind, maxd float64) {
+	mind = e.minDist(owner, cand)
+	if owner.IsObject() && cand.IsObject() {
+		return mind, mind
+	}
+	return mind, e.maxDist(owner, cand)
+}
+
+// minDist is the squared MINMINDIST between an owner and a candidate
+// entry. It is the cheap half of Distances(); the engine evaluates it
+// first and computes the pruning metric only for survivors.
+func (e *engine) minDist(owner, cand *index.Entry) float64 {
+	e.stats.DistanceCalcs++
+	return e.minDistUncounted(owner, cand)
+}
+
+func (e *engine) minDistUncounted(owner, cand *index.Entry) float64 {
+	if owner.IsObject() {
+		if cand.IsObject() {
+			return geom.DistSq(owner.Point, cand.Point)
+		}
+		return geom.MinDistPointRectSq(owner.Point, cand.MBR)
+	}
+	if cand.IsObject() {
+		return geom.MinDistPointRectSq(cand.Point, owner.MBR)
+	}
+	return geom.MinDistSq(owner.MBR, cand.MBR)
+}
+
+// maxDist is the squared pruning upper bound (MAXD) between an owner and
+// a candidate entry. Not valid for object/object pairs (there the exact
+// distance serves as both bounds).
+func (e *engine) maxDist(owner, cand *index.Entry) float64 {
+	if !owner.IsObject() && cand.IsObject() {
+		// For a candidate point, every owner point is guaranteed this
+		// neighbor within the maximum distance; both metrics coincide.
+		return geom.MaxDistPointRectSq(cand.Point, owner.MBR)
+	}
+	return e.opts.Metric.BoundSq(owner.MBR, cand.MBR)
+}
+
+// probe offers a candidate to an LPQ: the cheap MIND test runs first and
+// the metric is evaluated only if the candidate survives it. The
+// object/object case — the bulk of all probes during the leaf-level join
+// — uses an early-abort distance computation against the bound.
+func (e *engine) probe(c *lpq, cand *index.Entry) {
+	e.stats.DistanceCalcs++
+	bound := c.slackBound()
+	if c.owner.Kind == index.ObjectEntry && cand.Kind == index.ObjectEntry {
+		d, ok := geom.DistSqWithin(c.owner.Point, cand.Point, bound)
+		if !ok {
+			e.stats.PrunedOnProbe++
+			return
+		}
+		c.enqueueChecked(lpqItem{e: cand, mind: d, maxd: d})
+		return
+	}
+	mind := e.minDistUncounted(c.owner, cand)
+	if mind > bound {
+		e.stats.PrunedOnProbe++
+		return
+	}
+	c.enqueueChecked(lpqItem{e: cand, mind: mind, maxd: e.maxDist(c.owner, cand)})
+}
+
+// expandAndPrune is Algorithm 4. For an object owner it runs the Gather
+// Stage (emitting that owner's result); for a node owner it runs the
+// Expand Stage, distributing the queued candidates over freshly created
+// child LPQs (Filter Stage pruning happens inside lpq.enqueue).
+func (e *engine) expandAndPrune(q *lpq) ([]*lpq, error) {
+	if q.owner.IsObject() {
+		return nil, e.gather(q)
+	}
+
+	children, err := e.ir.Expand(*q.owner)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.NodesExpandedR++
+	lpqcs := make([]*lpq, len(children))
+	for i := range children {
+		lpqcs[i] = newLPQ(&children[i], q.bound(), q.k, q.kb, q.monotone, e.stats)
+	}
+
+	if !e.opts.PerObjectGather && len(children) > 0 && children[0].Kind == index.ObjectEntry {
+		// The owner is a leaf of I_R: its children are the query objects
+		// themselves. Drain the candidates all the way to object level
+		// here, where each I_S node is expanded once and shared by every
+		// object LPQ — rather than letting each object's Gather Stage
+		// re-expand the same nodes (index heights need not align across
+		// branches, so candidates may still be several levels up).
+		if err := e.drainToObjects(q, lpqcs); err != nil {
+			return nil, err
+		}
+	} else {
+
+		for {
+			// Entries whose MIND exceeds every child's bound are useless; the
+			// queue is MIND-ordered, so the first such entry ends the loop.
+			maxBound := math.Inf(-1)
+			for _, c := range lpqcs {
+				if b := c.slackBound(); b > maxBound {
+					maxBound = b
+				}
+			}
+			it, ok := q.dequeue()
+			if !ok {
+				break
+			}
+			if it.mind > maxBound {
+				break
+			}
+			if it.e.IsObject() {
+				// An object cannot be expanded further; probe it directly.
+				for _, c := range lpqcs {
+					e.probe(c, it.e)
+				}
+				continue
+			}
+			cands, err := e.is.Expand(*it.e)
+			if err != nil {
+				return nil, err
+			}
+			e.stats.NodesExpandedS++
+			for ci := range cands {
+				cand := &cands[ci]
+				for _, c := range lpqcs {
+					e.probe(c, cand)
+				}
+			}
+		}
+	}
+
+	out := lpqcs[:0]
+	for _, c := range lpqcs {
+		if c.len() > 0 {
+			out = append(out, c)
+		} else if c.owner.Count > 0 {
+			// A child owner with data but no candidates can only happen
+			// when the target index is empty below every probed entry —
+			// impossible while S is non-empty. Guard anyway.
+			return nil, fmt.Errorf("core: child LPQ starved for owner %v", c.owner.MBR)
+		}
+	}
+	return out, nil
+}
+
+// drainToObjects distributes the candidates of a leaf owner's LPQ over
+// the per-object child LPQs, expanding candidate nodes (best-first by
+// MIND to the leaf owner) until only objects remain. Nodes whose MIND
+// exceeds every object's bound are discarded along with everything
+// farther.
+func (e *engine) drainToObjects(q *lpq, lpqcs []*lpq) error {
+	dim := e.ir.Dim()
+	// The object/object probes of the leaf-level join dominate the whole
+	// ANN computation. The owners' coordinates are packed into one flat
+	// row-major matrix and their bounds cached in a parallel slice, so the
+	// inner loop runs over contiguous memory with an early-abort distance.
+	flat := make([]float64, 0, len(lpqcs)*dim)
+	bounds := make([]float64, len(lpqcs))
+	for i, c := range lpqcs {
+		flat = append(flat, c.owner.Point...)
+		bounds[i] = c.slackBound()
+	}
+	leafMBR := q.owner.MBR
+	maxOwnerBound := math.Inf(-1)
+	for _, b := range bounds {
+		if b > maxOwnerBound {
+			maxOwnerBound = b
+		}
+	}
+	probeObjects := func(cands []index.Entry, only *index.Entry) {
+		if only != nil {
+			cands = nil
+		}
+		n := len(cands)
+		if only != nil {
+			n = 1
+		}
+		for ci := 0; ci < n; ci++ {
+			cand := only
+			if cand == nil {
+				cand = &cands[ci]
+			}
+			cp := cand.Point
+			// Pre-filter against the leaf MBR: a candidate farther from
+			// the whole leaf than every owner's bound cannot survive any
+			// per-owner probe. The vast majority of candidates fall here
+			// for the price of a single distance evaluation.
+			e.stats.DistanceCalcs++
+			if geom.MinDistPointRectSq(cp, leafMBR) > maxOwnerBound {
+				e.stats.PrunedOnProbe += uint64(len(lpqcs))
+				continue
+			}
+			e.stats.DistanceCalcs += uint64(len(lpqcs))
+			changed := false
+			for i := range lpqcs {
+				base := flat[i*dim : (i+1)*dim]
+				limit := bounds[i]
+				var s float64
+				pruned := false
+				for d := 0; d < dim; d++ {
+					diff := base[d] - cp[d]
+					s += diff * diff
+					if s > limit {
+						pruned = true
+						break
+					}
+				}
+				if pruned {
+					e.stats.PrunedOnProbe++
+					continue
+				}
+				c := lpqcs[i]
+				c.enqueueChecked(lpqItem{e: cand, mind: s, maxd: s})
+				bounds[i] = c.slackBound()
+				changed = true
+			}
+			if changed {
+				maxOwnerBound = math.Inf(-1)
+				for _, b := range bounds {
+					if b > maxOwnerBound {
+						maxOwnerBound = b
+					}
+				}
+			}
+		}
+	}
+
+	work := pq.NewHeap[*index.Entry](64)
+	for {
+		it, ok := q.dequeue()
+		if !ok {
+			break
+		}
+		if it.e.Kind == index.ObjectEntry {
+			probeObjects(nil, it.e)
+		} else {
+			work.Push(it.mind, it.e)
+		}
+	}
+	for work.Len() > 0 {
+		item, _ := work.Pop()
+		maxBound := math.Inf(-1)
+		for _, b := range bounds {
+			if b > maxBound {
+				maxBound = b
+			}
+		}
+		if item.Key > maxBound {
+			break
+		}
+		cands, err := e.is.Expand(*item.Value)
+		if err != nil {
+			return err
+		}
+		e.stats.NodesExpandedS++
+		var nodeCands []index.Entry
+		objStart := -1
+		allObjects := true
+		for ci := range cands {
+			if cands[ci].Kind != index.ObjectEntry {
+				allObjects = false
+				break
+			}
+		}
+		if allObjects {
+			probeObjects(cands, nil)
+			continue
+		}
+		_ = nodeCands
+		_ = objStart
+		for ci := range cands {
+			cand := &cands[ci]
+			if cand.Kind == index.ObjectEntry {
+				probeObjects(nil, cand)
+			} else {
+				e.stats.DistanceCalcs++
+				mind := e.minDistUncounted(q.owner, cand)
+				if mind <= maxBound {
+					work.Push(mind, cand)
+				} else {
+					e.stats.PrunedOnProbe++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// gather is the Gather Stage: the owner is a data object r, and the LPQ
+// is drained best-first until the k nearest objects are known.
+func (e *engine) gather(q *lpq) error {
+	r := q.owner
+	k := q.k
+	best := pq.NewKBest[*index.Entry](k)
+	for {
+		it, ok := q.dequeue()
+		if !ok {
+			break
+		}
+		if best.Full() && it.mind >= best.Worst() {
+			break // MIND-ordered queue: nothing closer remains
+		}
+		if it.e.IsObject() {
+			best.Add(it.mind, it.e) // mind == exact squared distance
+			continue
+		}
+		cands, err := e.is.Expand(*it.e)
+		if err != nil {
+			return err
+		}
+		e.stats.NodesExpandedS++
+		for ci := range cands {
+			cand := &cands[ci]
+			mind := e.minDist(r, cand)
+			if best.Full() && mind >= best.Worst() {
+				e.stats.PrunedOnProbe++
+				continue
+			}
+			if mind > q.slackBound() {
+				e.stats.PrunedOnProbe++
+				continue
+			}
+			var maxd float64
+			if cand.IsObject() {
+				maxd = mind
+			} else {
+				maxd = e.maxDist(r, cand)
+			}
+			q.enqueueChecked(lpqItem{e: cand, mind: mind, maxd: maxd})
+		}
+	}
+
+	items := best.Items()
+	neighbors := make([]Neighbor, 0, e.opts.K)
+	selfSeen := false
+	for _, it := range items {
+		if e.opts.ExcludeSelf && !selfSeen && it.Value.Object == r.Object {
+			selfSeen = true
+			continue
+		}
+		if len(neighbors) == e.opts.K {
+			break
+		}
+		neighbors = append(neighbors, Neighbor{
+			Object: it.Value.Object,
+			Point:  it.Value.Point,
+			Dist:   math.Sqrt(it.Key),
+		})
+	}
+	e.stats.Results++
+	return e.emit(Result{Object: r.Object, Point: r.Point, Neighbors: neighbors})
+}
+
+// emitEmpty walks the query index emitting empty results (used when the
+// target index holds no points).
+func (e *engine) emitEmpty(entry index.Entry) error {
+	if entry.IsObject() {
+		e.stats.Results++
+		return e.emit(Result{Object: entry.Object, Point: entry.Point})
+	}
+	if entry.Count == 0 {
+		return nil
+	}
+	children, err := e.ir.Expand(entry)
+	if err != nil {
+		return err
+	}
+	for _, c := range children {
+		if err := e.emitEmpty(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+// Package core implements the paper's primary contribution: the MBA
+// algorithm (Algorithms 2–4) for All-Nearest-Neighbor and
+// All-k-Nearest-Neighbor queries over a pair of spatial indexes, with the
+// Local Priority Queue (LPQ) structure and the Three-Stage
+// (Expand/Filter/Gather) pruning strategy built on the NXNDIST metric.
+//
+// The engine traverses any pair of indexes implementing index.Tree; run
+// over two MBRQTs it is the paper's MBA, over two R*-trees it is RBA.
+// All distances are squared internally (comparisons are order-preserving
+// and the square roots are paid only when results are emitted).
+package core
+
+import (
+	"math"
+
+	"allnn/internal/geom"
+	"allnn/internal/index"
+)
+
+// Metric selects the pruning upper bound used between an owner MBR M (from
+// the query index) and a candidate MBR N (from the target index).
+type Metric uint8
+
+const (
+	// NXNDist is the paper's MINMAXMINDIST: the distance within which
+	// every point of M is guaranteed a nearest neighbor inside N.
+	NXNDist Metric = iota
+	// MaxMaxDist is the traditional, looser bound used by prior work.
+	MaxMaxDist
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case NXNDist:
+		return "NXNDIST"
+	case MaxMaxDist:
+		return "MAXMAXDIST"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// BoundSq evaluates the squared metric between two MBRs.
+func (m Metric) BoundSq(owner, candidate geom.Rect) float64 {
+	if m == MaxMaxDist {
+		return geom.MaxDistSq(owner, candidate)
+	}
+	return geom.NXNDistSq(owner, candidate)
+}
+
+// Traversal selects how the FIFO queues of LPQs are processed.
+type Traversal uint8
+
+const (
+	// DepthFirst recursively descends into each child LPQ before its
+	// siblings' children (the paper's ANN-DFBI; minimal memory, best
+	// locality).
+	DepthFirst Traversal = iota
+	// BreadthFirst drains a single global queue level by level. Provided
+	// as an ablation of the paper's design choice.
+	BreadthFirst
+)
+
+// String implements fmt.Stringer.
+func (t Traversal) String() string {
+	if t == BreadthFirst {
+		return "breadth-first"
+	}
+	return "depth-first"
+}
+
+// KBound selects the AkNN pruning bound maintained by each LPQ.
+type KBound uint8
+
+const (
+	// KBoundKth bounds the k-th NN distance by the k-th smallest MAXD
+	// among entries ever enqueued — each entry roots a distinct subtree
+	// guaranteeing at least one point within its MAXD. Tighter; default.
+	KBoundKth KBound = iota
+	// KBoundMaxAll is the paper's formulation: once at least k entries
+	// have been seen, the maximum MAXD is an upper bound. Looser;
+	// provided for ablation.
+	KBoundMaxAll
+)
+
+// Options configures an ANN/AkNN execution. The zero value runs ANN (k=1)
+// with NXNDIST pruning and depth-first traversal — the paper's MBA/RBA
+// configuration.
+type Options struct {
+	// K is the number of neighbors per query object (0 means 1).
+	K int
+	// Metric is the pruning upper bound (default NXNDist).
+	Metric Metric
+	// Traversal orders the LPQ processing (default DepthFirst).
+	Traversal Traversal
+	// KBound selects the AkNN bound strategy (default KBoundKth).
+	KBound KBound
+	// ExcludeSelf skips the result pairing an object with itself (same
+	// ObjectID); use it when R and S are the same dataset. Internally the
+	// engine searches one extra neighbor so that pruning stays sound.
+	ExcludeSelf bool
+	// VolatileBounds selects the paper's literal LPQ bound maintenance:
+	// the bound derives from the *current* queue members only, so it
+	// loosens when members are dequeued. By default the engine instead
+	// folds the bound with min over time so that it never loosens —
+	// sound, because the true k-NN distance is a property of the data and
+	// any bound value once valid stays valid. The volatile variant is
+	// where a loose metric (MAXMAXDIST) keeps hurting after dequeues; it
+	// exists for ablation.
+	VolatileBounds bool
+	// PerObjectGather selects the paper's literal leaf handling: each
+	// query object's Gather Stage individually re-expands whatever
+	// candidate nodes remain above object level. By default the engine
+	// instead drains candidates to object level once per I_R leaf and
+	// shares the expansions across all of the leaf's object LPQs,
+	// maximising the synchronized-traversal locality the paper argues
+	// for. The literal variant exists for ablation.
+	PerObjectGather bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 1
+	}
+	return o
+}
+
+// effectiveK is the number of neighbors actually gathered per object.
+func (o Options) effectiveK() int {
+	k := o.K
+	if o.ExcludeSelf {
+		k++
+	}
+	return k
+}
+
+// Neighbor is one neighbor of a query object.
+type Neighbor struct {
+	Object index.ObjectID
+	Point  geom.Point
+	Dist   float64
+}
+
+// Result groups the neighbors found for one query object. For ANN (k=1)
+// Neighbors has exactly one element (unless the target set is smaller).
+type Result struct {
+	Object    index.ObjectID
+	Point     geom.Point
+	Neighbors []Neighbor
+}
+
+// Stats counts the work performed by one execution. The paper's CPU-cost
+// differences between metrics and indexes show up directly in
+// DistanceCalcs and the enqueue/prune counters.
+type Stats struct {
+	// DistanceCalcs counts (MIND, MAXD) evaluations between an owner and
+	// a candidate entry — the Distances() calls of Algorithm 4.
+	DistanceCalcs uint64
+	// LPQsCreated counts LPQ allocations (one per unique I_R entry reached).
+	LPQsCreated uint64
+	// Enqueued counts entries accepted into some LPQ.
+	Enqueued uint64
+	// PrunedOnProbe counts candidates rejected by MIND > bound at probe time.
+	PrunedOnProbe uint64
+	// PrunedByFilter counts queued entries truncated by the Filter Stage.
+	PrunedByFilter uint64
+	// NodesExpandedR / NodesExpandedS count index node expansions.
+	NodesExpandedR uint64
+	NodesExpandedS uint64
+	// Results counts emitted result rows (one per R object).
+	Results uint64
+}
+
+var infinity = math.Inf(1)

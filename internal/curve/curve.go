@@ -1,0 +1,186 @@
+// Package curve implements the space-filling curves used to impose a
+// locality-preserving linear order on multi-dimensional points: Z-order
+// (Morton order, arbitrary dimensionality) and the Hilbert curve (2-D).
+//
+// The BNN baseline sorts the outer dataset along such a curve to form
+// spatially coherent groups; GORDER's grid order is a related
+// lexicographic cell order implemented in the gorder package.
+package curve
+
+import (
+	"fmt"
+	"sort"
+
+	"allnn/internal/geom"
+)
+
+// ZEncoder quantises points within a bounding box onto a 2^bits-per-dim
+// grid and interleaves the coordinate bits into a single uint64 Z-value.
+type ZEncoder struct {
+	bounds  geom.Rect
+	scale   []float64 // per-dim multiplier mapping coordinate -> cell
+	bits    uint      // bits per dimension
+	maxCell uint64    // 2^bits - 1
+}
+
+// NewZEncoder builds an encoder for points inside bounds. The number of
+// bits per dimension is chosen as large as fits in 64 total bits (capped
+// at 21 per dimension so that the shifts stay in range).
+func NewZEncoder(bounds geom.Rect) *ZEncoder {
+	dim := bounds.Dim()
+	if dim == 0 {
+		panic("curve: zero-dimensional bounds")
+	}
+	bits := uint(64 / dim)
+	if bits > 21 {
+		bits = 21
+	}
+	if bits == 0 {
+		panic(fmt.Sprintf("curve: dimensionality %d too large for a 64-bit Z-value", dim))
+	}
+	e := &ZEncoder{
+		bounds:  bounds.Clone(),
+		scale:   make([]float64, dim),
+		bits:    bits,
+		maxCell: (uint64(1) << bits) - 1,
+	}
+	for d := 0; d < dim; d++ {
+		extent := bounds.Hi[d] - bounds.Lo[d]
+		if extent > 0 {
+			e.scale[d] = float64(e.maxCell+1) / extent
+		}
+	}
+	return e
+}
+
+// BitsPerDim returns the grid resolution in bits per dimension.
+func (e *ZEncoder) BitsPerDim() uint { return e.bits }
+
+// Cell returns the grid cell of p in dimension d, clamped to the grid.
+func (e *ZEncoder) Cell(p geom.Point, d int) uint64 {
+	v := (p[d] - e.bounds.Lo[d]) * e.scale[d]
+	if v <= 0 {
+		return 0
+	}
+	c := uint64(v)
+	if c > e.maxCell {
+		c = e.maxCell
+	}
+	return c
+}
+
+// Value returns the Z-order value of p: the bit-interleaving of its grid
+// cell coordinates, most significant bit first.
+func (e *ZEncoder) Value(p geom.Point) uint64 {
+	dim := len(e.scale)
+	if len(p) != dim {
+		panic(fmt.Sprintf("curve: point dimensionality %d, encoder %d", len(p), dim))
+	}
+	var z uint64
+	for b := int(e.bits) - 1; b >= 0; b-- {
+		for d := 0; d < dim; d++ {
+			z = (z << 1) | ((e.Cell(p, d) >> uint(b)) & 1)
+		}
+	}
+	return z
+}
+
+// SortZOrder sorts idx (a permutation of point indices) in place by the
+// Z-order value of the corresponding points. Sorting an index slice
+// rather than the points keeps the caller's point identities stable.
+func SortZOrder(pts []geom.Point, idx []int) {
+	if len(pts) == 0 {
+		return
+	}
+	e := NewZEncoder(geom.BoundingRect(pts))
+	keys := make([]uint64, len(pts))
+	for i, p := range pts {
+		keys[i] = e.Value(p)
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+}
+
+// HilbertValue returns the index of cell (x, y) along a 2-D Hilbert curve
+// of the given order (grid side 2^order). x and y must be < 2^order.
+//
+// This is the classic bit-twiddling conversion (Warren, "Hacker's
+// Delight" / Wikipedia xy2d): walk the quadrant bits from most to least
+// significant, rotating the frame at each step.
+func HilbertValue(order uint, x, y uint64) uint64 {
+	var d uint64
+	for s := uint64(1) << (order - 1); s > 0; s >>= 1 {
+		var rx, ry uint64
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		// Rotate the quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}
+
+// HilbertPoint is the inverse of HilbertValue: it maps a curve index d to
+// the cell (x, y) on a Hilbert curve of the given order.
+func HilbertPoint(order uint, d uint64) (x, y uint64) {
+	t := d
+	for s := uint64(1); s < uint64(1)<<order; s <<= 1 {
+		rx := 1 & (t / 2)
+		ry := 1 & (t ^ rx)
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// HilbertEncoder quantises 2-D points onto a Hilbert curve within a
+// bounding box. It provides better locality than Z-order in two
+// dimensions and is the grouping order used by the BNN baseline on 2-D
+// workloads.
+type HilbertEncoder struct {
+	z     *ZEncoder
+	order uint
+}
+
+// NewHilbertEncoder builds an encoder over 2-D bounds.
+func NewHilbertEncoder(bounds geom.Rect) *HilbertEncoder {
+	if bounds.Dim() != 2 {
+		panic(fmt.Sprintf("curve: Hilbert encoder requires 2-D bounds, got %d-D", bounds.Dim()))
+	}
+	return &HilbertEncoder{z: NewZEncoder(bounds), order: NewZEncoder(bounds).BitsPerDim()}
+}
+
+// Value returns the Hilbert index of the grid cell containing p.
+func (e *HilbertEncoder) Value(p geom.Point) uint64 {
+	return HilbertValue(e.order, e.z.Cell(p, 0), e.z.Cell(p, 1))
+}
+
+// SortHilbert sorts idx in place by Hilbert order of 2-D points.
+func SortHilbert(pts []geom.Point, idx []int) {
+	if len(pts) == 0 {
+		return
+	}
+	e := NewHilbertEncoder(geom.BoundingRect(pts))
+	keys := make([]uint64, len(pts))
+	for i, p := range pts {
+		keys[i] = e.Value(p)
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+}

@@ -1,0 +1,204 @@
+package curve
+
+import (
+	"math/rand"
+	"testing"
+
+	"allnn/internal/geom"
+)
+
+func unitSquare() geom.Rect {
+	return geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1})
+}
+
+func TestZEncoderBits(t *testing.T) {
+	cases := []struct {
+		dim  int
+		want uint
+	}{
+		{1, 21}, {2, 21}, {3, 21}, {4, 16}, {6, 10}, {10, 6}, {32, 2},
+	}
+	for _, c := range cases {
+		lo := make(geom.Point, c.dim)
+		hi := make(geom.Point, c.dim)
+		for d := range hi {
+			hi[d] = 1
+		}
+		e := NewZEncoder(geom.NewRect(lo, hi))
+		if e.BitsPerDim() != c.want {
+			t.Errorf("dim %d: bits = %d, want %d", c.dim, e.BitsPerDim(), c.want)
+		}
+	}
+}
+
+func TestZEncoderCellClamping(t *testing.T) {
+	e := NewZEncoder(unitSquare())
+	// Outside points clamp to the boundary cells rather than wrapping.
+	if got := e.Cell(geom.Point{-5, 0}, 0); got != 0 {
+		t.Errorf("cell below range = %d, want 0", got)
+	}
+	max := uint64(1)<<e.BitsPerDim() - 1
+	if got := e.Cell(geom.Point{5, 0}, 0); got != max {
+		t.Errorf("cell above range = %d, want %d", got, max)
+	}
+}
+
+func TestZValueKnownInterleaving(t *testing.T) {
+	// 2-D with 21 bits/dim: the point at the exact center has top cell
+	// bits (1, 1), so the two most significant interleaved bits are 11.
+	e := NewZEncoder(unitSquare())
+	zCenter := e.Value(geom.Point{0.5, 0.5})
+	zOrigin := e.Value(geom.Point{0, 0})
+	if zOrigin != 0 {
+		t.Errorf("Z(origin) = %d, want 0", zOrigin)
+	}
+	if zCenter <= zOrigin {
+		t.Error("Z(center) should exceed Z(origin)")
+	}
+	// Quadrant ordering of Z: (lo,lo) < (hi,lo)... with x interleaved
+	// first: z(0.25,0.25) < z(0.25,0.75) < z(0.75,0.25) < z(0.75,0.75)
+	q := []geom.Point{{0.25, 0.25}, {0.25, 0.75}, {0.75, 0.25}, {0.75, 0.75}}
+	var prev uint64
+	for i, p := range q {
+		z := e.Value(p)
+		if i > 0 && z <= prev {
+			t.Fatalf("quadrant %d out of order: z=%d prev=%d", i, z, prev)
+		}
+		prev = z
+	}
+}
+
+func TestZValueMonotone1D(t *testing.T) {
+	e := NewZEncoder(geom.NewRect(geom.Point{0}, geom.Point{100}))
+	var prev uint64
+	for i := 0; i <= 100; i++ {
+		z := e.Value(geom.Point{float64(i)})
+		if z < prev {
+			t.Fatalf("1-D Z-order not monotone at %d", i)
+		}
+		prev = z
+	}
+}
+
+func TestSortZOrderGroupsNeighbors(t *testing.T) {
+	// Two well-separated clusters: after Z-order sorting, all points of
+	// one cluster must be contiguous.
+	rng := rand.New(rand.NewSource(9))
+	var pts []geom.Point
+	for i := 0; i < 50; i++ {
+		pts = append(pts, geom.Point{rng.Float64(), rng.Float64()})
+	}
+	for i := 0; i < 50; i++ {
+		pts = append(pts, geom.Point{1000 + rng.Float64(), 1000 + rng.Float64()})
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	SortZOrder(pts, idx)
+	// Find the transition point; after it, no low-cluster point may appear.
+	inHigh := false
+	for _, i := range idx {
+		high := pts[i][0] > 500
+		if inHigh && !high {
+			t.Fatal("Z-order interleaved two well-separated clusters")
+		}
+		if high {
+			inHigh = true
+		}
+	}
+}
+
+func TestHilbertKnownOrder2(t *testing.T) {
+	// Order-2 Hilbert curve (4x4 grid) canonical indexing.
+	want := map[[2]uint64]uint64{
+		{0, 0}: 0, {1, 0}: 1, {1, 1}: 2, {0, 1}: 3,
+		{0, 2}: 4, {0, 3}: 5, {1, 3}: 6, {1, 2}: 7,
+		{2, 2}: 8, {2, 3}: 9, {3, 3}: 10, {3, 2}: 11,
+		{3, 1}: 12, {2, 1}: 13, {2, 0}: 14, {3, 0}: 15,
+	}
+	for xy, d := range want {
+		if got := HilbertValue(2, xy[0], xy[1]); got != d {
+			t.Errorf("HilbertValue(2, %d, %d) = %d, want %d", xy[0], xy[1], got, d)
+		}
+	}
+}
+
+func TestHilbertRoundTrip(t *testing.T) {
+	const order = 8
+	n := uint64(1) << (2 * order)
+	for d := uint64(0); d < n; d += 7 { // sample the curve
+		x, y := HilbertPoint(order, d)
+		if got := HilbertValue(order, x, y); got != d {
+			t.Fatalf("round trip failed: d=%d -> (%d,%d) -> %d", d, x, y, got)
+		}
+	}
+}
+
+// TestHilbertAdjacency: consecutive curve indices map to grid cells at
+// Manhattan distance exactly 1 — the defining property of the Hilbert
+// curve.
+func TestHilbertAdjacency(t *testing.T) {
+	const order = 6
+	n := uint64(1) << (2 * order)
+	px, py := HilbertPoint(order, 0)
+	for d := uint64(1); d < n; d++ {
+		x, y := HilbertPoint(order, d)
+		dx := int64(x) - int64(px)
+		dy := int64(y) - int64(py)
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx+dy != 1 {
+			t.Fatalf("cells for d=%d and d=%d are not adjacent: (%d,%d) -> (%d,%d)",
+				d-1, d, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+func TestHilbertEncoderRequires2D(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 3-D bounds")
+		}
+	}()
+	NewHilbertEncoder(geom.NewRect(geom.Point{0, 0, 0}, geom.Point{1, 1, 1}))
+}
+
+func TestSortHilbertGroupsNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var pts []geom.Point
+	for i := 0; i < 40; i++ {
+		pts = append(pts, geom.Point{rng.Float64(), rng.Float64()})
+	}
+	for i := 0; i < 40; i++ {
+		pts = append(pts, geom.Point{500 + rng.Float64(), 500 + rng.Float64()})
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	SortHilbert(pts, idx)
+	inHigh := false
+	for _, i := range idx {
+		high := pts[i][0] > 250
+		if inHigh && !high {
+			t.Fatal("Hilbert order interleaved two well-separated clusters")
+		}
+		if high {
+			inHigh = true
+		}
+	}
+}
+
+func TestZeroExtentBounds(t *testing.T) {
+	// Degenerate bounds (all points identical) must not divide by zero.
+	e := NewZEncoder(geom.NewRect(geom.Point{3, 3}, geom.Point{3, 3}))
+	if got := e.Value(geom.Point{3, 3}); got != 0 {
+		t.Fatalf("Z-value in degenerate bounds = %d, want 0", got)
+	}
+}

@@ -1,0 +1,239 @@
+package datagen
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"allnn/internal/geom"
+)
+
+func TestUniformInBounds(t *testing.T) {
+	b := geom.NewRect(geom.Point{-5, 10}, geom.Point{5, 20})
+	pts := Uniform(1, 2000, b)
+	if len(pts) != 2000 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Fatalf("point %v outside bounds", p)
+		}
+	}
+	// Rough uniformity: the mean should be near the center.
+	c := meanOf(pts)
+	if math.Abs(c[0]) > 0.5 || math.Abs(c[1]-15) > 0.5 {
+		t.Fatalf("mean %v far from center (0, 15)", c)
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	b := UnitBounds(3)
+	a := Uniform(42, 100, b)
+	c := Uniform(42, 100, b)
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	d := Uniform(43, 100, b)
+	same := true
+	for i := range a {
+		if !a[i].Equal(d[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGaussianClustersInBoundsAndClustered(t *testing.T) {
+	b := ScaledBounds(2, 100)
+	pts := GaussianClusters(7, 5000, b, 5, 0.01)
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Fatalf("point %v outside bounds", p)
+		}
+	}
+	// Clustered data must have much smaller mean NN distance than uniform
+	// data of the same cardinality.
+	uni := Uniform(7, 5000, b)
+	if c, u := meanNNDist(pts[:500]), meanNNDist(uni[:500]); c >= u {
+		t.Fatalf("clustered mean NN dist %g not below uniform %g", c, u)
+	}
+}
+
+func TestSkewedConcentratesLow(t *testing.T) {
+	b := UnitBounds(2)
+	pts := Skewed(3, 3000, b, 4)
+	c := meanOf(pts)
+	if c[0] > 0.35 || c[1] > 0.35 {
+		t.Fatalf("skewed mean %v not concentrated toward the low corner", c)
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Fatalf("point %v outside bounds", p)
+		}
+	}
+}
+
+func TestSynthetic500KShape(t *testing.T) {
+	for _, dim := range []int{2, 4, 6} {
+		pts := Synthetic500K(1, 3000, dim)
+		if len(pts) != 3000 {
+			t.Fatalf("dim %d: got %d points", dim, len(pts))
+		}
+		b := ScaledBounds(dim, 1000)
+		for _, p := range pts {
+			if len(p) != dim {
+				t.Fatalf("dim %d: ragged point", dim)
+			}
+			if !b.Contains(p) {
+				t.Fatalf("dim %d: point %v outside space", dim, p)
+			}
+		}
+	}
+}
+
+func TestTACSurrogateShape(t *testing.T) {
+	pts := TACSurrogate(1, 5000)
+	if len(pts) != 5000 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	nearEquator := 0
+	for _, p := range pts {
+		if p[0] < 0 || p[0] >= 360 || p[1] < -90 || p[1] > 90 {
+			t.Fatalf("star %v outside the sky", p)
+		}
+		if math.Abs(p[1]) < 30 {
+			nearEquator++
+		}
+	}
+	// The density model concentrates stars toward the equator band: well
+	// over the uniform share (1/3) must lie within |dec| < 30.
+	if frac := float64(nearEquator) / float64(len(pts)); frac < 0.40 {
+		t.Fatalf("only %.2f of stars near the equator band; distribution looks uniform", frac)
+	}
+	// Clustering: mean NN distance must be far below uniform.
+	uni := Uniform(9, 5000, geom.NewRect(geom.Point{0, -90}, geom.Point{360, 90}))
+	if c, u := meanNNDist(pts[:500]), meanNNDist(uni[:500]); c >= u*0.8 {
+		t.Fatalf("TAC surrogate mean NN dist %g vs uniform %g: not clustered", c, u)
+	}
+}
+
+func TestFCSurrogateShapeAndCorrelation(t *testing.T) {
+	pts := FCSurrogate(1, 4000)
+	if len(pts) != 4000 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if len(p) != 10 {
+			t.Fatalf("point with %d attributes", len(p))
+		}
+	}
+	// The latent-factor model must induce non-trivial correlation between
+	// at least one attribute pair (real FC attributes are correlated;
+	// independent uniform 10-D data would behave differently in joins).
+	maxAbsCorr := 0.0
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			if c := math.Abs(correlation(pts, a, b)); c > maxAbsCorr {
+				maxAbsCorr = c
+			}
+		}
+	}
+	if maxAbsCorr < 0.3 {
+		t.Fatalf("max |correlation| between attributes is %.3f; latent factors not effective", maxAbsCorr)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	pts := Synthetic500K(5, 500, 4)
+	path := filepath.Join(t.TempDir(), "pts.bin")
+	if err := WriteFile(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("read %d points, wrote %d", len(got), len(pts))
+	}
+	for i := range pts {
+		if !got[i].Equal(pts[i]) {
+			t.Fatalf("point %d mismatch", i)
+		}
+	}
+}
+
+func TestWriteFileRejectsEmpty(t *testing.T) {
+	if err := WriteFile(filepath.Join(t.TempDir(), "x.bin"), nil); err == nil {
+		t.Fatal("expected error writing empty dataset")
+	}
+}
+
+func TestReadFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.bin")
+	if err := WriteFile(path, []geom.Point{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path + ".missing"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+// --- helpers -----------------------------------------------------------------
+
+func meanOf(pts []geom.Point) geom.Point {
+	dim := len(pts[0])
+	c := make(geom.Point, dim)
+	for _, p := range pts {
+		for d := range p {
+			c[d] += p[d]
+		}
+	}
+	for d := range c {
+		c[d] /= float64(len(pts))
+	}
+	return c
+}
+
+func meanNNDist(pts []geom.Point) float64 {
+	var sum float64
+	for i, p := range pts {
+		best := math.Inf(1)
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if d := geom.DistSq(p, q); d < best {
+				best = d
+			}
+		}
+		sum += math.Sqrt(best)
+	}
+	return sum / float64(len(pts))
+}
+
+func correlation(pts []geom.Point, a, b int) float64 {
+	n := float64(len(pts))
+	var ma, mb float64
+	for _, p := range pts {
+		ma += p[a]
+		mb += p[b]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for _, p := range pts {
+		cov += (p[a] - ma) * (p[b] - mb)
+		va += (p[a] - ma) * (p[a] - ma)
+		vb += (p[b] - mb) * (p[b] - mb)
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -1,0 +1,104 @@
+package datagen
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"allnn/internal/geom"
+)
+
+// Dataset file format: a small header followed by raw little-endian
+// float64 coordinates, n*dim of them.
+//
+//	magic   uint32  "APTS"
+//	version uint32  1
+//	dim     uint32
+//	count   uint64
+//	coords  float64 x (count*dim)
+const (
+	fileMagic   = 0x41505453
+	fileVersion = 1
+)
+
+// WriteFile stores pts at path.
+func WriteFile(path string, pts []geom.Point) error {
+	if len(pts) == 0 {
+		return fmt.Errorf("datagen: refusing to write empty dataset %s", path)
+	}
+	dim := len(pts[0])
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(dim))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(pts)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	var buf [8]byte
+	for _, p := range pts {
+		if len(p) != dim {
+			f.Close()
+			return fmt.Errorf("datagen: ragged dataset: point with dim %d, expected %d", len(p), dim)
+		}
+		for _, v := range p {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			if _, err := w.Write(buf[:]); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a dataset written by WriteFile.
+func ReadFile(path string) ([]geom.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("datagen: short header in %s: %w", path, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != fileMagic {
+		return nil, fmt.Errorf("datagen: %s is not a dataset file", path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != fileVersion {
+		return nil, fmt.Errorf("datagen: %s has unsupported version %d", path, v)
+	}
+	dim := int(binary.LittleEndian.Uint32(hdr[8:]))
+	count := int(binary.LittleEndian.Uint64(hdr[12:]))
+	if dim < 1 || dim > 1024 {
+		return nil, fmt.Errorf("datagen: %s has implausible dimensionality %d", path, dim)
+	}
+	pts := make([]geom.Point, count)
+	coords := make([]byte, 8*dim)
+	for i := 0; i < count; i++ {
+		if _, err := io.ReadFull(r, coords); err != nil {
+			return nil, fmt.Errorf("datagen: truncated dataset %s at point %d: %w", path, i, err)
+		}
+		p := make(geom.Point, dim)
+		for d := 0; d < dim; d++ {
+			p[d] = math.Float64frombits(binary.LittleEndian.Uint64(coords[8*d:]))
+		}
+		pts[i] = p
+	}
+	return pts, nil
+}

@@ -1,0 +1,225 @@
+// Package extsort provides an external merge sort over paged storage:
+// fixed-size (key, value) records are sorted into bounded in-memory runs,
+// each run is spilled to pages allocated from a buffer pool's store, and
+// the runs are k-way merged reading back through the pool.
+//
+// GORDER's grid-order phase is defined as an external sort (the datasets
+// the paper targets do not fit memory); routing the sort through the
+// same buffer pool as the join keeps the harness's I/O accounting
+// faithful for that phase.
+package extsort
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"allnn/internal/storage"
+)
+
+// Item is one sortable record: ordered by Key (ascending), with ties
+// broken by Value so the sort is deterministic.
+type Item struct {
+	Key   uint64
+	Value uint32
+}
+
+const itemSize = 12
+
+// itemsPerPage is the run-page capacity: a small header holds the count.
+const runHeader = 4
+
+func itemsPerPage() int { return (storage.PageSize - runHeader) / itemSize }
+
+// Sort sorts items by (Key, Value) using runs of at most runItems
+// in-memory items (0 means items fit memory in one run, i.e. plain
+// sorting with no spills). The sorted items are returned; all spills and
+// merge reads go through pool.
+func Sort(pool *storage.BufferPool, items []Item, runItems int) ([]Item, error) {
+	if runItems <= 0 || runItems >= len(items) {
+		sorted := append([]Item(nil), items...)
+		sortItems(sorted)
+		return sorted, nil
+	}
+
+	// Phase 1: sorted runs, spilled to pages.
+	var runs []*run
+	for start := 0; start < len(items); start += runItems {
+		end := start + runItems
+		if end > len(items) {
+			end = len(items)
+		}
+		chunk := append([]Item(nil), items[start:end]...)
+		sortItems(chunk)
+		r, err := spillRun(pool, chunk)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, r)
+	}
+
+	// Phase 2: k-way merge through the pool. The cursor heap compares
+	// full (Key, Value) pairs: 64-bit keys cannot ride a float64-keyed
+	// heap without losing precision above 2^53.
+	out := make([]Item, 0, len(items))
+	var heap cursorHeap
+	for _, r := range runs {
+		c := &cursor{run: r, pool: pool}
+		ok, err := c.next()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			heap.push(c)
+		}
+	}
+	for heap.len() > 0 {
+		c := heap.pop()
+		out = append(out, c.cur)
+		ok, err := c.next()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			heap.push(c)
+		}
+	}
+	if len(out) != len(items) {
+		return nil, fmt.Errorf("extsort: merged %d of %d items", len(out), len(items))
+	}
+	return out, nil
+}
+
+func sortItems(items []Item) {
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].Key != items[b].Key {
+			return items[a].Key < items[b].Key
+		}
+		return items[a].Value < items[b].Value
+	})
+}
+
+// run is one sorted spill: a sequence of pages.
+type run struct {
+	pages []storage.PageID
+}
+
+func spillRun(pool *storage.BufferPool, items []Item) (*run, error) {
+	r := &run{}
+	per := itemsPerPage()
+	for start := 0; start < len(items); start += per {
+		end := start + per
+		if end > len(items) {
+			end = len(items)
+		}
+		f, err := pool.NewPage()
+		if err != nil {
+			return nil, err
+		}
+		data := f.Data()
+		binary.LittleEndian.PutUint32(data, uint32(end-start))
+		off := runHeader
+		for _, it := range items[start:end] {
+			binary.LittleEndian.PutUint64(data[off:], it.Key)
+			binary.LittleEndian.PutUint32(data[off+8:], it.Value)
+			off += itemSize
+		}
+		f.MarkDirty()
+		pid := f.ID()
+		f.Release()
+		r.pages = append(r.pages, pid)
+	}
+	return r, nil
+}
+
+// cursor streams a run's items back page by page.
+type cursor struct {
+	run  *run
+	pool *storage.BufferPool
+
+	pageIdx int
+	buf     []Item
+	bufPos  int
+	cur     Item
+}
+
+// less orders cursors by their current item.
+func (c *cursor) less(o *cursor) bool {
+	if c.cur.Key != o.cur.Key {
+		return c.cur.Key < o.cur.Key
+	}
+	return c.cur.Value < o.cur.Value
+}
+
+// cursorHeap is a binary min-heap of run cursors with exact comparisons.
+type cursorHeap struct {
+	cs []*cursor
+}
+
+func (h *cursorHeap) len() int { return len(h.cs) }
+
+func (h *cursorHeap) push(c *cursor) {
+	h.cs = append(h.cs, c)
+	i := len(h.cs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.cs[i].less(h.cs[parent]) {
+			break
+		}
+		h.cs[i], h.cs[parent] = h.cs[parent], h.cs[i]
+		i = parent
+	}
+}
+
+func (h *cursorHeap) pop() *cursor {
+	top := h.cs[0]
+	last := len(h.cs) - 1
+	h.cs[0] = h.cs[last]
+	h.cs = h.cs[:last]
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= len(h.cs) {
+			break
+		}
+		if r := child + 1; r < len(h.cs) && h.cs[r].less(h.cs[child]) {
+			child = r
+		}
+		if !h.cs[child].less(h.cs[i]) {
+			break
+		}
+		h.cs[i], h.cs[child] = h.cs[child], h.cs[i]
+		i = child
+	}
+	return top
+}
+
+// next advances the cursor; false means the run is exhausted.
+func (c *cursor) next() (bool, error) {
+	for c.bufPos >= len(c.buf) {
+		if c.pageIdx >= len(c.run.pages) {
+			return false, nil
+		}
+		f, err := c.pool.Get(c.run.pages[c.pageIdx])
+		if err != nil {
+			return false, err
+		}
+		data := f.Data()
+		count := int(binary.LittleEndian.Uint32(data))
+		c.buf = c.buf[:0]
+		off := runHeader
+		for i := 0; i < count; i++ {
+			c.buf = append(c.buf, Item{
+				Key:   binary.LittleEndian.Uint64(data[off:]),
+				Value: binary.LittleEndian.Uint32(data[off+8:]),
+			})
+			off += itemSize
+		}
+		f.Release()
+		c.pageIdx++
+		c.bufPos = 0
+	}
+	c.cur = c.buf[c.bufPos]
+	c.bufPos++
+	return true, nil
+}

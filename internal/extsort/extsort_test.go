@@ -1,0 +1,134 @@
+package extsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"allnn/internal/storage"
+)
+
+func newPool(frames int) *storage.BufferPool {
+	return storage.NewBufferPool(storage.NewMemStore(), frames)
+}
+
+func isSorted(items []Item) bool {
+	return sort.SliceIsSorted(items, func(a, b int) bool {
+		if items[a].Key != items[b].Key {
+			return items[a].Key < items[b].Key
+		}
+		return items[a].Value < items[b].Value
+	})
+}
+
+func TestSortInMemoryPath(t *testing.T) {
+	pool := newPool(8)
+	items := []Item{{Key: 3, Value: 0}, {Key: 1, Value: 1}, {Key: 2, Value: 2}}
+	out, err := Sort(pool, items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isSorted(out) || len(out) != 3 {
+		t.Fatalf("not sorted: %v", out)
+	}
+	if pool.Stats().IOs() != 0 {
+		t.Fatal("in-memory path should not touch the pool")
+	}
+	// Input must be untouched.
+	if items[0].Key != 3 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestSortExternalMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{10, 1000, 20000} {
+		for _, runItems := range []int{7, 256, 4096} {
+			items := make([]Item, n)
+			for i := range items {
+				items[i] = Item{Key: rng.Uint64(), Value: uint32(i)}
+			}
+			pool := newPool(16)
+			out, err := Sort(pool, items, runItems)
+			if err != nil {
+				t.Fatalf("n=%d run=%d: %v", n, runItems, err)
+			}
+			if len(out) != n {
+				t.Fatalf("n=%d run=%d: lost items: %d", n, runItems, len(out))
+			}
+			if !isSorted(out) {
+				t.Fatalf("n=%d run=%d: output not sorted", n, runItems)
+			}
+			// Multiset equality via the deterministic (Key, Value) order.
+			want := append([]Item(nil), items...)
+			sortItems(want)
+			for i := range want {
+				if out[i] != want[i] {
+					t.Fatalf("n=%d run=%d: item %d = %v, want %v", n, runItems, i, out[i], want[i])
+				}
+			}
+			if pool.PinnedFrames() != 0 {
+				t.Fatal("pinned frame leak")
+			}
+		}
+	}
+}
+
+func TestSortHighBitKeys(t *testing.T) {
+	// Keys above 2^53 must stay exactly ordered (the float64 trap).
+	base := uint64(1) << 60
+	items := []Item{
+		{Key: base + 3, Value: 0},
+		{Key: base + 1, Value: 1},
+		{Key: base + 2, Value: 2},
+		{Key: base + 1, Value: 0}, // tie on key, ordered by value
+	}
+	out, err := Sort(newPool(8), items, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Item{{base + 1, 0}, {base + 1, 1}, {base + 2, 2}, {base + 3, 0}}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("item %d = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestSortDuplicateKeys(t *testing.T) {
+	items := make([]Item, 500)
+	for i := range items {
+		items[i] = Item{Key: uint64(i % 3), Value: uint32(i)}
+	}
+	out, err := Sort(newPool(8), items, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isSorted(out) || len(out) != 500 {
+		t.Fatal("duplicate-key sort broken")
+	}
+}
+
+func TestSortEmpty(t *testing.T) {
+	out, err := Sort(newPool(2), nil, 10)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty sort: %v %v", out, err)
+	}
+}
+
+func TestSortCountsIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	items := make([]Item, 10000)
+	for i := range items {
+		items[i] = Item{Key: rng.Uint64(), Value: uint32(i)}
+	}
+	pool := newPool(4)
+	if _, err := Sort(pool, items, 1000); err != nil {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	// 10000 items / ~682 per page = 15 pages spilled and read back.
+	if st.Writes == 0 || st.Misses == 0 {
+		t.Fatalf("external sort should do I/O: %+v", st)
+	}
+}

@@ -1,0 +1,81 @@
+// Package geom provides the geometric primitives used throughout the
+// library: D-dimensional points, minimum bounding rectangles (MBRs), and
+// the family of MBR-to-MBR distance metrics from Chen & Patel (ICDE 2007),
+// including the NXNDIST (MINMAXMINDIST) pruning metric that is the paper's
+// first contribution.
+//
+// All metrics are available both as true Euclidean distances and as squared
+// distances. The squared forms avoid the final square root and are the ones
+// the query engines use on their hot paths; comparisons between squared
+// distances are order-preserving because all distances are non-negative.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is a point in D-dimensional Euclidean space. The dimensionality is
+// the slice length. Points are treated as immutable by every function in
+// this package.
+type Point []float64
+
+// Dim returns the dimensionality of the point.
+func (p Point) Dim() int { return len(p) }
+
+// Clone returns a deep copy of the point.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q have identical coordinates.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for d := range p {
+		if p[d] != q[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the point as "(x1, x2, ..., xD)".
+func (p Point) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for d, v := range p {
+		if d > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%g", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Dist returns the Euclidean distance between p and q.
+// It panics if the dimensionalities differ.
+func Dist(p, q Point) float64 { return math.Sqrt(DistSq(p, q)) }
+
+// DistSq returns the squared Euclidean distance between p and q.
+// It panics if the dimensionalities differ.
+func DistSq(p, q Point) float64 {
+	if len(p) != len(q) {
+		panic(dimMismatch(len(p), len(q)))
+	}
+	var s float64
+	for d := range p {
+		diff := p[d] - q[d]
+		s += diff * diff
+	}
+	return s
+}
+
+func dimMismatch(a, b int) string {
+	return fmt.Sprintf("geom: dimensionality mismatch: %d vs %d", a, b)
+}

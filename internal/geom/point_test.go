@@ -1,0 +1,125 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDim(t *testing.T) {
+	if got := (Point{1, 2, 3}).Dim(); got != 3 {
+		t.Fatalf("Dim() = %d, want 3", got)
+	}
+	if got := (Point{}).Dim(); got != 0 {
+		t.Fatalf("Dim() = %d, want 0", got)
+	}
+}
+
+func TestPointClone(t *testing.T) {
+	p := Point{1, 2}
+	q := p.Clone()
+	q[0] = 99
+	if p[0] != 1 {
+		t.Fatalf("Clone aliases the original: p = %v", p)
+	}
+	if !p.Equal(Point{1, 2}) {
+		t.Fatalf("original mutated: %v", p)
+	}
+}
+
+func TestPointEqual(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want bool
+	}{
+		{Point{1, 2}, Point{1, 2}, true},
+		{Point{1, 2}, Point{1, 3}, false},
+		{Point{1, 2}, Point{1, 2, 3}, false},
+		{Point{}, Point{}, true},
+	}
+	for _, c := range cases {
+		if got := c.p.Equal(c.q); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := (Point{1, 2.5}).String(); got != "(1, 2.5)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1}, Point{1}, 0},
+		{Point{0, 0, 0}, Point{1, 2, 2}, 3},
+		{Point{-1, -1}, Point{2, 3}, 5},
+	}
+	for _, c := range cases {
+		if got := Dist(c.p, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v, %v) = %g, want %g", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+// clamp maps an arbitrary float (possibly huge) into [-1000, 1000] so that
+// squared terms cannot overflow in property tests.
+func clamp(v float64) float64 {
+	if v != v { // NaN
+		return 0
+	}
+	return math.Mod(v, 1000)
+}
+
+func clampSlice(a []float64) Point {
+	p := make(Point, len(a))
+	for i, v := range a {
+		p[i] = clamp(v)
+	}
+	return p
+}
+
+func TestDistSqMatchesDist(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		p := clampSlice(a[:])
+		q := clampSlice(b[:])
+		d := Dist(p, q)
+		return math.Abs(d*d-DistSq(p, q)) <= 1e-9*(1+d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(a, b [3]float64) bool {
+		return DistSq(Point(a[:]), Point(b[:])) == DistSq(Point(b[:]), Point(a[:]))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistTriangleInequality(t *testing.T) {
+	f := func(a, b, c [3]float64) bool {
+		p, q, r := Point(a[:]), Point(b[:]), Point(c[:])
+		return Dist(p, r) <= Dist(p, q)+Dist(q, r)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Dist(Point{1}, Point{1, 2})
+}

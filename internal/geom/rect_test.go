@@ -1,0 +1,218 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randRect returns a random rectangle in [-lim, lim]^dim.
+func randRect(rng *rand.Rand, dim int, lim float64) Rect {
+	lo := make(Point, dim)
+	hi := make(Point, dim)
+	for d := 0; d < dim; d++ {
+		a := (rng.Float64()*2 - 1) * lim
+		b := (rng.Float64()*2 - 1) * lim
+		if a > b {
+			a, b = b, a
+		}
+		lo[d], hi[d] = a, b
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// randPointIn returns a random point inside r.
+func randPointIn(rng *rand.Rand, r Rect) Point {
+	p := make(Point, r.Dim())
+	for d := range p {
+		p[d] = r.Lo[d] + rng.Float64()*(r.Hi[d]-r.Lo[d])
+	}
+	return p
+}
+
+func TestNewRectPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inverted bounds")
+		}
+	}()
+	NewRect(Point{1, 5}, Point{2, 4})
+}
+
+func TestNewRectPanicsOnDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dim mismatch")
+		}
+	}()
+	NewRect(Point{1}, Point{2, 3})
+}
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect(3)
+	if !e.IsEmpty() {
+		t.Fatal("EmptyRect should be empty")
+	}
+	if e.Area() != 0 {
+		t.Fatalf("empty rect area = %g, want 0", e.Area())
+	}
+	e.ExpandPoint(Point{1, 2, 3})
+	if e.IsEmpty() {
+		t.Fatal("rect should be non-empty after ExpandPoint")
+	}
+	if !e.Equal(PointRect(Point{1, 2, 3})) {
+		t.Fatalf("expanded empty rect = %v", e)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{10, 5})
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},   // corner inclusive
+		{Point{10, 5}, true},  // opposite corner inclusive
+		{Point{5, 2.5}, true}, // interior
+		{Point{-0.1, 2}, false},
+		{Point{5, 5.1}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{10, 10})
+	if !r.ContainsRect(NewRect(Point{1, 1}, Point{9, 9})) {
+		t.Error("inner rect should be contained")
+	}
+	if !r.ContainsRect(r) {
+		t.Error("rect should contain itself")
+	}
+	if r.ContainsRect(NewRect(Point{1, 1}, Point{11, 9})) {
+		t.Error("overhanging rect should not be contained")
+	}
+	if !r.ContainsRect(EmptyRect(2)) {
+		t.Error("empty rect should be contained in everything")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{4, 4})
+	cases := []struct {
+		s    Rect
+		want bool
+	}{
+		{NewRect(Point{2, 2}, Point{6, 6}), true},
+		{NewRect(Point{4, 4}, Point{6, 6}), true}, // touching corner counts
+		{NewRect(Point{5, 5}, Point{6, 6}), false},
+		{NewRect(Point{-2, 1}, Point{-1, 2}), false},
+		{NewRect(Point{1, 1}, Point{2, 2}), true}, // fully inside
+	}
+	for _, c := range cases {
+		if got := r.Intersects(c.s); got != c.want {
+			t.Errorf("Intersects(%v) = %v, want %v", c.s, got, c.want)
+		}
+		if got := c.s.Intersects(r); got != c.want {
+			t.Errorf("Intersects not symmetric for %v", c.s)
+		}
+	}
+}
+
+func TestRectAreaMargin(t *testing.T) {
+	r := NewRect(Point{0, 0, 0}, Point{2, 3, 4})
+	if got := r.Area(); got != 24 {
+		t.Errorf("Area = %g, want 24", got)
+	}
+	if got := r.Margin(); got != 9 {
+		t.Errorf("Margin = %g, want 9", got)
+	}
+}
+
+func TestRectOverlapArea(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{4, 4})
+	s := NewRect(Point{2, 2}, Point{6, 6})
+	if got := r.OverlapArea(s); got != 4 {
+		t.Errorf("OverlapArea = %g, want 4", got)
+	}
+	if got := r.OverlapArea(NewRect(Point{4, 4}, Point{5, 5})); got != 0 {
+		t.Errorf("touching rects OverlapArea = %g, want 0", got)
+	}
+	if got := r.OverlapArea(NewRect(Point{9, 9}, Point{10, 10})); got != 0 {
+		t.Errorf("disjoint rects OverlapArea = %g, want 0", got)
+	}
+}
+
+func TestRectUnionCoversBoth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		r := randRect(rng, 3, 100)
+		s := randRect(rng, 3, 100)
+		u := r.Union(s)
+		if !u.ContainsRect(r) || !u.ContainsRect(s) {
+			t.Fatalf("union %v does not cover %v and %v", u, r, s)
+		}
+		// Union must be minimal: every face of u touches r or s.
+		for d := 0; d < 3; d++ {
+			if u.Lo[d] != math.Min(r.Lo[d], s.Lo[d]) || u.Hi[d] != math.Max(r.Hi[d], s.Hi[d]) {
+				t.Fatalf("union not tight in dim %d", d)
+			}
+		}
+	}
+}
+
+func TestBoundingRect(t *testing.T) {
+	pts := []Point{{1, 5}, {3, 2}, {-1, 4}}
+	r := BoundingRect(pts)
+	want := NewRect(Point{-1, 2}, Point{3, 5})
+	if !r.Equal(want) {
+		t.Fatalf("BoundingRect = %v, want %v", r, want)
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Fatalf("BoundingRect does not contain %v", p)
+		}
+	}
+}
+
+func TestBoundingRectPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty point set")
+		}
+	}()
+	BoundingRect(nil)
+}
+
+func TestRectCenter(t *testing.T) {
+	r := NewRect(Point{0, 2}, Point{4, 8})
+	if !r.Center().Equal(Point{2, 5}) {
+		t.Fatalf("Center = %v", r.Center())
+	}
+}
+
+func TestRectCloneIndependent(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{1, 1})
+	c := r.Clone()
+	c.Lo[0] = -5
+	if r.Lo[0] != 0 {
+		t.Fatal("Clone aliases bounds")
+	}
+}
+
+func TestContainsExpandedPointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRect(rng, 4, 50)
+		p := Point{rng.Float64() * 200, rng.Float64() * 200, rng.Float64() * 200, rng.Float64() * 200}
+		r.ExpandPoint(p)
+		return r.Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

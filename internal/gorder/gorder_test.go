@@ -1,0 +1,328 @@
+package gorder
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"allnn/internal/bruteforce"
+	"allnn/internal/core"
+	"allnn/internal/geom"
+	"allnn/internal/storage"
+)
+
+const tol = 1e-9
+
+func newPool(frames int) *storage.BufferPool {
+	return storage.NewBufferPool(storage.NewMemStore(), frames)
+}
+
+func uniformPoints(rng *rand.Rand, n, dim int, lim float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, dim)
+		for d := range p {
+			p[d] = rng.Float64() * lim
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func runJoin(t *testing.T, rPts, sPts []geom.Point, frames int, opts Options) ([]core.Result, Stats) {
+	t.Helper()
+	pool := newPool(frames)
+	var out []core.Result
+	stats, err := Join(FromPoints(rPts), FromPoints(sPts), pool, opts, func(r core.Result) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.PinnedFrames() != 0 {
+		t.Fatalf("%d frames leaked", pool.PinnedFrames())
+	}
+	return out, stats
+}
+
+func checkAgainstBrute(t *testing.T, rPts, sPts []geom.Point, frames int, opts Options) Stats {
+	t.Helper()
+	got, stats := runJoin(t, rPts, sPts, frames, opts)
+	k := opts.K
+	if k <= 0 {
+		k = 1
+	}
+	want := bruteforce.AkNN(bruteforce.FromPoints(rPts), bruteforce.FromPoints(sPts), k, opts.ExcludeSelf)
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	sort.Slice(got, func(a, b int) bool { return got[a].Object < got[b].Object })
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Object != w.Object {
+			t.Fatalf("result %d for object %d, want %d", i, g.Object, w.Object)
+		}
+		if len(g.Neighbors) != len(w.Neighbors) {
+			t.Fatalf("object %d: %d neighbors, want %d", g.Object, len(g.Neighbors), len(w.Neighbors))
+		}
+		for n := range w.Neighbors {
+			if math.Abs(g.Neighbors[n].Dist-w.Neighbors[n].Dist) > tol {
+				t.Fatalf("object %d neighbor %d dist %g, want %g",
+					g.Object, n, g.Neighbors[n].Dist, w.Neighbors[n].Dist)
+			}
+		}
+	}
+	return stats
+}
+
+func TestJoinMatchesBrute2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rPts := uniformPoints(rng, 300, 2, 100)
+	sPts := uniformPoints(rng, 400, 2, 100)
+	for _, k := range []int{1, 5} {
+		checkAgainstBrute(t, rPts, sPts, 64, Options{K: k})
+	}
+}
+
+func TestJoinMatchesBruteHighDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rPts := uniformPoints(rng, 150, 10, 1)
+	sPts := uniformPoints(rng, 200, 10, 1)
+	checkAgainstBrute(t, rPts, sPts, 64, Options{K: 3})
+}
+
+func TestJoinSelfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := uniformPoints(rng, 250, 2, 100)
+	checkAgainstBrute(t, pts, pts, 64, Options{K: 2, ExcludeSelf: true})
+}
+
+func TestJoinTinyPool(t *testing.T) {
+	// Must stay correct with the minimum possible buffer.
+	rng := rand.New(rand.NewSource(4))
+	rPts := uniformPoints(rng, 200, 2, 100)
+	sPts := uniformPoints(rng, 200, 2, 100)
+	checkAgainstBrute(t, rPts, sPts, 3, Options{})
+}
+
+func TestJoinTinyInputs(t *testing.T) {
+	checkAgainstBrute(t, []geom.Point{{1, 1}}, []geom.Point{{2, 2}}, 16, Options{})
+	checkAgainstBrute(t, []geom.Point{{1, 1}}, []geom.Point{{2, 2}, {3, 3}}, 16, Options{K: 5})
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	got, _ := runJoin(t, nil, []geom.Point{{1, 1}}, 16, Options{})
+	if len(got) != 0 {
+		t.Fatal("empty R should produce no results")
+	}
+	got, _ = runJoin(t, []geom.Point{{1, 1}}, nil, 16, Options{})
+	if len(got) != 1 || len(got[0].Neighbors) != 0 {
+		t.Fatalf("empty S should produce empty neighbor lists: %+v", got)
+	}
+}
+
+func TestJoinDimMismatch(t *testing.T) {
+	pool := newPool(16)
+	_, err := Join(FromPoints([]geom.Point{{1, 2}}), FromPoints([]geom.Point{{1, 2, 3}}), pool,
+		Options{}, func(core.Result) error { return nil })
+	if err == nil {
+		t.Fatal("expected dimensionality error")
+	}
+}
+
+func TestBufferSensitivity(t *testing.T) {
+	// Figure 3(b)'s mechanism: with a larger pool, the inner blocks that
+	// several outer blocks share stay cached, so the same logical block
+	// fetches cause far fewer physical page misses.
+	rng := rand.New(rand.NewSource(5))
+	rPts := uniformPoints(rng, 3000, 6, 100)
+	sPts := uniformPoints(rng, 3000, 6, 100)
+	physical := func(frames int) uint64 {
+		pool := newPool(frames)
+		_, err := Join(FromPoints(rPts), FromPoints(sPts), pool, Options{},
+			func(core.Result) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pool.Stats().Misses
+	}
+	small := physical(4)
+	large := physical(256)
+	t.Logf("physical page misses: small pool %d, large pool %d", small, large)
+	if large >= small {
+		t.Errorf("larger pool missed %d pages, small pool %d — expected fewer", large, small)
+	}
+}
+
+func TestBlockPruningHappens(t *testing.T) {
+	// Two well-separated clusters: most cross-cluster blocks must be
+	// pruned without being read.
+	rng := rand.New(rand.NewSource(6))
+	var rPts, sPts []geom.Point
+	for i := 0; i < 1000; i++ {
+		rPts = append(rPts, geom.Point{rng.Float64(), rng.Float64()})
+		sPts = append(sPts, geom.Point{rng.Float64(), rng.Float64()})
+	}
+	for i := 0; i < 1000; i++ {
+		rPts = append(rPts, geom.Point{1e6 + rng.Float64(), rng.Float64()})
+		sPts = append(sPts, geom.Point{1e6 + rng.Float64(), rng.Float64()})
+	}
+	stats := checkAgainstBrute(t, rPts, sPts, 8, Options{})
+	if stats.BlockPairsPruned == 0 {
+		t.Error("no block pairs pruned on a bimodal workload")
+	}
+}
+
+// --- PCA unit tests ----------------------------------------------------------
+
+func TestCovarianceKnown(t *testing.T) {
+	pts := []geom.Point{{1, 2}, {3, 6}, {5, 10}}
+	cov := covariance(pts)
+	// x: mean 3, var 4; y = 2x: var 16, cov 8.
+	if math.Abs(cov[0][0]-4) > tol || math.Abs(cov[1][1]-16) > tol || math.Abs(cov[0][1]-8) > tol {
+		t.Fatalf("covariance = %v", cov)
+	}
+}
+
+func TestJacobiEigenKnown(t *testing.T) {
+	// Matrix [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := [][]float64{{2, 1}, {1, 2}}
+	values, vectors, err := jacobiEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if math.Abs(sorted[0]-1) > 1e-9 || math.Abs(sorted[1]-3) > 1e-9 {
+		t.Fatalf("eigenvalues = %v", values)
+	}
+	// Eigenvector columns must be orthonormal.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			var dot float64
+			for k := 0; k < 2; k++ {
+				dot += vectors[k][i] * vectors[k][j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Fatalf("eigenvectors not orthonormal: <%d,%d> = %g", i, j, dot)
+			}
+		}
+	}
+}
+
+func TestPCADistancePreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := uniformPoints(rng, 50, 5, 100)
+	s := uniformPoints(rng, 50, 5, 100)
+	tr, ts, err := pcaTransform(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		a, b := rng.Intn(len(r)), rng.Intn(len(s))
+		orig := geom.Dist(r[a], s[b])
+		proj := geom.Dist(tr[a], ts[b])
+		if math.Abs(orig-proj) > 1e-6*(1+orig) {
+			t.Fatalf("distance not preserved: %g vs %g", orig, proj)
+		}
+	}
+}
+
+func TestPCAFirstComponentHasMaxVariance(t *testing.T) {
+	// Strongly anisotropic data: the first component must capture the
+	// dominant direction.
+	rng := rand.New(rand.NewSource(8))
+	pts := make([]geom.Point, 500)
+	for i := range pts {
+		v := rng.NormFloat64() * 100
+		pts[i] = geom.Point{v + rng.NormFloat64(), v - rng.NormFloat64(), rng.NormFloat64()}
+	}
+	tr, _, err := pcaTransform(pts, pts[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := make([]float64, 3)
+	means := make([]float64, 3)
+	for _, p := range tr {
+		for d := range p {
+			means[d] += p[d]
+		}
+	}
+	for d := range means {
+		means[d] /= float64(len(tr))
+	}
+	for _, p := range tr {
+		for d := range p {
+			vars[d] += (p[d] - means[d]) * (p[d] - means[d])
+		}
+	}
+	if vars[0] < vars[1] || vars[0] < vars[2] {
+		t.Fatalf("component variances not descending: %v", vars)
+	}
+}
+
+func TestGridOrderGroupsCells(t *testing.T) {
+	pts := []geom.Point{{0.9, 0.9}, {0.1, 0.1}, {0.9, 0.1}, {0.1, 0.9}, {0.15, 0.12}}
+	bounds := geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1})
+	order, err := gridOrder(newPool(16), pts, bounds, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lexicographic cell order: (0,0) points first (indices 1 and 4),
+	// then (0,1) -> 3, then (1,0) -> 2, then (1,1) -> 0.
+	want := map[int]int{0: 4, 1: 4, 2: 3, 3: 2, 4: 0} // position -> allowed region check below
+	_ = want
+	pos := make(map[int]int)
+	for p, idx := range order {
+		pos[idx] = p
+	}
+	if !(pos[1] < 2 && pos[4] < 2) {
+		t.Fatalf("cell (0,0) points not first: %v", order)
+	}
+	if pos[3] != 2 || pos[2] != 3 || pos[0] != 4 {
+		t.Fatalf("unexpected grid order: %v", order)
+	}
+}
+
+func TestPagedFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := uniformPoints(rng, 1000, 3, 10)
+	ids := FromPoints(pts).IDs
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	pool := newPool(512)
+	pf, err := writePaged(pool, pts, ids, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.pages) < 2 {
+		t.Fatalf("expected multiple pages for 1000 points, got %d", len(pf.pages))
+	}
+	seen := 0
+	for pg := range pf.pages {
+		objs, err := pf.readBlock(pool, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range objs {
+			if !o.pt.Equal(pts[o.id]) {
+				t.Fatalf("object %d round-trip mismatch", o.id)
+			}
+			if !pf.blockMBR[pg].Contains(o.pt) {
+				t.Fatalf("block MBR does not contain its point")
+			}
+			seen++
+		}
+	}
+	if seen != 1000 {
+		t.Fatalf("round-tripped %d points, want 1000", seen)
+	}
+}

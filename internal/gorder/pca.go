@@ -1,0 +1,154 @@
+// Package gorder implements the GORDER kNN-join baseline (Xia, Lu, Ooi,
+// Hu; VLDB 2004): a PCA transform of the union of the two datasets, a
+// grid-order sort of the transformed points into paged files, and a
+// scheduled block nested loops join with two-tier (block-level and
+// object-level) distance pruning.
+package gorder
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"allnn/internal/geom"
+)
+
+// covariance returns the sample covariance matrix of pts (dim x dim).
+func covariance(pts []geom.Point) [][]float64 {
+	dim := len(pts[0])
+	mean := make([]float64, dim)
+	for _, p := range pts {
+		for d := 0; d < dim; d++ {
+			mean[d] += p[d]
+		}
+	}
+	n := float64(len(pts))
+	for d := range mean {
+		mean[d] /= n
+	}
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	for _, p := range pts {
+		for i := 0; i < dim; i++ {
+			di := p[i] - mean[i]
+			for j := i; j < dim; j++ {
+				cov[i][j] += di * (p[j] - mean[j])
+			}
+		}
+	}
+	denom := n - 1
+	if denom < 1 {
+		denom = 1
+	}
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			cov[i][j] /= denom
+			cov[j][i] = cov[i][j]
+		}
+	}
+	return cov
+}
+
+// jacobiEigen diagonalises the symmetric matrix a (destructively) with
+// cyclic Jacobi rotations, returning the eigenvalues and the matrix of
+// eigenvectors (columns). Standard numeric recipe; converges quickly for
+// the small (D <= 32) matrices PCA produces here.
+func jacobiEigen(a [][]float64) (values []float64, vectors [][]float64, err error) {
+	n := len(a)
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-22 {
+			values = make([]float64, n)
+			for i := 0; i < n; i++ {
+				values[i] = a[i][i]
+			}
+			return values, v, nil
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if a[p][q] == 0 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := a[k][p], a[k][q]
+					a[k][p] = c*akp - s*akq
+					a[k][q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a[p][k], a[q][k]
+					a[p][k] = c*apk - s*aqk
+					a[q][k] = s*apk + c*aqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	return nil, nil, fmt.Errorf("gorder: Jacobi eigendecomposition did not converge")
+}
+
+// pcaTransform computes the principal components of the union of r and s
+// and returns both datasets rotated into the component space, with
+// components ordered by descending variance. The rotation is orthonormal,
+// so all pairwise distances are preserved exactly (up to float rounding).
+func pcaTransform(r, s []geom.Point) (tr, ts []geom.Point, err error) {
+	union := make([]geom.Point, 0, len(r)+len(s))
+	union = append(union, r...)
+	union = append(union, s...)
+	if len(union) == 0 {
+		return nil, nil, fmt.Errorf("gorder: PCA of empty input")
+	}
+	dim := len(union[0])
+	cov := covariance(union)
+	values, vectors, err := jacobiEigen(cov)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Order components by descending eigenvalue.
+	order := make([]int, dim)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return values[order[a]] > values[order[b]] })
+
+	project := func(pts []geom.Point) []geom.Point {
+		out := make([]geom.Point, len(pts))
+		for i, p := range pts {
+			q := make(geom.Point, dim)
+			for c := 0; c < dim; c++ {
+				col := order[c]
+				var dot float64
+				for d := 0; d < dim; d++ {
+					dot += p[d] * vectors[d][col]
+				}
+				q[c] = dot
+			}
+			out[i] = q
+		}
+		return out
+	}
+	return project(r), project(s), nil
+}

@@ -1,0 +1,62 @@
+// Package index defines the common shape of the disk-resident spatial
+// indexes (MBRQT and R*-tree) so that the ANN engine in internal/core can
+// traverse either one. This is what makes the paper's MBA/RBA pair "the
+// same algorithm over two indexes": the traversal only sees Entries.
+package index
+
+import (
+	"allnn/internal/geom"
+	"allnn/internal/storage"
+)
+
+// ObjectID identifies a data object (point) in a dataset. IDs are assigned
+// by the caller at insertion time and reported back in query results.
+type ObjectID uint64
+
+// EntryKind distinguishes the three things an index traversal encounters.
+type EntryKind uint8
+
+const (
+	// NodeEntry refers to an internal or leaf node of the tree; it can be
+	// expanded into child entries.
+	NodeEntry EntryKind = iota
+	// ObjectEntry is a data point.
+	ObjectEntry
+)
+
+// Entry is a uniform view of one slot of an index node: either a child
+// node reference with its MBR and subtree count, or a data object.
+type Entry struct {
+	Kind EntryKind
+	// MBR bounds everything below this entry. For an ObjectEntry it is
+	// the degenerate rectangle of the point.
+	MBR geom.Rect
+	// Child is the page of the referenced node (NodeEntry only).
+	Child storage.PageID
+	// Count is the number of data points in the subtree (1 for objects).
+	Count uint32
+	// Object and Point are set for ObjectEntry.
+	Object ObjectID
+	Point  geom.Point
+}
+
+// IsObject reports whether the entry is a data point.
+func (e *Entry) IsObject() bool { return e.Kind == ObjectEntry }
+
+// Tree is the traversal interface shared by MBRQT and the R*-tree.
+// Implementations are not safe for concurrent use.
+type Tree interface {
+	// Dim returns the dimensionality of the indexed points.
+	Dim() int
+	// Len returns the number of indexed points.
+	Len() int
+	// Root returns the entry referring to the root node. For an empty
+	// tree the returned entry has Count == 0.
+	Root() (Entry, error)
+	// Expand reads the node referenced by a NodeEntry and returns its
+	// entries: child NodeEntries for an internal node, ObjectEntries for
+	// a leaf. It must not be called with an ObjectEntry.
+	Expand(e Entry) ([]Entry, error)
+	// Bounds returns the MBR of all indexed points (empty rect if none).
+	Bounds() geom.Rect
+}

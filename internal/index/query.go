@@ -1,0 +1,96 @@
+package index
+
+import (
+	"allnn/internal/geom"
+	"allnn/internal/pq"
+)
+
+// QueryResult is a point returned by the generic query helpers.
+type QueryResult struct {
+	Object ObjectID
+	Point  geom.Point
+	DistSq float64
+}
+
+// RangeSearch returns every point of t inside rect (boundaries inclusive)
+// by pruning subtrees whose MBR does not intersect rect.
+func RangeSearch(t Tree, rect geom.Rect) ([]QueryResult, error) {
+	root, err := t.Root()
+	if err != nil {
+		return nil, err
+	}
+	if root.Count == 0 {
+		return nil, nil
+	}
+	var out []QueryResult
+	var walk func(e Entry) error
+	walk = func(e Entry) error {
+		entries, err := t.Expand(e)
+		if err != nil {
+			return err
+		}
+		for _, c := range entries {
+			if c.IsObject() {
+				if rect.Contains(c.Point) {
+					out = append(out, QueryResult{Object: c.Object, Point: c.Point})
+				}
+			} else if rect.Intersects(c.MBR) {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NearestNeighbors returns the k nearest points of t to q in ascending
+// distance order, using the classic best-first traversal.
+func NearestNeighbors(t Tree, q geom.Point, k int) ([]QueryResult, error) {
+	if k < 1 {
+		return nil, nil
+	}
+	root, err := t.Root()
+	if err != nil {
+		return nil, err
+	}
+	if root.Count == 0 {
+		return nil, nil
+	}
+	frontier := pq.NewHeap[Entry](64)
+	frontier.Push(geom.MinDistPointRectSq(q, root.MBR), root)
+	best := pq.NewKBest[QueryResult](k)
+	for frontier.Len() > 0 {
+		item, _ := frontier.Pop()
+		if item.Key >= best.Worst() {
+			break
+		}
+		entries, err := t.Expand(item.Value)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsObject() {
+				d := geom.DistSq(q, e.Point)
+				if d < best.Worst() {
+					best.Add(d, QueryResult{Object: e.Object, Point: e.Point, DistSq: d})
+				}
+			} else {
+				d := geom.MinDistPointRectSq(q, e.MBR)
+				if d < best.Worst() {
+					frontier.Push(d, e)
+				}
+			}
+		}
+	}
+	items := best.Items()
+	out := make([]QueryResult, len(items))
+	for i, it := range items {
+		out[i] = it.Value
+	}
+	return out, nil
+}

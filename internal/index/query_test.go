@@ -1,0 +1,117 @@
+package index_test
+
+// The generic query helpers are exercised against both tree
+// implementations; the package-external test avoids an import cycle with
+// the index implementations.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"allnn/internal/geom"
+	"allnn/internal/index"
+	"allnn/internal/mbrqt"
+	"allnn/internal/rstar"
+	"allnn/internal/storage"
+)
+
+func buildTrees(t *testing.T, pts []geom.Point) map[string]index.Tree {
+	t.Helper()
+	qt, err := mbrqt.BulkLoad(storage.NewBufferPool(storage.NewMemStore(), 1024), pts, nil, mbrqt.Config{BucketCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := rstar.BulkLoad(storage.NewBufferPool(storage.NewMemStore(), 1024), pts, nil, rstar.Config{MaxEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]index.Tree{"mbrqt": qt, "rstar": rt}
+}
+
+func TestGenericRangeSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 400)
+	for i := range pts {
+		pts[i] = geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	rect := geom.NewRect(geom.Point{20, 20}, geom.Point{60, 70})
+	var want []int
+	for i, p := range pts {
+		if rect.Contains(p) {
+			want = append(want, i)
+		}
+	}
+	for name, tree := range buildTrees(t, pts) {
+		res, err := index.RangeSearch(tree, rect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]int, len(res))
+		for i, r := range res {
+			got[i] = int(r.Object)
+		}
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("%s: found %d, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: mismatch at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestGenericNearestNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geom.Point, 300)
+	for i := range pts {
+		pts[i] = geom.Point{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+	}
+	q := geom.Point{5, 5, 5}
+	dists := make([]float64, len(pts))
+	for i, p := range pts {
+		dists[i] = geom.DistSq(q, p)
+	}
+	sort.Float64s(dists)
+	for name, tree := range buildTrees(t, pts) {
+		for _, k := range []int{1, 7, 300, 1000} {
+			res, err := index.NearestNeighbors(tree, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLen := k
+			if wantLen > len(pts) {
+				wantLen = len(pts)
+			}
+			if len(res) != wantLen {
+				t.Fatalf("%s k=%d: got %d results", name, k, len(res))
+			}
+			for i, r := range res {
+				if math.Abs(r.DistSq-dists[i]) > 1e-9 {
+					t.Fatalf("%s k=%d: result %d dist %g, want %g", name, k, i, r.DistSq, dists[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGenericQueriesZeroK(t *testing.T) {
+	pts := []geom.Point{{1, 1}}
+	for name, tree := range buildTrees(t, pts) {
+		res, err := index.NearestNeighbors(tree, geom.Point{0, 0}, 0)
+		if err != nil || res != nil {
+			t.Fatalf("%s: k=0 should return nothing: %v %v", name, res, err)
+		}
+	}
+}
+
+func TestEntryIsObject(t *testing.T) {
+	obj := index.Entry{Kind: index.ObjectEntry}
+	node := index.Entry{Kind: index.NodeEntry}
+	if !obj.IsObject() || node.IsObject() {
+		t.Fatal("Entry.IsObject misclassifies")
+	}
+}

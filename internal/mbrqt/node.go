@@ -1,0 +1,302 @@
+// Package mbrqt implements the paper's MBRQT index: a disk-resident
+// bucket PR quadtree whose internal entries are enhanced with explicit
+// minimum bounding rectangles (Section 3.2).
+//
+// A plain PR quadtree decomposes space regularly, so sibling cells border
+// each other and pairwise MINMINDIST is zero, which cripples
+// distance-based pruning. Storing the exact MBR of the data below each
+// child (at some storage cost) restores tight bounds while keeping the
+// non-overlapping regular decomposition that makes the NXNDIST pruning
+// metric effective.
+//
+// On disk, nodes are variable-size records packed many-per-page into the
+// slotted pages of records.go; a node that outgrows a single page chains
+// several records. The tree lives inside a shared page store, so several
+// indexes and data files can compete for the same buffer pool exactly as
+// they do inside SHORE in the paper's experiments.
+package mbrqt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"allnn/internal/geom"
+	"allnn/internal/index"
+)
+
+// MaxDim is the largest supported dimensionality: quadrant codes are bit
+// masks with one bit per dimension stored in a uint32.
+const MaxDim = 30
+
+const (
+	nodeTypeLeaf     = 1
+	nodeTypeInternal = 2
+
+	// Node record layout: 1 byte type, 1 byte pad, 2 bytes entry count,
+	// 4 bytes continuation ref, then the entries.
+	recNodeHeader = 8
+)
+
+// childSlot is one entry of an internal node: a quadrant of the node's
+// cell that holds data, with the exact MBR and point count of the data
+// below it.
+type childSlot struct {
+	quad  uint32 // bit d set: child is the upper half of dimension d
+	ref   nodeRef
+	count uint32
+	mbr   geom.Rect
+}
+
+// object is one point in a leaf bucket.
+type object struct {
+	id index.ObjectID
+	pt geom.Point
+}
+
+// node is the in-memory form of a (de)serialised node chain.
+type node struct {
+	leaf     bool
+	children []childSlot // internal nodes
+	objects  []object    // leaves
+}
+
+// count returns the number of points under the node.
+func (n *node) count() uint32 {
+	if n.leaf {
+		return uint32(len(n.objects))
+	}
+	var c uint32
+	for i := range n.children {
+		c += n.children[i].count
+	}
+	return c
+}
+
+// mbr returns the exact MBR of the data under the node.
+func (n *node) mbr(dim int) geom.Rect {
+	r := geom.EmptyRect(dim)
+	if n.leaf {
+		for i := range n.objects {
+			r.ExpandPoint(n.objects[i].pt)
+		}
+	} else {
+		for i := range n.children {
+			r.ExpandRect(n.children[i].mbr)
+		}
+	}
+	return r
+}
+
+// Entry sizes on disk.
+func internalEntrySize(dim int) int { return 4 + 4 + 4 + 16*dim }
+func leafEntrySize(dim int) int     { return 8 + 8*dim }
+
+// entriesPerRecord returns how many entries of the given size fit one
+// maximal record.
+func entriesPerRecord(entrySize int) int {
+	return (maxRecordSize - recNodeHeader) / entrySize
+}
+
+// readNode loads the node chain starting at ref into memory.
+func (t *Tree) readNode(ref nodeRef) (*node, error) {
+	n := &node{}
+	first := true
+	for ref != invalidRef {
+		rec, err := t.rs.read(ref)
+		if err != nil {
+			return nil, err
+		}
+		typ := rec[0]
+		if first {
+			switch typ {
+			case nodeTypeLeaf:
+				n.leaf = true
+			case nodeTypeInternal:
+				n.leaf = false
+			default:
+				return nil, fmt.Errorf("mbrqt: record %d has invalid node type %d", ref, typ)
+			}
+			first = false
+		}
+		num := int(binary.LittleEndian.Uint16(rec[2:]))
+		next := nodeRef(binary.LittleEndian.Uint32(rec[4:]))
+		off := recNodeHeader
+		if n.leaf {
+			// One flat coordinate array per record keeps deserialisation at
+			// two allocations instead of one per point.
+			coords := make([]float64, num*t.dim)
+			n.objects = append(n.objects, make([]object, num)...)
+			base := len(n.objects) - num
+			for i := 0; i < num; i++ {
+				o := &n.objects[base+i]
+				o.id = index.ObjectID(binary.LittleEndian.Uint64(rec[off:]))
+				off += 8
+				o.pt = coords[i*t.dim : (i+1)*t.dim]
+				for d := 0; d < t.dim; d++ {
+					o.pt[d] = math.Float64frombits(binary.LittleEndian.Uint64(rec[off:]))
+					off += 8
+				}
+			}
+		} else {
+			coords := make([]float64, num*2*t.dim)
+			n.children = append(n.children, make([]childSlot, num)...)
+			base := len(n.children) - num
+			for i := 0; i < num; i++ {
+				c := &n.children[base+i]
+				c.ref = nodeRef(binary.LittleEndian.Uint32(rec[off:]))
+				c.quad = binary.LittleEndian.Uint32(rec[off+4:])
+				c.count = binary.LittleEndian.Uint32(rec[off+8:])
+				off += 12
+				lo := coords[i*2*t.dim : i*2*t.dim+t.dim]
+				hi := coords[i*2*t.dim+t.dim : (i+1)*2*t.dim]
+				for d := 0; d < t.dim; d++ {
+					lo[d] = math.Float64frombits(binary.LittleEndian.Uint64(rec[off:]))
+					off += 8
+				}
+				for d := 0; d < t.dim; d++ {
+					hi[d] = math.Float64frombits(binary.LittleEndian.Uint64(rec[off:]))
+					off += 8
+				}
+				c.mbr = geom.Rect{Lo: lo, Hi: hi}
+			}
+		}
+		ref = next
+	}
+	return n, nil
+}
+
+// serializeNode renders n as a list of record byte slices, each within
+// the single-page record limit, with the continuation refs left zeroed
+// (the writers fill them in).
+func (t *Tree) serializeNode(n *node) [][]byte {
+	var entrySize, total int
+	var typ byte
+	if n.leaf {
+		entrySize = leafEntrySize(t.dim)
+		total = len(n.objects)
+		typ = nodeTypeLeaf
+	} else {
+		entrySize = internalEntrySize(t.dim)
+		total = len(n.children)
+		typ = nodeTypeInternal
+	}
+	perRec := entriesPerRecord(entrySize)
+	var segments [][]byte
+	written := 0
+	for {
+		take := total - written
+		if take > perRec {
+			take = perRec
+		}
+		rec := make([]byte, recNodeHeader+take*entrySize)
+		rec[0] = typ
+		binary.LittleEndian.PutUint16(rec[2:], uint16(take))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(invalidRef))
+		off := recNodeHeader
+		if n.leaf {
+			for i := written; i < written+take; i++ {
+				o := &n.objects[i]
+				binary.LittleEndian.PutUint64(rec[off:], uint64(o.id))
+				off += 8
+				for d := 0; d < t.dim; d++ {
+					binary.LittleEndian.PutUint64(rec[off:], math.Float64bits(o.pt[d]))
+					off += 8
+				}
+			}
+		} else {
+			for i := written; i < written+take; i++ {
+				c := &n.children[i]
+				binary.LittleEndian.PutUint32(rec[off:], uint32(c.ref))
+				binary.LittleEndian.PutUint32(rec[off+4:], c.quad)
+				binary.LittleEndian.PutUint32(rec[off+8:], c.count)
+				off += 12
+				for d := 0; d < t.dim; d++ {
+					binary.LittleEndian.PutUint64(rec[off:], math.Float64bits(c.mbr.Lo[d]))
+					off += 8
+				}
+				for d := 0; d < t.dim; d++ {
+					binary.LittleEndian.PutUint64(rec[off:], math.Float64bits(c.mbr.Hi[d]))
+					off += 8
+				}
+			}
+		}
+		segments = append(segments, rec)
+		written += take
+		if written >= total {
+			return segments
+		}
+	}
+}
+
+// writeNewNode allocates a fresh chain for n and returns its head ref.
+// Segments are allocated tail-first so each can embed its successor.
+func (t *Tree) writeNewNode(n *node) (nodeRef, error) {
+	segments := t.serializeNode(n)
+	next := invalidRef
+	for i := len(segments) - 1; i >= 0; i-- {
+		binary.LittleEndian.PutUint32(segments[i][4:], uint32(next))
+		ref, err := t.rs.alloc(segments[i])
+		if err != nil {
+			return invalidRef, err
+		}
+		next = ref
+	}
+	return next, nil
+}
+
+// updateNode rewrites the node at ref, returning its (possibly new) head
+// ref. Single-record nodes update in place when they fit; chained nodes
+// (rare: very wide internal nodes, duplicate-overflow leaves) are
+// rewritten wholesale.
+func (t *Tree) updateNode(ref nodeRef, n *node) (nodeRef, error) {
+	segments := t.serializeNode(n)
+	oldChain, err := t.chainRefs(ref)
+	if err != nil {
+		return invalidRef, err
+	}
+	if len(segments) == 1 && len(oldChain) == 1 {
+		return t.rs.update(ref, segments[0])
+	}
+	if err := t.freeNode(ref); err != nil {
+		return invalidRef, err
+	}
+	next := invalidRef
+	for i := len(segments) - 1; i >= 0; i-- {
+		binary.LittleEndian.PutUint32(segments[i][4:], uint32(next))
+		r, err := t.rs.alloc(segments[i])
+		if err != nil {
+			return invalidRef, err
+		}
+		next = r
+	}
+	return next, nil
+}
+
+// chainRefs returns the record refs of the node chain starting at ref.
+func (t *Tree) chainRefs(ref nodeRef) ([]nodeRef, error) {
+	var refs []nodeRef
+	for ref != invalidRef {
+		refs = append(refs, ref)
+		rec, err := t.rs.read(ref)
+		if err != nil {
+			return nil, err
+		}
+		ref = nodeRef(binary.LittleEndian.Uint32(rec[4:]))
+	}
+	return refs, nil
+}
+
+// freeNode releases every record of the node chain at ref.
+func (t *Tree) freeNode(ref nodeRef) error {
+	refs, err := t.chainRefs(ref)
+	if err != nil {
+		return err
+	}
+	for _, r := range refs {
+		if err := t.rs.free(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+package mbrqt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"allnn/internal/storage"
+)
+
+// MBRQT nodes are variable-size records packed many-per-page into slotted
+// pages, the way SHORE stores them for the paper's experiments. A
+// quadtree split in D dimensions produces up to 2^D children holding a
+// handful of points each; giving each its own 8 KB page (as a naive
+// implementation would) shatters the index into nearly empty pages and
+// destroys the I/O behaviour that makes MBRQT attractive. Packing sibling
+// records into shared pages keeps both the page count and the traversal
+// locality close to the data's natural size.
+//
+// Page layout:
+//
+//	header:  numSlots uint16 | freeHigh uint16 | 4 bytes reserved
+//	slots:   numSlots x (offset uint16, length uint16), growing upward
+//	records: raw bytes, allocated downward from the end of the page
+//
+// A record is addressed by a nodeRef: page number (22 bits) and slot
+// index (10 bits). Records never span pages; nodes larger than a page
+// chain multiple records through a "next" ref inside the node payload.
+type nodeRef uint32
+
+const (
+	invalidRef nodeRef = ^nodeRef(0)
+
+	slotBits     = 10
+	maxSlots     = 1 << slotBits
+	slotMask     = maxSlots - 1
+	maxRecPages  = 1 << (32 - slotBits)
+	recHeaderLen = 8
+	slotEntryLen = 4
+
+	// maxRecordSize is the largest record a single page can hold: the
+	// page minus the header and one slot entry.
+	maxRecordSize = storage.PageSize - recHeaderLen - slotEntryLen
+)
+
+func makeRef(page storage.PageID, slot int) nodeRef {
+	return nodeRef(uint32(page)<<slotBits | uint32(slot))
+}
+
+func (r nodeRef) page() storage.PageID { return storage.PageID(uint32(r) >> slotBits) }
+func (r nodeRef) slot() int            { return int(uint32(r) & slotMask) }
+
+// recordStore manages slotted pages inside a shared buffer pool. It is
+// owned by a single tree and is not safe for concurrent use.
+type recordStore struct {
+	pool *storage.BufferPool
+	// fillPages caches pages that recently had free space, newest last;
+	// allocation tries them before claiming a new page.
+	fillPages []storage.PageID
+}
+
+func newRecordStore(pool *storage.BufferPool) *recordStore {
+	return &recordStore{pool: pool}
+}
+
+// --- page accessors ----------------------------------------------------------
+
+func pageNumSlots(data []byte) int { return int(binary.LittleEndian.Uint16(data)) }
+func pageFreeHigh(data []byte) int { return int(binary.LittleEndian.Uint16(data[2:])) }
+func setPageNumSlots(data []byte, n int) {
+	binary.LittleEndian.PutUint16(data, uint16(n))
+}
+func setPageFreeHigh(data []byte, v int) {
+	binary.LittleEndian.PutUint16(data[2:], uint16(v))
+}
+
+func slotOffset(data []byte, slot int) int {
+	return int(binary.LittleEndian.Uint16(data[recHeaderLen+slot*slotEntryLen:]))
+}
+func slotLength(data []byte, slot int) int {
+	return int(binary.LittleEndian.Uint16(data[recHeaderLen+slot*slotEntryLen+2:]))
+}
+func setSlot(data []byte, slot, offset, length int) {
+	binary.LittleEndian.PutUint16(data[recHeaderLen+slot*slotEntryLen:], uint16(offset))
+	binary.LittleEndian.PutUint16(data[recHeaderLen+slot*slotEntryLen+2:], uint16(length))
+}
+
+// initPage prepares a zeroed page as a slotted record page.
+func initPage(data []byte) {
+	setPageNumSlots(data, 0)
+	setPageFreeHigh(data, storage.PageSize)
+}
+
+// pageFreeSpace returns the bytes available for one more record,
+// accounting for a possibly needed new slot entry and assuming
+// compaction (live bytes are what they are; dead space is reclaimable).
+func pageLiveBytes(data []byte) int {
+	n := pageNumSlots(data)
+	live := 0
+	for s := 0; s < n; s++ {
+		live += slotLength(data, s)
+	}
+	return live
+}
+
+func pageFreeForNewRecord(data []byte) int {
+	n := pageNumSlots(data)
+	// A freed slot can be reused without growing the directory.
+	dirLen := recHeaderLen + n*slotEntryLen
+	reuse := false
+	for s := 0; s < n; s++ {
+		if slotLength(data, s) == 0 {
+			reuse = true
+			break
+		}
+	}
+	if !reuse {
+		if n >= maxSlots {
+			return 0
+		}
+		dirLen += slotEntryLen
+	}
+	return storage.PageSize - dirLen - pageLiveBytes(data)
+}
+
+// compactPage rewrites all live records contiguously at the high end of
+// the page, leaving maximal contiguous free space in the middle. Slot
+// indices (and therefore refs) are preserved.
+func compactPage(data []byte) {
+	n := pageNumSlots(data)
+	type rec struct {
+		slot, off, length int
+	}
+	var recs []rec
+	for s := 0; s < n; s++ {
+		if l := slotLength(data, s); l > 0 {
+			recs = append(recs, rec{s, slotOffset(data, s), l})
+		}
+	}
+	// Copy live records out, then lay them back from the top.
+	scratch := make([]byte, 0, storage.PageSize)
+	for i := range recs {
+		scratch = append(scratch, data[recs[i].off:recs[i].off+recs[i].length]...)
+	}
+	high := storage.PageSize
+	consumed := 0
+	for i := range recs {
+		high -= recs[i].length
+		copy(data[high:], scratch[consumed:consumed+recs[i].length])
+		consumed += recs[i].length
+		setSlot(data, recs[i].slot, high, recs[i].length)
+	}
+	setPageFreeHigh(data, high)
+}
+
+// alloc stores record bytes and returns their ref.
+func (rs *recordStore) alloc(rec []byte) (nodeRef, error) {
+	if len(rec) > maxRecordSize {
+		return invalidRef, fmt.Errorf("mbrqt: record of %d bytes exceeds page capacity %d", len(rec), maxRecordSize)
+	}
+	// Try the cached fill pages, newest first.
+	for i := len(rs.fillPages) - 1; i >= 0; i-- {
+		pid := rs.fillPages[i]
+		ref, ok, err := rs.tryAllocIn(pid, rec)
+		if err != nil {
+			return invalidRef, err
+		}
+		if ok {
+			return ref, nil
+		}
+		// Page full: drop it from the cache.
+		rs.fillPages = append(rs.fillPages[:i], rs.fillPages[i+1:]...)
+	}
+	f, err := rs.pool.NewPage()
+	if err != nil {
+		return invalidRef, err
+	}
+	pid := f.ID()
+	if uint32(pid) >= maxRecPages {
+		f.Release()
+		return invalidRef, fmt.Errorf("mbrqt: store exceeds the addressable %d pages", maxRecPages)
+	}
+	initPage(f.Data())
+	f.MarkDirty()
+	f.Release()
+	rs.fillPages = append(rs.fillPages, pid)
+	if len(rs.fillPages) > 8 {
+		rs.fillPages = rs.fillPages[len(rs.fillPages)-8:]
+	}
+	ref, ok, err := rs.tryAllocIn(pid, rec)
+	if err != nil {
+		return invalidRef, err
+	}
+	if !ok {
+		return invalidRef, fmt.Errorf("mbrqt: fresh page cannot hold %d-byte record", len(rec))
+	}
+	return ref, nil
+}
+
+// tryAllocIn attempts to place rec into page pid.
+func (rs *recordStore) tryAllocIn(pid storage.PageID, rec []byte) (nodeRef, bool, error) {
+	f, err := rs.pool.Get(pid)
+	if err != nil {
+		return invalidRef, false, err
+	}
+	defer f.Release()
+	data := f.Data()
+	if pageFreeForNewRecord(data) < len(rec) {
+		return invalidRef, false, nil
+	}
+	n := pageNumSlots(data)
+	slot := -1
+	for s := 0; s < n; s++ {
+		if slotLength(data, s) == 0 {
+			slot = s
+			break
+		}
+	}
+	// Directory length after a possible growth by one entry.
+	dirLen := recHeaderLen + n*slotEntryLen
+	if slot == -1 {
+		dirLen += slotEntryLen
+	}
+	// Compact first if the contiguous middle cannot take both the record
+	// and the (possibly grown) directory. Compaction must happen before
+	// the directory grows: the new slot entry's bytes may currently hold
+	// record data.
+	if pageFreeHigh(data)-dirLen < len(rec) {
+		compactPage(data)
+	}
+	if slot == -1 {
+		slot = n
+		setPageNumSlots(data, n+1)
+		setSlot(data, slot, 0, 0)
+	}
+	high := pageFreeHigh(data) - len(rec)
+	copy(data[high:], rec)
+	setPageFreeHigh(data, high)
+	setSlot(data, slot, high, len(rec))
+	f.MarkDirty()
+	return makeRef(pid, slot), true, nil
+}
+
+// read returns a copy of the record bytes.
+func (rs *recordStore) read(ref nodeRef) ([]byte, error) {
+	f, err := rs.pool.Get(ref.page())
+	if err != nil {
+		return nil, fmt.Errorf("mbrqt: read record %v: %w", ref, err)
+	}
+	defer f.Release()
+	data := f.Data()
+	slot := ref.slot()
+	if slot >= pageNumSlots(data) || slotLength(data, slot) == 0 {
+		return nil, fmt.Errorf("mbrqt: dangling record ref page=%d slot=%d", ref.page(), slot)
+	}
+	off, l := slotOffset(data, slot), slotLength(data, slot)
+	out := make([]byte, l)
+	copy(out, data[off:off+l])
+	return out, nil
+}
+
+// free releases the record's slot. The page is re-registered as a fill
+// candidate.
+func (rs *recordStore) free(ref nodeRef) error {
+	f, err := rs.pool.Get(ref.page())
+	if err != nil {
+		return err
+	}
+	setSlot(f.Data(), ref.slot(), 0, 0)
+	f.MarkDirty()
+	f.Release()
+	rs.noteFillPage(ref.page())
+	return nil
+}
+
+// update rewrites the record, in place when it fits its page (compacting
+// if needed), otherwise relocating it; the returned ref is where the
+// record now lives.
+func (rs *recordStore) update(ref nodeRef, rec []byte) (nodeRef, error) {
+	if len(rec) > maxRecordSize {
+		return invalidRef, fmt.Errorf("mbrqt: record of %d bytes exceeds page capacity %d", len(rec), maxRecordSize)
+	}
+	f, err := rs.pool.Get(ref.page())
+	if err != nil {
+		return invalidRef, err
+	}
+	data := f.Data()
+	slot := ref.slot()
+	oldLen := slotLength(data, slot)
+	switch {
+	case len(rec) <= oldLen:
+		// Shrink or same size: overwrite in place.
+		off := slotOffset(data, slot)
+		copy(data[off:], rec)
+		setSlot(data, slot, off, len(rec))
+		f.MarkDirty()
+		f.Release()
+		return ref, nil
+	case pageLiveBytes(data)-oldLen+len(rec) <=
+		storage.PageSize-recHeaderLen-pageNumSlots(data)*slotEntryLen:
+		// Fits after compaction: drop the old copy, compact, re-place.
+		setSlot(data, slot, 0, 0)
+		compactPage(data)
+		high := pageFreeHigh(data) - len(rec)
+		copy(data[high:], rec)
+		setPageFreeHigh(data, high)
+		setSlot(data, slot, high, len(rec))
+		f.MarkDirty()
+		f.Release()
+		return ref, nil
+	default:
+		// Relocate.
+		setSlot(data, slot, 0, 0)
+		f.MarkDirty()
+		f.Release()
+		rs.noteFillPage(ref.page())
+		return rs.alloc(rec)
+	}
+}
+
+func (rs *recordStore) noteFillPage(pid storage.PageID) {
+	for _, p := range rs.fillPages {
+		if p == pid {
+			return
+		}
+	}
+	rs.fillPages = append(rs.fillPages, pid)
+	if len(rs.fillPages) > 8 {
+		rs.fillPages = rs.fillPages[1:]
+	}
+}

@@ -1,0 +1,234 @@
+package pq
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapBasicOrder(t *testing.T) {
+	h := NewHeap[string](4)
+	h.Push(3, "c")
+	h.Push(1, "a")
+	h.Push(2, "b")
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	want := []string{"a", "b", "c"}
+	for _, w := range want {
+		item, ok := h.Pop()
+		if !ok || item.Value != w {
+			t.Fatalf("Pop = %v/%v, want %q", item, ok, w)
+		}
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty heap returned ok")
+	}
+}
+
+func TestHeapPeek(t *testing.T) {
+	h := &Heap[int]{}
+	if _, ok := h.Peek(); ok {
+		t.Fatal("Peek on empty heap returned ok")
+	}
+	h.Push(5, 50)
+	h.Push(2, 20)
+	item, ok := h.Peek()
+	if !ok || item.Key != 2 || item.Value != 20 {
+		t.Fatalf("Peek = %v/%v", item, ok)
+	}
+	if h.Len() != 2 {
+		t.Fatal("Peek consumed an item")
+	}
+}
+
+func TestHeapClear(t *testing.T) {
+	h := NewHeap[int](2)
+	h.Push(1, 1)
+	h.Clear()
+	if h.Len() != 0 {
+		t.Fatal("Clear did not empty the heap")
+	}
+	h.Push(7, 7)
+	if item, _ := h.Pop(); item.Value != 7 {
+		t.Fatal("heap unusable after Clear")
+	}
+}
+
+// TestHeapSortsRandomInput: popping everything must yield ascending keys
+// (heap sort property).
+func TestHeapSortsRandomInput(t *testing.T) {
+	f := func(keys []float64) bool {
+		h := &Heap[int]{}
+		for i, k := range keys {
+			if math.IsNaN(k) {
+				k = 0
+			}
+			h.Push(k, i)
+		}
+		prev := math.Inf(-1)
+		for h.Len() > 0 {
+			item, _ := h.Pop()
+			if item.Key < prev {
+				return false
+			}
+			prev = item.Key
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapDuplicateKeys(t *testing.T) {
+	h := &Heap[int]{}
+	for i := 0; i < 10; i++ {
+		h.Push(1, i)
+	}
+	seen := map[int]bool{}
+	for h.Len() > 0 {
+		item, _ := h.Pop()
+		if seen[item.Value] {
+			t.Fatalf("value %d popped twice", item.Value)
+		}
+		seen[item.Value] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("popped %d values, want 10", len(seen))
+	}
+}
+
+func TestKBestPanicsOnZeroK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k = 0")
+		}
+	}()
+	NewKBest[int](0)
+}
+
+func TestKBestCollectsSmallest(t *testing.T) {
+	b := NewKBest[int](3)
+	keys := []float64{9, 1, 8, 2, 7, 3}
+	for i, k := range keys {
+		b.Add(k, i)
+	}
+	items := b.Items()
+	if len(items) != 3 {
+		t.Fatalf("got %d items, want 3", len(items))
+	}
+	wantKeys := []float64{1, 2, 3}
+	for i, item := range items {
+		if item.Key != wantKeys[i] {
+			t.Fatalf("item %d key = %g, want %g", i, item.Key, wantKeys[i])
+		}
+	}
+}
+
+func TestKBestWorstBound(t *testing.T) {
+	b := NewKBest[int](2)
+	if !math.IsInf(b.Worst(), 1) {
+		t.Fatal("Worst should be +Inf while not full")
+	}
+	b.Add(5, 0)
+	if !math.IsInf(b.Worst(), 1) {
+		t.Fatal("Worst should be +Inf with 1 of 2 items")
+	}
+	b.Add(3, 1)
+	if b.Worst() != 5 {
+		t.Fatalf("Worst = %g, want 5", b.Worst())
+	}
+	if !b.Add(4, 2) {
+		t.Fatal("4 should displace 5")
+	}
+	if b.Worst() != 4 {
+		t.Fatalf("Worst = %g, want 4", b.Worst())
+	}
+	if b.Add(9, 3) {
+		t.Fatal("9 should be rejected")
+	}
+}
+
+func TestKBestRejectsEqualToWorst(t *testing.T) {
+	b := NewKBest[int](1)
+	b.Add(5, 0)
+	if b.Add(5, 1) {
+		t.Fatal("equal key must not displace the incumbent")
+	}
+}
+
+// TestKBestMatchesSort cross-checks against sorting the whole key stream.
+func TestKBestMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 200; iter++ {
+		k := 1 + rng.Intn(10)
+		n := rng.Intn(100)
+		keys := make([]float64, n)
+		b := NewKBest[int](k)
+		for i := range keys {
+			keys[i] = rng.Float64() * 100
+			b.Add(keys[i], i)
+		}
+		sort.Float64s(keys)
+		items := b.Items()
+		wantLen := k
+		if n < k {
+			wantLen = n
+		}
+		if len(items) != wantLen {
+			t.Fatalf("len = %d, want %d", len(items), wantLen)
+		}
+		for i, item := range items {
+			if item.Key != keys[i] {
+				t.Fatalf("iter %d: item %d key = %g, want %g", iter, i, item.Key, keys[i])
+			}
+		}
+	}
+}
+
+func TestKBestReset(t *testing.T) {
+	b := NewKBest[int](2)
+	b.Add(1, 1)
+	b.Add(2, 2)
+	b.Reset()
+	if b.Len() != 0 || b.Full() {
+		t.Fatal("Reset did not empty the collector")
+	}
+	if !math.IsInf(b.Worst(), 1) {
+		t.Fatal("Worst after Reset should be +Inf")
+	}
+}
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]float64, 1024)
+	for i := range keys {
+		keys[i] = rng.Float64()
+	}
+	h := NewHeap[int](1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(keys[i%1024], i)
+		if h.Len() > 512 {
+			h.Pop()
+		}
+	}
+}
+
+func BenchmarkKBestAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]float64, 1024)
+	for i := range keys {
+		keys[i] = rng.Float64()
+	}
+	kb := NewKBest[int](10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kb.Add(keys[i%1024], i)
+	}
+}

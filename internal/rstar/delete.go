@@ -1,0 +1,140 @@
+package rstar
+
+import (
+	"allnn/internal/geom"
+	"allnn/internal/index"
+	"allnn/internal/storage"
+)
+
+// Delete removes the point with the given id and coordinates. It returns
+// false if no such entry exists. Deletion follows the classic condense
+// protocol: underflowing nodes are dissolved and their remaining entries
+// reinserted at their original level, and a root with a single child is
+// collapsed.
+func (t *Tree) Delete(id index.ObjectID, pt geom.Point) (bool, error) {
+	if t.root == storage.InvalidPage || len(pt) != t.dim {
+		return false, nil
+	}
+	t.reinserting = map[int]bool{}
+	res, err := t.deleteRec(t.root, t.height-1, id, pt)
+	if err != nil {
+		return false, err
+	}
+	if !res.found {
+		return false, nil
+	}
+	t.size--
+
+	// Drain the entries orphaned by condensed nodes.
+	for len(t.pending) > 0 {
+		p := t.pending[0]
+		t.pending = t.pending[1:]
+		if err := t.insertEntry(p.e, p.level); err != nil {
+			return false, err
+		}
+	}
+
+	// Collapse the root while it is an internal node with a single child.
+	for t.height > 1 {
+		n, err := t.readNode(t.root)
+		if err != nil {
+			return false, err
+		}
+		if n.leaf || len(n.entries) != 1 {
+			break
+		}
+		t.freePages = append(t.freePages, t.root)
+		t.root = n.entries[0].child
+		t.height--
+	}
+	if t.size == 0 {
+		t.freePages = append(t.freePages, t.root)
+		t.root = storage.InvalidPage
+		t.height = 0
+		t.bounds = geom.EmptyRect(t.dim)
+		return true, nil
+	}
+	// Recompute the exact data bounds from the root.
+	rootNode, err := t.readNode(t.root)
+	if err != nil {
+		return false, err
+	}
+	t.bounds = rootNode.mbr(t.dim)
+	return true, nil
+}
+
+type deleteResult struct {
+	found bool
+	mbr   geom.Rect
+	count uint32
+	// dissolved reports that the node underflowed and was freed; its
+	// surviving entries were queued for reinsertion by the callee.
+	dissolved bool
+}
+
+func (t *Tree) deleteRec(pid storage.PageID, level int, id index.ObjectID, pt geom.Point) (deleteResult, error) {
+	n, err := t.readNode(pid)
+	if err != nil {
+		return deleteResult{}, err
+	}
+	if n.leaf {
+		at := -1
+		for i := range n.entries {
+			if n.entries[i].obj == id && n.entries[i].pt.Equal(pt) {
+				at = i
+				break
+			}
+		}
+		if at == -1 {
+			return deleteResult{found: false}, nil
+		}
+		n.entries = append(n.entries[:at], n.entries[at+1:]...)
+		if pid != t.root && len(n.entries) < t.cfg.minEntries() {
+			// Condense: dissolve this leaf; reinsert the survivors.
+			for i := range n.entries {
+				t.pending = append(t.pending, pendingEntry{e: n.entries[i], level: 0})
+			}
+			t.freePages = append(t.freePages, pid)
+			return deleteResult{found: true, dissolved: true}, nil
+		}
+		if err := t.writeNode(pid, n); err != nil {
+			return deleteResult{}, err
+		}
+		return deleteResult{found: true, mbr: n.mbr(t.dim), count: n.countPoints()}, nil
+	}
+
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.mbr.Contains(pt) {
+			continue
+		}
+		res, err := t.deleteRec(e.child, level-1, id, pt)
+		if err != nil {
+			return deleteResult{}, err
+		}
+		if !res.found {
+			continue
+		}
+		if res.dissolved {
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			e.mbr = res.mbr
+			e.count = res.count
+		}
+		if pid != t.root && len(n.entries) < t.cfg.minEntries() {
+			// Dissolve this internal node too; its child-subtree entries
+			// are reinserted into nodes at this node's own level (each
+			// entry references a subtree one level below it).
+			for j := range n.entries {
+				t.pending = append(t.pending, pendingEntry{e: n.entries[j], level: level})
+			}
+			t.freePages = append(t.freePages, pid)
+			return deleteResult{found: true, dissolved: true}, nil
+		}
+		if err := t.writeNode(pid, n); err != nil {
+			return deleteResult{}, err
+		}
+		return deleteResult{found: true, mbr: n.mbr(t.dim), count: n.countPoints()}, nil
+	}
+	return deleteResult{found: false}, nil
+}

@@ -1,0 +1,17 @@
+package rstar
+
+import (
+	"allnn/internal/geom"
+	"allnn/internal/index"
+)
+
+// RangeSearch returns every indexed point inside rect (inclusive).
+func (t *Tree) RangeSearch(rect geom.Rect) ([]index.QueryResult, error) {
+	return index.RangeSearch(t, rect)
+}
+
+// NearestNeighbors returns the k nearest indexed points to q in ascending
+// distance order.
+func (t *Tree) NearestNeighbors(q geom.Point, k int) ([]index.QueryResult, error) {
+	return index.NearestNeighbors(t, q, k)
+}

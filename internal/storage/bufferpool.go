@@ -1,0 +1,275 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Stats accumulates buffer pool activity. Misses is the number that
+// matters for reproducing the paper's I/O costs: each miss is one page
+// fetched from the store.
+type Stats struct {
+	Hits      uint64 // Get served from a resident frame
+	Misses    uint64 // Get that had to read the page from the store
+	Reads     uint64 // pages read from the store (== Misses)
+	Writes    uint64 // dirty pages written back to the store
+	Evictions uint64 // frames recycled to make room
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.Evictions += other.Evictions
+}
+
+// IOs returns the total number of page transfers (reads + writes).
+func (s Stats) IOs() uint64 { return s.Reads + s.Writes }
+
+// ErrPoolFull is returned by Get/NewPage when every frame is pinned.
+var ErrPoolFull = errors.New("storage: all buffer frames pinned")
+
+const noFrame = -1
+
+type frame struct {
+	id    PageID
+	data  []byte
+	pins  int
+	dirty bool
+	// Doubly-linked LRU list over frame indices; only unpinned resident
+	// frames are linked. More-recently-used frames are nearer the head.
+	prev, next int
+}
+
+// Frame is a pinned page in the buffer pool. The caller must Release it
+// when done; the data slice is only valid while the frame is pinned.
+type Frame struct {
+	pool *BufferPool
+	idx  int
+	id   PageID
+}
+
+// ID returns the page id this frame holds.
+func (f *Frame) ID() PageID { return f.id }
+
+// Data returns the page bytes. Mutating them requires MarkDirty.
+func (f *Frame) Data() []byte { return f.pool.frames[f.idx].data }
+
+// MarkDirty records that the page content was modified and must be
+// written back before eviction.
+func (f *Frame) MarkDirty() { f.pool.frames[f.idx].dirty = true }
+
+// Release unpins the frame. It is safe to call exactly once per Get /
+// NewPage; releasing an unpinned frame panics, as it indicates a
+// pin-accounting bug in the caller.
+func (f *Frame) Release() { f.pool.unpin(f.idx) }
+
+// BufferPool caches pages of a Store in a fixed number of PageSize frames
+// with LRU replacement, mirroring the small SHORE buffer pool used in the
+// paper's experiments (64 frames = 512 KB by default).
+type BufferPool struct {
+	store  Store
+	frames []frame
+	table  map[PageID]int // resident page -> frame index
+	free   []int          // unused frame indices
+	// LRU list head/tail over unpinned resident frames.
+	lruHead, lruTail int
+	stats            Stats
+}
+
+// FramesForBytes returns the number of PageSize frames that fit in a pool
+// of the given byte budget (minimum 1).
+func FramesForBytes(bytes int) int {
+	n := bytes / PageSize
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// NewBufferPool creates a pool of numFrames frames over store.
+func NewBufferPool(store Store, numFrames int) *BufferPool {
+	if numFrames < 1 {
+		panic(fmt.Sprintf("storage: buffer pool needs at least 1 frame, got %d", numFrames))
+	}
+	p := &BufferPool{
+		store:   store,
+		frames:  make([]frame, numFrames),
+		table:   make(map[PageID]int, numFrames),
+		free:    make([]int, 0, numFrames),
+		lruHead: noFrame,
+		lruTail: noFrame,
+	}
+	for i := numFrames - 1; i >= 0; i-- {
+		p.frames[i] = frame{id: InvalidPage, prev: noFrame, next: noFrame}
+		p.free = append(p.free, i)
+	}
+	return p
+}
+
+// Store returns the underlying page store.
+func (p *BufferPool) Store() Store { return p.store }
+
+// NumFrames returns the pool capacity in frames.
+func (p *BufferPool) NumFrames() int { return len(p.frames) }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (p *BufferPool) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the statistics counters (the page cache itself is
+// left intact).
+func (p *BufferPool) ResetStats() { p.stats = Stats{} }
+
+// Get pins the page id, reading it from the store on a miss.
+func (p *BufferPool) Get(id PageID) (*Frame, error) {
+	if idx, ok := p.table[id]; ok {
+		p.stats.Hits++
+		f := &p.frames[idx]
+		if f.pins == 0 {
+			p.lruRemove(idx)
+		}
+		f.pins++
+		return &Frame{pool: p, idx: idx, id: id}, nil
+	}
+	p.stats.Misses++
+	idx, err := p.grabFrame()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[idx]
+	if err := p.store.ReadPage(id, f.data); err != nil {
+		p.free = append(p.free, idx)
+		return nil, err
+	}
+	p.stats.Reads++
+	f.id = id
+	f.pins = 1
+	f.dirty = false
+	p.table[id] = idx
+	return &Frame{pool: p, idx: idx, id: id}, nil
+}
+
+// NewPage allocates a fresh page in the store and returns it pinned and
+// zeroed. The page is marked dirty so that it reaches the store even if
+// the caller writes nothing.
+func (p *BufferPool) NewPage() (*Frame, error) {
+	id, err := p.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	idx, err := p.grabFrame()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[idx]
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	f.id = id
+	f.pins = 1
+	f.dirty = true
+	p.table[id] = idx
+	return &Frame{pool: p, idx: idx, id: id}, nil
+}
+
+// FlushAll writes every dirty resident page back to the store. Pinned
+// pages are flushed too (they stay resident and pinned).
+func (p *BufferPool) FlushAll() error {
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.id != InvalidPage && f.dirty {
+			if err := p.store.WritePage(f.id, f.data); err != nil {
+				return err
+			}
+			p.stats.Writes++
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// PinnedFrames returns the number of currently pinned frames; useful for
+// leak checking in tests.
+func (p *BufferPool) PinnedFrames() int {
+	n := 0
+	for i := range p.frames {
+		if p.frames[i].pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// grabFrame returns the index of a frame ready to be loaded: a free frame
+// if available, otherwise the least recently used unpinned frame (flushed
+// if dirty).
+func (p *BufferPool) grabFrame() (int, error) {
+	if n := len(p.free); n > 0 {
+		idx := p.free[n-1]
+		p.free = p.free[:n-1]
+		if p.frames[idx].data == nil {
+			p.frames[idx].data = make([]byte, PageSize)
+		}
+		return idx, nil
+	}
+	idx := p.lruTail
+	if idx == noFrame {
+		return 0, ErrPoolFull
+	}
+	p.lruRemove(idx)
+	f := &p.frames[idx]
+	if f.dirty {
+		if err := p.store.WritePage(f.id, f.data); err != nil {
+			return 0, err
+		}
+		p.stats.Writes++
+	}
+	delete(p.table, f.id)
+	f.id = InvalidPage
+	f.dirty = false
+	p.stats.Evictions++
+	return idx, nil
+}
+
+func (p *BufferPool) unpin(idx int) {
+	f := &p.frames[idx]
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned frame (page %d)", f.id))
+	}
+	f.pins--
+	if f.pins == 0 {
+		p.lruPush(idx)
+	}
+}
+
+// lruPush links idx at the head (most recently used end) of the LRU list.
+func (p *BufferPool) lruPush(idx int) {
+	f := &p.frames[idx]
+	f.prev = noFrame
+	f.next = p.lruHead
+	if p.lruHead != noFrame {
+		p.frames[p.lruHead].prev = idx
+	}
+	p.lruHead = idx
+	if p.lruTail == noFrame {
+		p.lruTail = idx
+	}
+}
+
+// lruRemove unlinks idx from the LRU list.
+func (p *BufferPool) lruRemove(idx int) {
+	f := &p.frames[idx]
+	if f.prev != noFrame {
+		p.frames[f.prev].next = f.next
+	} else {
+		p.lruHead = f.next
+	}
+	if f.next != noFrame {
+		p.frames[f.next].prev = f.prev
+	} else {
+		p.lruTail = f.prev
+	}
+	f.prev, f.next = noFrame, noFrame
+}

@@ -1,0 +1,328 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// newPoolWithPages returns a pool over a MemStore pre-filled with n pages,
+// page i filled with byte(i).
+func newPoolWithPages(t *testing.T, frames, n int) *BufferPool {
+	t.Helper()
+	store := NewMemStore()
+	buf := make([]byte, PageSize)
+	for i := 0; i < n; i++ {
+		id, err := store.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range buf {
+			buf[j] = byte(i)
+		}
+		if err := store.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewBufferPool(store, frames)
+}
+
+func TestFramesForBytes(t *testing.T) {
+	if got := FramesForBytes(512 * 1024); got != 64 {
+		t.Errorf("FramesForBytes(512KB) = %d, want 64", got)
+	}
+	if got := FramesForBytes(100); got != 1 {
+		t.Errorf("FramesForBytes(100) = %d, want 1", got)
+	}
+}
+
+func TestGetHitMiss(t *testing.T) {
+	p := newPoolWithPages(t, 4, 8)
+	f, err := p.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Data()[0] != 3 {
+		t.Fatalf("page content = %d, want 3", f.Data()[0])
+	}
+	f.Release()
+	st := p.Stats()
+	if st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("stats after first Get = %+v", st)
+	}
+	f, err = p.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Release()
+	st = p.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats after second Get = %+v", st)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	p := newPoolWithPages(t, 2, 4)
+	get := func(id PageID) {
+		f, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Release()
+	}
+	get(0) // resident: {0}
+	get(1) // resident: {0,1}
+	get(0) // 0 now MRU
+	get(2) // must evict 1 (LRU), resident {0,2}
+	p.ResetStats()
+	get(0)
+	if st := p.Stats(); st.Hits != 1 {
+		t.Fatalf("page 0 should still be resident: %+v", st)
+	}
+	get(1)
+	if st := p.Stats(); st.Misses != 1 {
+		t.Fatalf("page 1 should have been evicted: %+v", st)
+	}
+}
+
+func TestPinnedPagesNotEvicted(t *testing.T) {
+	p := newPoolWithPages(t, 2, 4)
+	pinned, err := p.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle several other pages through the remaining frame.
+	for id := PageID(1); id <= 3; id++ {
+		f, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Release()
+	}
+	p.ResetStats()
+	f, err := p.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Hits != 1 {
+		t.Fatalf("pinned page was evicted: %+v", st)
+	}
+	f.Release()
+	pinned.Release()
+}
+
+func TestPoolFullWhenAllPinned(t *testing.T) {
+	p := newPoolWithPages(t, 2, 4)
+	f0, err := p.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := p.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(2); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("Get with all frames pinned: err = %v, want ErrPoolFull", err)
+	}
+	f0.Release()
+	// Now there is an evictable frame.
+	f2, err := p.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Release()
+	f1.Release()
+}
+
+func TestDirtyPageWrittenBackOnEviction(t *testing.T) {
+	store := NewMemStore()
+	id, _ := store.Allocate()
+	id2, _ := store.Allocate()
+	p := NewBufferPool(store, 1)
+
+	f, err := p.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Data()[0] = 0xAB
+	f.MarkDirty()
+	f.Release()
+
+	// Force eviction of the dirty page.
+	f2, err := p.Get(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Release()
+	if st := p.Stats(); st.Writes != 1 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 1 write and 1 eviction", st)
+	}
+
+	buf := make([]byte, PageSize)
+	if err := store.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAB {
+		t.Fatal("dirty page not written back on eviction")
+	}
+}
+
+func TestCleanPageNotWrittenBackOnEviction(t *testing.T) {
+	p := newPoolWithPages(t, 1, 2)
+	f, _ := p.Get(0)
+	f.Release()
+	f, _ = p.Get(1)
+	f.Release()
+	if st := p.Stats(); st.Writes != 0 {
+		t.Fatalf("clean eviction caused %d writes", st.Writes)
+	}
+}
+
+func TestNewPageZeroedAndFlushed(t *testing.T) {
+	store := NewMemStore()
+	p := NewBufferPool(store, 2)
+	f, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	copy(f.Data(), []byte("hello"))
+	f.MarkDirty()
+	f.Release()
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := store.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:5]) != "hello" {
+		t.Fatal("FlushAll did not persist page content")
+	}
+}
+
+// TestNewPageReusedFrameIsZeroed ensures NewPage never leaks bytes from a
+// previous occupant of the frame.
+func TestNewPageReusedFrameIsZeroed(t *testing.T) {
+	store := NewMemStore()
+	p := NewBufferPool(store, 1)
+	f, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Data() {
+		f.Data()[i] = 0xFF
+	}
+	f.MarkDirty()
+	f.Release()
+
+	f2, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Release()
+	for i, b := range f2.Data() {
+		if b != 0 {
+			t.Fatalf("byte %d of fresh page = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestReleaseTwicePanics(t *testing.T) {
+	p := newPoolWithPages(t, 2, 2)
+	f, err := p.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double release")
+		}
+	}()
+	f.Release()
+}
+
+func TestPinnedFramesCounter(t *testing.T) {
+	p := newPoolWithPages(t, 4, 4)
+	if p.PinnedFrames() != 0 {
+		t.Fatal("fresh pool has pinned frames")
+	}
+	f0, _ := p.Get(0)
+	f1, _ := p.Get(1)
+	if p.PinnedFrames() != 2 {
+		t.Fatalf("PinnedFrames = %d, want 2", p.PinnedFrames())
+	}
+	f0.Release()
+	f1.Release()
+	if p.PinnedFrames() != 0 {
+		t.Fatalf("PinnedFrames = %d, want 0", p.PinnedFrames())
+	}
+}
+
+// TestRandomizedConsistency drives the pool with a random workload against
+// a reference model and verifies page contents and conservation of data.
+func TestRandomizedConsistency(t *testing.T) {
+	const numPages = 32
+	store := NewMemStore()
+	model := make([][]byte, numPages)
+	for i := 0; i < numPages; i++ {
+		if _, err := store.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+		model[i] = make([]byte, PageSize)
+	}
+	p := NewBufferPool(store, 5)
+	rng := rand.New(rand.NewSource(123))
+	for step := 0; step < 5000; step++ {
+		id := PageID(rng.Intn(numPages))
+		f, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Verify a few random offsets against the model.
+		for k := 0; k < 4; k++ {
+			off := rng.Intn(PageSize)
+			if f.Data()[off] != model[id][off] {
+				t.Fatalf("step %d: page %d offset %d = %d, model says %d",
+					step, id, off, f.Data()[off], model[id][off])
+			}
+		}
+		if rng.Intn(2) == 0 {
+			off := rng.Intn(PageSize)
+			v := byte(rng.Intn(256))
+			f.Data()[off] = v
+			model[id][off] = v
+			f.MarkDirty()
+		}
+		f.Release()
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	for i := 0; i < numPages; i++ {
+		if err := store.ReadPage(PageID(i), buf); err != nil {
+			t.Fatal(err)
+		}
+		for off := range buf {
+			if buf[off] != model[i][off] {
+				t.Fatalf("final state: page %d offset %d = %d, model %d",
+					i, off, buf[off], model[i][off])
+			}
+		}
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Hits: 1, Misses: 2, Reads: 3, Writes: 4, Evictions: 5}
+	b := Stats{Hits: 10, Misses: 20, Reads: 30, Writes: 40, Evictions: 50}
+	a.Add(b)
+	want := Stats{Hits: 11, Misses: 22, Reads: 33, Writes: 44, Evictions: 55}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+	if want.IOs() != 77 {
+		t.Fatalf("IOs = %d, want 77", want.IOs())
+	}
+}

@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// faultStore wraps a Store and fails operations once a countdown expires,
+// for error-path testing across the stack.
+type faultStore struct {
+	inner      Store
+	failReads  int // fail reads after this many successful ones (-1: never)
+	failWrites int
+	failAllocs int
+}
+
+var errInjected = errors.New("injected fault")
+
+func (s *faultStore) ReadPage(id PageID, buf []byte) error {
+	if s.failReads == 0 {
+		return fmt.Errorf("read page %d: %w", id, errInjected)
+	}
+	if s.failReads > 0 {
+		s.failReads--
+	}
+	return s.inner.ReadPage(id, buf)
+}
+
+func (s *faultStore) WritePage(id PageID, buf []byte) error {
+	if s.failWrites == 0 {
+		return fmt.Errorf("write page %d: %w", id, errInjected)
+	}
+	if s.failWrites > 0 {
+		s.failWrites--
+	}
+	return s.inner.WritePage(id, buf)
+}
+
+func (s *faultStore) Allocate() (PageID, error) {
+	if s.failAllocs == 0 {
+		return InvalidPage, fmt.Errorf("allocate: %w", errInjected)
+	}
+	if s.failAllocs > 0 {
+		s.failAllocs--
+	}
+	return s.inner.Allocate()
+}
+
+func (s *faultStore) NumPages() int { return s.inner.NumPages() }
+func (s *faultStore) Close() error  { return s.inner.Close() }
+
+func TestPoolPropagatesReadError(t *testing.T) {
+	inner := NewMemStore()
+	id, _ := inner.Allocate()
+	fs := &faultStore{inner: inner, failReads: 0, failWrites: -1, failAllocs: -1}
+	pool := NewBufferPool(fs, 2)
+	if _, err := pool.Get(id); !errors.Is(err, errInjected) {
+		t.Fatalf("Get error = %v, want injected fault", err)
+	}
+	// The frame grabbed for the failed read must be recycled, not leaked.
+	fs.failReads = -1
+	f, err := pool.Get(id)
+	if err != nil {
+		t.Fatalf("pool unusable after a failed read: %v", err)
+	}
+	f.Release()
+	if pool.PinnedFrames() != 0 {
+		t.Fatal("pinned frame leak after failed read")
+	}
+}
+
+func TestPoolPropagatesWriteErrorOnEviction(t *testing.T) {
+	inner := NewMemStore()
+	id0, _ := inner.Allocate()
+	id1, _ := inner.Allocate()
+	fs := &faultStore{inner: inner, failReads: -1, failWrites: 0, failAllocs: -1}
+	pool := NewBufferPool(fs, 1)
+	f, err := pool.Get(id0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.MarkDirty()
+	f.Release()
+	// Evicting the dirty page must surface the write failure.
+	if _, err := pool.Get(id1); !errors.Is(err, errInjected) {
+		t.Fatalf("eviction error = %v, want injected fault", err)
+	}
+}
+
+func TestPoolPropagatesAllocError(t *testing.T) {
+	fs := &faultStore{inner: NewMemStore(), failReads: -1, failWrites: -1, failAllocs: 0}
+	pool := NewBufferPool(fs, 2)
+	if _, err := pool.NewPage(); !errors.Is(err, errInjected) {
+		t.Fatalf("NewPage error = %v, want injected fault", err)
+	}
+}
+
+func TestFlushAllPropagatesWriteError(t *testing.T) {
+	inner := NewMemStore()
+	id, _ := inner.Allocate()
+	fs := &faultStore{inner: inner, failReads: -1, failWrites: 0, failAllocs: -1}
+	pool := NewBufferPool(fs, 2)
+	f, err := pool.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.MarkDirty()
+	f.Release()
+	if err := pool.FlushAll(); !errors.Is(err, errInjected) {
+		t.Fatalf("FlushAll error = %v, want injected fault", err)
+	}
+}

@@ -1,0 +1,144 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testStores(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := NewTempFileStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	ms := NewMemStore()
+	t.Cleanup(func() { ms.Close() })
+	return map[string]Store{"mem": ms, "file": fs}
+}
+
+func TestStoreAllocateReadWrite(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			id0, err := s.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			id1, err := s.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id0 == id1 {
+				t.Fatalf("Allocate returned duplicate id %d", id0)
+			}
+			if s.NumPages() != 2 {
+				t.Fatalf("NumPages = %d, want 2", s.NumPages())
+			}
+
+			buf := make([]byte, PageSize)
+			for i := range buf {
+				buf[i] = byte(i % 251)
+			}
+			if err := s.WritePage(id1, buf); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, PageSize)
+			if err := s.ReadPage(id1, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, got) {
+				t.Fatal("read back different bytes")
+			}
+			// Page 0 must still be zeroed.
+			if err := s.ReadPage(id0, got); err != nil {
+				t.Fatal(err)
+			}
+			for i, b := range got {
+				if b != 0 {
+					t.Fatalf("fresh page byte %d = %d, want 0", i, b)
+				}
+			}
+		})
+	}
+}
+
+func TestStoreOutOfRange(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			buf := make([]byte, PageSize)
+			if err := s.ReadPage(5, buf); err == nil {
+				t.Error("expected error reading unallocated page")
+			}
+			if err := s.WritePage(5, buf); err == nil {
+				t.Error("expected error writing unallocated page")
+			}
+		})
+	}
+}
+
+func TestFileStorePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pages.db")
+	fs, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := fs.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	copy(buf, []byte("persistent payload"))
+	if err := fs.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.NumPages() != 1 {
+		t.Fatalf("NumPages after reopen = %d, want 1", reopened.NumPages())
+	}
+	got := make([]byte, PageSize)
+	if err := reopened.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("persistent payload")) {
+		t.Fatal("payload lost across reopen")
+	}
+}
+
+func TestOpenFileStoreRejectsRaggedFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ragged.db")
+	if err := os.WriteFile(path, make([]byte, PageSize+1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path); err == nil {
+		t.Fatal("expected error opening ragged page file")
+	}
+}
+
+func TestTempFileStoreRemovedOnClose(t *testing.T) {
+	fs, err := NewTempFileStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := fs.Path()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("temp file missing before close: %v", err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("temp file still present after close: %v", err)
+	}
+}
