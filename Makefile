@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race vet check bench-parallel
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is what CI runs: vet plus the full suite under the race detector.
+check: vet race
+
+bench-parallel:
+	$(GO) run ./cmd/annbench -exp parallel -scale 0.2 -json BENCH_parallel.json

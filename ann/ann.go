@@ -16,11 +16,20 @@
 // quadtree); an R*-tree backend is available through IndexConfig.Kind.
 // Queries default to the paper's NXNDIST pruning metric; the traditional
 // MAXMAXDIST is available through QueryConfig for comparison.
+//
+// Queries run in parallel by default: independent subtrees of the query
+// index are drained by a pool of worker goroutines (one per CPU unless
+// QueryConfig.Parallelism says otherwise) over the shared, concurrency-
+// safe buffer pool, and results are released in index traversal order so
+// output is identical to a serial run. Set QueryConfig.Parallelism to 1
+// for the paper's single-threaded engine, or QueryConfig.UnorderedEmit
+// for the fastest streaming mode when result order does not matter.
 package ann
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"allnn/internal/core"
 	"allnn/internal/geom"
@@ -85,6 +94,20 @@ type IndexConfig struct {
 type QueryConfig struct {
 	// Metric selects the pruning bound (default NXNDist).
 	Metric Metric
+	// Parallelism is the number of worker goroutines draining independent
+	// subtrees of the query index concurrently: 0 (the default) uses
+	// runtime.GOMAXPROCS(0), 1 forces the single-threaded engine, and any
+	// higher value runs that many workers. Workers share the index buffer
+	// pool, which is safe for concurrent readers. Results are the same at
+	// every setting; see UnorderedEmit for ordering.
+	Parallelism int
+	// UnorderedEmit lets a parallel execution emit each result as soon as
+	// its worker produces it, in scheduling-dependent order — the fastest
+	// mode. By default parallel results are released in index traversal
+	// order, byte-identical to the serial engine's output. Ignored when
+	// the execution is serial (serial output is always in traversal
+	// order).
+	UnorderedEmit bool
 }
 
 // Neighbor is one neighbor in a query result.
@@ -245,9 +268,15 @@ func run(r, s *Index, k int, cfg QueryConfig, excludeSelf bool, emit func(Result
 	if k < 1 {
 		return fmt.Errorf("ann: k must be at least 1, got %d", k)
 	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	opts := core.Options{
 		K:           k,
 		ExcludeSelf: excludeSelf,
+		Parallelism: par,
+		OrderedEmit: !cfg.UnorderedEmit,
 	}
 	if cfg.Metric == MaxMaxDist {
 		opts.Metric = core.MaxMaxDist

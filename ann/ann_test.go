@@ -150,6 +150,56 @@ func TestStreamDeliversAll(t *testing.T) {
 	}
 }
 
+// TestParallelismConfig pins the public contract of the Parallelism and
+// UnorderedEmit knobs: the default (parallel, ordered) run matches the
+// forced-serial run exactly, and an unordered run yields the same result
+// set modulo order.
+func TestParallelismConfig(t *testing.T) {
+	pts := randomPoints(20, 1500, 2)
+	for _, kind := range []IndexKind{MBRQT, RStar} {
+		ix, err := BuildIndex(pts, IndexConfig{Kind: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ix.Close()
+		serial, err := SelfAllKNearestNeighbors(ix, 2, QueryConfig{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deflt, err := SelfAllKNearestNeighbors(ix, 2, QueryConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(deflt) != len(serial) {
+			t.Fatalf("%v: default run returned %d results, serial %d", kind, len(deflt), len(serial))
+		}
+		for i := range serial {
+			if deflt[i].ID != serial[i].ID {
+				t.Fatalf("%v: ordered parallel emit order diverges at %d", kind, i)
+			}
+			for n := range serial[i].Neighbors {
+				if deflt[i].Neighbors[n].ID != serial[i].Neighbors[n].ID ||
+					deflt[i].Neighbors[n].Dist != serial[i].Neighbors[n].Dist {
+					t.Fatalf("%v: neighbor mismatch for object %d", kind, serial[i].ID)
+				}
+			}
+		}
+		unordered, err := SelfAllKNearestNeighbors(ix, 2, QueryConfig{Parallelism: 4, UnorderedEmit: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		byID := append([]Result(nil), serial...)
+		sort.Slice(byID, func(a, b int) bool { return byID[a].ID < byID[b].ID })
+		sort.Slice(unordered, func(a, b int) bool { return unordered[a].ID < unordered[b].ID })
+		for i := range byID {
+			if unordered[i].ID != byID[i].ID ||
+				unordered[i].Neighbors[0].Dist != byID[i].Neighbors[0].Dist {
+				t.Fatalf("%v: unordered result set differs at object %d", kind, byID[i].ID)
+			}
+		}
+	}
+}
+
 func TestInvalidK(t *testing.T) {
 	pts := randomPoints(8, 10, 2)
 	ix, _ := BuildIndex(pts, IndexConfig{})

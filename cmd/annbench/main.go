@@ -31,6 +31,8 @@ func main() {
 		latency = flag.Duration("latency", time.Millisecond, "modeled time per page transfer")
 		pool    = flag.Int("pool", 512*1024, "buffer pool size in bytes (experiments that vary it ignore this)")
 		seed    = flag.Int64("seed", 1, "dataset generator seed")
+		par     = flag.Int("parallelism", 0, "max workers for the parallel scaling experiment (0 = GOMAXPROCS)")
+		jsonOut = flag.String("json", "", "write a machine-readable summary here (parallel experiment)")
 	)
 	flag.Parse()
 
@@ -47,6 +49,8 @@ func main() {
 		PoolBytes:   *pool,
 		Seed:        *seed,
 		Out:         os.Stdout,
+		Parallelism: *par,
+		JSONPath:    *jsonOut,
 	}
 
 	switch {

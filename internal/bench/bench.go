@@ -40,6 +40,13 @@ type Config struct {
 	Seed int64
 	// Out receives the report (default os.Stdout set by the caller).
 	Out io.Writer
+	// Parallelism caps the worker count explored by the parallel scaling
+	// experiment (0 = up to runtime.GOMAXPROCS(0)). Other experiments run
+	// the paper's single-threaded configurations and ignore it.
+	Parallelism int
+	// JSONPath, when non-empty, makes experiments that support it (the
+	// parallel scaling run) also write a machine-readable summary there.
+	JSONPath string
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +103,7 @@ func Experiments() []Experiment {
 		{"fig6", "Figure 6: AkNN on FC, k = 10..50 — MBA vs GORDER", RunFig6},
 		{"prune", "Section 4.3 support: node-level pruning power, NXNDIST vs MAXMAXDIST on both indexes", RunPruning},
 		{"ablate", "Ablations: traversal order, k-bound strategy, engine enhancements, index choice", RunAblations},
+		{"parallel", "Multi-core scaling: concurrent DFBI subtree workers vs the serial engine", RunParallel},
 	}
 }
 

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"allnn/internal/core"
+	"allnn/internal/index"
+)
+
+// parallelPoolBytes is the buffer pool used by the scaling experiment.
+// Unlike the paper's I/O experiments (512 KB pool, miss-driven costs),
+// the scaling experiment measures CPU parallelism, so the working set is
+// kept resident the way a production deployment would (and the pool
+// shards itself at this size, letting workers pin pages concurrently).
+const parallelPoolBytes = 64 << 20
+
+// RunParallel measures the multi-core scaling of the parallel DFBI
+// executor: a self-ANN join over the TAC surrogate, serial first, then
+// with increasing worker counts up to Parallelism (default GOMAXPROCS).
+// Every parallel run uses ordered emit and its output stream is hashed
+// and compared against the serial run, so the table doubles as an
+// end-to-end equivalence check. With Config.JSONPath set, a machine-
+// readable summary (wall times, speedups, engine counters) is written
+// there, suitable for committing as BENCH_parallel.json.
+func RunParallel(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w := cfg.Out
+	maxWorkers := cfg.Parallelism
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	pts := tacData(cfg)
+	dim := len(pts[0])
+	fmt.Fprintf(w, "\nParallel scaling: self-ANN on TAC surrogate (%d points, %d-D, MBRQT, k=1)\n", len(pts), dim)
+	fmt.Fprintf(w, "GOMAXPROCS=%d, %d MB pool (resident working set; CPU scaling, not the paper's I/O model)\n",
+		runtime.GOMAXPROCS(0), parallelPoolBytes>>20)
+
+	p, err := prepareSelf(KindMBRQT, pts)
+	if err != nil {
+		return err
+	}
+	ir, is, _, err := p.open(parallelPoolBytes)
+	if err != nil {
+		return err
+	}
+
+	base := core.Options{ExcludeSelf: true}
+	serialWall, serialStats, serialHash, err := timedRun(ir, is, base)
+	if err != nil {
+		return err
+	}
+
+	type row struct {
+		parallelism int
+		wall        time.Duration
+		stats       core.Stats
+		identical   bool
+	}
+	rows := []row{{1, serialWall, serialStats, true}}
+	for _, workers := range workerLadder(maxWorkers) {
+		opts := base
+		opts.Parallelism = workers
+		opts.OrderedEmit = true
+		wall, stats, hash, err := timedRun(ir, is, opts)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{workers, wall, stats, hash == serialHash})
+	}
+
+	fmt.Fprintf(w, "\n%-12s %12s %10s %10s %14s %12s\n",
+		"parallelism", "wall", "speedup", "results", "dist-calcs", "identical")
+	for _, r := range rows {
+		sp := float64(serialWall) / float64(r.wall)
+		fmt.Fprintf(w, "%-12d %12s %9.2fx %10d %14d %12v\n",
+			r.parallelism, fmtDur(r.wall), sp, r.stats.Results, r.stats.DistanceCalcs, r.identical)
+		if !r.identical {
+			return fmt.Errorf("parallel run at %d workers produced output differing from serial", r.parallelism)
+		}
+	}
+
+	if cfg.JSONPath != "" {
+		type runJSON struct {
+			Parallelism     int        `json:"parallelism"`
+			WallNS          int64      `json:"wall_ns"`
+			Wall            string     `json:"wall"`
+			SpeedupVsSerial float64    `json:"speedup_vs_serial"`
+			IdenticalOutput bool       `json:"identical_output"`
+			Stats           core.Stats `json:"stats"`
+		}
+		doc := struct {
+			Experiment string    `json:"experiment"`
+			Dataset    string    `json:"dataset"`
+			Points     int       `json:"points"`
+			Dim        int       `json:"dim"`
+			Index      string    `json:"index"`
+			K          int       `json:"k"`
+			GOMAXPROCS int       `json:"gomaxprocs"`
+			PoolBytes  int       `json:"pool_bytes"`
+			Runs       []runJSON `json:"runs"`
+		}{
+			Experiment: "parallel",
+			Dataset:    "TAC-surrogate",
+			Points:     len(pts),
+			Dim:        dim,
+			Index:      "MBRQT",
+			K:          1,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			PoolBytes:  parallelPoolBytes,
+		}
+		for _, r := range rows {
+			doc.Runs = append(doc.Runs, runJSON{
+				Parallelism:     r.parallelism,
+				WallNS:          r.wall.Nanoseconds(),
+				Wall:            r.wall.Round(time.Microsecond).String(),
+				SpeedupVsSerial: float64(serialWall) / float64(r.wall),
+				IdenticalOutput: r.identical,
+				Stats:           r.stats,
+			})
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(cfg.JSONPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nJSON summary written to %s\n", cfg.JSONPath)
+	}
+	return nil
+}
+
+// workerLadder returns the parallelism settings to benchmark: powers of
+// two from 2 up to max, always ending at max itself.
+func workerLadder(max int) []int {
+	var out []int
+	for p := 2; p < max; p *= 2 {
+		out = append(out, p)
+	}
+	if max >= 2 {
+		out = append(out, max)
+	}
+	return out
+}
+
+// timedRun executes the engine, hashing the emitted stream (ids,
+// neighbor ids, exact distance bits, in emission order) so that two runs
+// can be compared for byte-identical output.
+func timedRun(ir, is index.Tree, opts core.Options) (time.Duration, core.Stats, uint64, error) {
+	h := fnv.New64a()
+	var word [8]byte
+	write := func(v uint64) {
+		binary.LittleEndian.PutUint64(word[:], v)
+		h.Write(word[:])
+	}
+	start := time.Now()
+	stats, err := core.Run(ir, is, opts, func(r core.Result) error {
+		write(uint64(r.Object))
+		for _, n := range r.Neighbors {
+			write(uint64(n.Object))
+			write(math.Float64bits(n.Dist))
+		}
+		return nil
+	})
+	wall := time.Since(start)
+	if err != nil {
+		return 0, core.Stats{}, 0, err
+	}
+	return wall, stats, h.Sum64(), nil
+}

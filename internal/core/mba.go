@@ -47,9 +47,9 @@ func Run(ir, is index.Tree, opts Options, emit func(Result) error) (Stats, error
 	switch opts.Traversal {
 	case BreadthFirst:
 		queue := []*lpq{root}
-		for len(queue) > 0 {
-			q := queue[0]
-			queue = queue[1:]
+		for head := 0; head < len(queue); head++ {
+			q := queue[head]
+			queue[head] = nil // release the popped LPQ for the GC
 			children, err := e.expandAndPrune(q)
 			if err != nil {
 				return stats, err
@@ -57,6 +57,12 @@ func Run(ir, is index.Tree, opts Options, emit func(Result) error) (Stats, error
 			queue = append(queue, children...)
 		}
 	default: // DepthFirst
+		if opts.Parallelism > 1 {
+			if err := e.runParallel(root, opts.Parallelism); err != nil {
+				return stats, err
+			}
+			return stats, nil
+		}
 		if err := e.dfbi(root); err != nil {
 			return stats, err
 		}
@@ -355,8 +361,6 @@ func (e *engine) drainToObjects(q *lpq, lpqcs []*lpq) error {
 			return err
 		}
 		e.stats.NodesExpandedS++
-		var nodeCands []index.Entry
-		objStart := -1
 		allObjects := true
 		for ci := range cands {
 			if cands[ci].Kind != index.ObjectEntry {
@@ -368,8 +372,6 @@ func (e *engine) drainToObjects(q *lpq, lpqcs []*lpq) error {
 			probeObjects(cands, nil)
 			continue
 		}
-		_ = nodeCands
-		_ = objStart
 		for ci := range cands {
 			cand := &cands[ci]
 			if cand.Kind == index.ObjectEntry {

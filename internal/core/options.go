@@ -117,6 +117,22 @@ type Options struct {
 	// maximising the synchronized-traversal locality the paper argues
 	// for. The literal variant exists for ablation.
 	PerObjectGather bool
+	// Parallelism is the number of worker goroutines draining independent
+	// subtrees of the query index concurrently. 0 and 1 run the serial
+	// engine (the zero value stays the paper's configuration); higher
+	// values expand the first level(s) of I_R serially and hand each
+	// resulting LPQ subtree to a worker. Only the depth-first traversal
+	// parallelises; BreadthFirst ignores this field and runs serially.
+	// Workers read I_S through the shared storage.BufferPool, which is
+	// safe for concurrent readers.
+	Parallelism int
+	// OrderedEmit buffers each parallel subtree's results and releases
+	// them in index traversal order, making parallel output identical to
+	// the serial engine's, at the cost of buffering subtrees that finish
+	// out of turn. Without it results are emitted (mutex-serialised) as
+	// soon as workers produce them, in scheduling-dependent order — the
+	// fastest mode. No effect when Parallelism <= 1.
+	OrderedEmit bool
 }
 
 func (o Options) withDefaults() Options {
@@ -170,6 +186,20 @@ type Stats struct {
 	NodesExpandedS uint64
 	// Results counts emitted result rows (one per R object).
 	Results uint64
+}
+
+// Add accumulates other into s. The parallel executor gives each worker a
+// private Stats and folds them into the caller's at the end, so counter
+// totals are identical to a serial run of the same query.
+func (s *Stats) Add(other Stats) {
+	s.DistanceCalcs += other.DistanceCalcs
+	s.LPQsCreated += other.LPQsCreated
+	s.Enqueued += other.Enqueued
+	s.PrunedOnProbe += other.PrunedOnProbe
+	s.PrunedByFilter += other.PrunedByFilter
+	s.NodesExpandedR += other.NodesExpandedR
+	s.NodesExpandedS += other.NodesExpandedS
+	s.Results += other.Results
 }
 
 var infinity = math.Inf(1)

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// subtreesPerWorker is the frontier granularity: the serial prefix of the
+// traversal is expanded until at least Parallelism*subtreesPerWorker
+// subtrees exist (or no further expansion is possible), so that a skewed
+// subtree cannot leave most workers idle for long.
+const subtreesPerWorker = 4
+
+// runParallel is the parallel form of Algorithm 3 (ANN-DFBI). The
+// children of any I_R node carry independent candidate sets and bounds
+// (each child LPQ inherits its bound at creation and never reads its
+// siblings), so distinct subtrees of the query index can be drained
+// concurrently with zero coordination beyond stats aggregation and emit
+// serialisation.
+//
+// The root of I_R (and as many further levels as needed) is expanded
+// serially into a frontier of LPQs whose concatenated depth-first
+// traversal equals the serial traversal exactly; workers then claim
+// frontier subtrees from an atomic cursor and run the unchanged serial
+// dfbi over each. Every worker keeps a private Stats, merged at the end,
+// so counter totals match a serial run. Emission is either unordered
+// (mutex-guarded callback, fastest) or order-preserving (per-subtree
+// buffers released in frontier order — byte-identical to serial output).
+func (e *engine) runParallel(root *lpq, workers int) error {
+	frontier, err := e.buildFrontier(root, workers*subtreesPerWorker)
+	if err != nil {
+		return err
+	}
+	n := len(frontier)
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		cursor   atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+
+	// Emission strategy shared by the workers.
+	var (
+		emitMu sync.Mutex // unordered mode
+		seq    *sequencer // ordered mode
+	)
+	if e.opts.OrderedEmit {
+		seq = newSequencer(n, e.emit)
+	}
+
+	var statsMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var wstats Stats
+			we := &engine{ir: e.ir, is: e.is, opts: e.opts, stats: &wstats}
+			for !stop.Load() {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				q := frontier[i]
+				// The frontier LPQs were created by the serial prefix with
+				// the main Stats; re-point them at this worker's private
+				// counters before touching them concurrently.
+				q.stats = &wstats
+				if seq != nil {
+					var buf []Result
+					we.emit = func(r Result) error {
+						buf = append(buf, r)
+						return nil
+					}
+					if err := we.dfbi(q); err != nil {
+						fail(err)
+						break
+					}
+					if err := seq.finish(i, buf); err != nil {
+						fail(err)
+						break
+					}
+				} else {
+					we.emit = func(r Result) error {
+						emitMu.Lock()
+						defer emitMu.Unlock()
+						return e.emit(r)
+					}
+					if err := we.dfbi(q); err != nil {
+						fail(err)
+						break
+					}
+				}
+			}
+			statsMu.Lock()
+			e.stats.Add(wstats)
+			statsMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// buildFrontier expands the query index serially, level by level, until
+// the frontier holds at least target LPQs or only object owners remain.
+// Each node-owner LPQ is replaced in place by its children, so the
+// concatenation of the frontier subtrees' depth-first traversals is
+// exactly the serial traversal order.
+func (e *engine) buildFrontier(root *lpq, target int) ([]*lpq, error) {
+	frontier := []*lpq{root}
+	for {
+		expandable := 0
+		for _, q := range frontier {
+			if !q.owner.IsObject() {
+				expandable++
+			}
+		}
+		if expandable == 0 || len(frontier) >= target {
+			return frontier, nil
+		}
+		next := make([]*lpq, 0, len(frontier)*2)
+		for _, q := range frontier {
+			if q.owner.IsObject() {
+				next = append(next, q)
+				continue
+			}
+			children, err := e.expandAndPrune(q)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, children...)
+		}
+		frontier = next
+	}
+}
+
+// sequencer releases buffered subtree results in frontier order: when
+// subtree i completes, its buffer is stored, and whichever completion
+// fills the gap at the release cursor flushes every consecutive finished
+// buffer. Workers therefore stream results with no dedicated emitter
+// goroutine, and the user callback is never invoked concurrently.
+type sequencer struct {
+	mu   sync.Mutex
+	emit func(Result) error
+	bufs [][]Result
+	done []bool
+	next int
+	err  error
+}
+
+func newSequencer(n int, emit func(Result) error) *sequencer {
+	return &sequencer{emit: emit, bufs: make([][]Result, n), done: make([]bool, n)}
+}
+
+// finish records subtree i's buffered results and flushes every released
+// buffer. It returns the first emit error (also on later calls, so every
+// worker learns to stop).
+func (s *sequencer) finish(i int, buf []Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bufs[i] = buf
+	s.done[i] = true
+	for s.err == nil && s.next < len(s.done) && s.done[s.next] {
+		for _, r := range s.bufs[s.next] {
+			if s.err = s.emit(r); s.err != nil {
+				break
+			}
+		}
+		s.bufs[s.next] = nil
+		s.next++
+	}
+	return s.err
+}

@@ -2,7 +2,9 @@ package storage
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -311,6 +313,159 @@ func TestRandomizedConsistency(t *testing.T) {
 					i, off, buf[off], model[i][off])
 			}
 		}
+	}
+}
+
+func TestDefaultShardCount(t *testing.T) {
+	// Small pools must stay single-sharded so the paper's 64-frame pool
+	// keeps its exact global LRU behaviour.
+	if got := NewBufferPool(NewMemStore(), 64).NumShards(); got != 1 {
+		t.Errorf("64-frame pool has %d shards, want 1", got)
+	}
+	p := NewBufferPool(NewMemStore(), 8192)
+	if p.NumShards() < 1 || p.NumShards() > 16 {
+		t.Errorf("8192-frame pool has %d shards, want 1..16", p.NumShards())
+	}
+	if p.NumFrames() != 8192 {
+		t.Errorf("NumFrames = %d, want 8192", p.NumFrames())
+	}
+}
+
+func TestShardedPoolFrameSplit(t *testing.T) {
+	p := NewShardedBufferPool(NewMemStore(), 10, 4)
+	if p.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", p.NumShards())
+	}
+	if p.NumFrames() != 10 {
+		t.Fatalf("NumFrames = %d, want 10", p.NumFrames())
+	}
+	// More shards than frames collapses to one frame per shard.
+	p = NewShardedBufferPool(NewMemStore(), 3, 8)
+	if p.NumShards() != 3 {
+		t.Fatalf("NumShards = %d, want 3", p.NumShards())
+	}
+}
+
+// TestConcurrentGetStress hammers a sharded pool from many goroutines
+// pinning and unpinning overlapping page sets, verifying page contents
+// on every access and the pin accounting at the end. Run with -race this
+// is the synchronization proof for the parallel ANN executor.
+func TestConcurrentGetStress(t *testing.T) {
+	const (
+		numPages   = 64
+		goroutines = 8
+		iters      = 3000
+	)
+	store := NewMemStore()
+	for i := 0; i < numPages; i++ {
+		id, err := store.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, PageSize)
+		for j := range buf {
+			buf[j] = byte(i)
+		}
+		if err := store.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Frames are scarce relative to the page set so evictions happen
+	// constantly, but each shard can still hold every concurrent pin
+	// (goroutines pin at most 2 pages at a time).
+	p := NewShardedBufferPool(store, 64, 4)
+	errc := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for it := 0; it < iters; it++ {
+				id := PageID(rng.Intn(numPages))
+				f, err := p.Get(id)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got := f.Data()[rng.Intn(PageSize)]; got != byte(id) {
+					errc <- fmt.Errorf("page %d holds byte %d", id, got)
+					f.Release()
+					return
+				}
+				// Half the time pin a second, overlapping page before
+				// releasing the first, to exercise nested pin counts.
+				if rng.Intn(2) == 0 {
+					id2 := PageID(rng.Intn(numPages))
+					f2, err := p.Get(id2)
+					if err != nil {
+						errc <- err
+						f.Release()
+						return
+					}
+					if got := f2.Data()[0]; got != byte(id2) {
+						errc <- fmt.Errorf("page %d holds byte %d", id2, got)
+						f2.Release()
+						f.Release()
+						return
+					}
+					f2.Release()
+				}
+				f.Release()
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if n := p.PinnedFrames(); n != 0 {
+		t.Fatalf("PinnedFrames = %d after all releases, want 0", n)
+	}
+	st := p.Stats()
+	if st.Hits+st.Misses < goroutines*iters {
+		t.Fatalf("hits+misses = %d, want at least %d", st.Hits+st.Misses, goroutines*iters)
+	}
+	if st.Writes != 0 {
+		t.Fatalf("read-only workload caused %d writes", st.Writes)
+	}
+}
+
+// TestConcurrentPinsSamePage verifies the pin count under many
+// simultaneous pins of one page: the page must stay resident and the
+// final unpin must return it to the LRU exactly once.
+func TestConcurrentPinsSamePage(t *testing.T) {
+	p := newPoolWithPages(t, 8, 8)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f, err := p.Get(3)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if f.Data()[0] != 3 {
+					errc <- fmt.Errorf("page 3 holds byte %d", f.Data()[0])
+					f.Release()
+					return
+				}
+				f.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if n := p.PinnedFrames(); n != 0 {
+		t.Fatalf("PinnedFrames = %d, want 0", n)
 	}
 }
 

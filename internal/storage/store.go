@@ -10,13 +10,18 @@
 // behaviour and exposes the miss counts so the benchmark harness can
 // derive I/O time.
 //
-// The types in this package are not safe for concurrent use; each query
-// plan owns its pool.
+// The buffer pool and both stores are safe for concurrent use: the pool
+// shards its frames by page id behind per-shard mutexes so that the
+// parallel ANN executor's subtree workers can read index pages through a
+// shared pool. The index structures built on top remain single-writer
+// (concurrent *reads* of a finished index are safe; concurrent inserts
+// are not).
 package storage
 
 import (
 	"fmt"
 	"os"
+	"sync"
 )
 
 // PageSize is the size of every page in bytes. The paper uses 8 KB pages.
@@ -46,8 +51,9 @@ type Store interface {
 
 // MemStore is an in-memory Store. It is the default substrate for tests
 // and for experiments where only the buffer-miss counts (not real disk
-// latency) matter.
+// latency) matter. All methods are safe for concurrent use.
 type MemStore struct {
+	mu    sync.RWMutex
 	pages [][]byte
 }
 
@@ -56,6 +62,8 @@ func NewMemStore() *MemStore { return &MemStore{} }
 
 // ReadPage implements Store.
 func (s *MemStore) ReadPage(id PageID, buf []byte) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if int(id) >= len(s.pages) {
 		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, len(s.pages))
 	}
@@ -65,6 +73,8 @@ func (s *MemStore) ReadPage(id PageID, buf []byte) error {
 
 // WritePage implements Store.
 func (s *MemStore) WritePage(id PageID, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if int(id) >= len(s.pages) {
 		return fmt.Errorf("storage: write of unallocated page %d (have %d)", id, len(s.pages))
 	}
@@ -74,24 +84,35 @@ func (s *MemStore) WritePage(id PageID, buf []byte) error {
 
 // Allocate implements Store.
 func (s *MemStore) Allocate() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.pages = append(s.pages, make([]byte, PageSize))
 	return PageID(len(s.pages) - 1), nil
 }
 
 // NumPages implements Store.
-func (s *MemStore) NumPages() int { return len(s.pages) }
+func (s *MemStore) NumPages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
 
 // Close implements Store.
 func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.pages = nil
 	return nil
 }
 
 // FileStore is a Store backed by a single flat file of pages, the
 // disk-resident variant used when experiments should touch a real
-// filesystem.
+// filesystem. Page reads and writes go through ReadAt/WriteAt, which the
+// OS serialises per offset; the page count is guarded by a mutex, so all
+// methods are safe for concurrent use.
 type FileStore struct {
 	f     *os.File
+	mu    sync.RWMutex
 	pages int
 	path  string
 	temp  bool
@@ -138,8 +159,11 @@ func NewTempFileStore() (*FileStore, error) {
 
 // ReadPage implements Store.
 func (s *FileStore) ReadPage(id PageID, buf []byte) error {
-	if int(id) >= s.pages {
-		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, s.pages)
+	s.mu.RLock()
+	n := s.pages
+	s.mu.RUnlock()
+	if int(id) >= n {
+		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, n)
 	}
 	_, err := s.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
 	return err
@@ -147,8 +171,11 @@ func (s *FileStore) ReadPage(id PageID, buf []byte) error {
 
 // WritePage implements Store.
 func (s *FileStore) WritePage(id PageID, buf []byte) error {
-	if int(id) >= s.pages {
-		return fmt.Errorf("storage: write of unallocated page %d (have %d)", id, s.pages)
+	s.mu.RLock()
+	n := s.pages
+	s.mu.RUnlock()
+	if int(id) >= n {
+		return fmt.Errorf("storage: write of unallocated page %d (have %d)", id, n)
 	}
 	_, err := s.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
 	return err
@@ -156,6 +183,8 @@ func (s *FileStore) WritePage(id PageID, buf []byte) error {
 
 // Allocate implements Store.
 func (s *FileStore) Allocate() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	id := PageID(s.pages)
 	if err := s.f.Truncate(int64(s.pages+1) * PageSize); err != nil {
 		return InvalidPage, fmt.Errorf("storage: grow page file: %w", err)
@@ -165,7 +194,11 @@ func (s *FileStore) Allocate() (PageID, error) {
 }
 
 // NumPages implements Store.
-func (s *FileStore) NumPages() int { return s.pages }
+func (s *FileStore) NumPages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pages
+}
 
 // Path returns the location of the backing file.
 func (s *FileStore) Path() string { return s.path }
