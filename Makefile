@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench-parallel
+.PHONY: build test race vet check bench-smoke bench-parallel bench-nodecache
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is what CI runs: vet plus the full suite under the race detector.
-check: vet race
+# check is what CI runs: vet plus the full suite under the race detector,
+# plus a one-iteration pass over every benchmark so they cannot rot.
+check: vet race bench-smoke
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 bench-parallel:
 	$(GO) run ./cmd/annbench -exp parallel -scale 0.2 -json BENCH_parallel.json
+
+bench-nodecache:
+	$(GO) run ./cmd/annbench -exp nodecache -json BENCH_nodecache.json

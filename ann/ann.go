@@ -108,6 +108,14 @@ type QueryConfig struct {
 	// the execution is serial (serial output is always in traversal
 	// order).
 	UnorderedEmit bool
+	// NodeCacheBytes bounds the decoded-node cache each index keeps above
+	// its buffer pool: decoded node entry slices are shared across the
+	// repeated expansions of ANN traversal instead of being re-parsed
+	// from page bytes. 0 (the default) uses a 32 MiB budget per index; a
+	// positive value sets the budget in bytes; a negative value disables
+	// the cache so every expansion decodes from the pool. The cache only
+	// changes speed, never results.
+	NodeCacheBytes int64
 }
 
 // Neighbor is one neighbor in a query result.
@@ -273,10 +281,11 @@ func run(r, s *Index, k int, cfg QueryConfig, excludeSelf bool, emit func(Result
 		par = runtime.GOMAXPROCS(0)
 	}
 	opts := core.Options{
-		K:           k,
-		ExcludeSelf: excludeSelf,
-		Parallelism: par,
-		OrderedEmit: !cfg.UnorderedEmit,
+		K:              k,
+		ExcludeSelf:    excludeSelf,
+		Parallelism:    par,
+		OrderedEmit:    !cfg.UnorderedEmit,
+		NodeCacheBytes: cfg.NodeCacheBytes,
 	}
 	if cfg.Metric == MaxMaxDist {
 		opts.Metric = core.MaxMaxDist

@@ -284,6 +284,61 @@ func BenchmarkAblateMNNBaseline(b *testing.B) {
 	}
 }
 
+// --- Decoded-node cache ---------------------------------------------------------
+
+// benchExpand measures one node expansion through the public index
+// interface, with the decoded-node cache detached (every call decodes
+// the page) or warm (every call returns the shared cached slice). The
+// warm case must stay allocation-free.
+func benchExpand(b *testing.B, kind bench.IndexKind, warm bool) {
+	tree, _ := buildSelf(b, kind, fig3aPoints())
+	if warm {
+		tree.(index.NodeCacher).SetNodeCache(index.NewNodeCache(0))
+	} else {
+		tree.(index.NodeCacher).SetNodeCache(nil)
+	}
+	root, err := tree.Root()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tree.Expand(&root); err != nil { // warms the cache when attached
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Expand(&root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpandMBRQT_NoCache(b *testing.B)   { benchExpand(b, bench.KindMBRQT, false) }
+func BenchmarkExpandMBRQT_WarmCache(b *testing.B) { benchExpand(b, bench.KindMBRQT, true) }
+func BenchmarkExpandRStar_NoCache(b *testing.B)   { benchExpand(b, bench.KindRStar, false) }
+func BenchmarkExpandRStar_WarmCache(b *testing.B) { benchExpand(b, bench.KindRStar, true) }
+
+// benchCollectCache measures the end-to-end self-ANN join under the
+// paper's 512 KB pool with the given node-cache budget; one untimed
+// warm-up run first, so the cache-on variant reports the steady state.
+func benchCollectCache(b *testing.B, budget int64) {
+	tree, _ := buildSelf(b, bench.KindMBRQT, fig3aPoints())
+	opts := core.Options{ExcludeSelf: true, NodeCacheBytes: budget}
+	if _, _, err := core.Collect(tree, tree, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Collect(tree, tree, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollectANN_CacheOff(b *testing.B)  { benchCollectCache(b, core.NodeCacheDisabled) }
+func BenchmarkCollectANN_CacheWarm(b *testing.B) { benchCollectCache(b, 0) }
+
 // --- Index micro-benchmarks -----------------------------------------------------
 
 func BenchmarkIndexBuildMBRQT(b *testing.B) {

@@ -32,7 +32,8 @@ func main() {
 		pool    = flag.Int("pool", 512*1024, "buffer pool size in bytes (experiments that vary it ignore this)")
 		seed    = flag.Int64("seed", 1, "dataset generator seed")
 		par     = flag.Int("parallelism", 0, "max workers for the parallel scaling experiment (0 = GOMAXPROCS)")
-		jsonOut = flag.String("json", "", "write a machine-readable summary here (parallel experiment)")
+		jsonOut = flag.String("json", "", "write a machine-readable summary here (parallel and nodecache experiments)")
+		ncBytes = flag.Int64("nodecache-bytes", 0, "decoded-node cache budget for the nodecache experiment (0 = default, <0 = disabled)")
 	)
 	flag.Parse()
 
@@ -44,13 +45,14 @@ func main() {
 	}
 
 	cfg := bench.Config{
-		Scale:       *scale,
-		PageLatency: *latency,
-		PoolBytes:   *pool,
-		Seed:        *seed,
-		Out:         os.Stdout,
-		Parallelism: *par,
-		JSONPath:    *jsonOut,
+		Scale:          *scale,
+		PageLatency:    *latency,
+		PoolBytes:      *pool,
+		Seed:           *seed,
+		Out:            os.Stdout,
+		Parallelism:    *par,
+		JSONPath:       *jsonOut,
+		NodeCacheBytes: *ncBytes,
 	}
 
 	switch {

@@ -45,8 +45,15 @@ type Config struct {
 	// the paper's single-threaded configurations and ignore it.
 	Parallelism int
 	// JSONPath, when non-empty, makes experiments that support it (the
-	// parallel scaling run) also write a machine-readable summary there.
+	// parallel scaling and nodecache runs) also write a machine-readable
+	// summary there.
 	JSONPath string
+	// NodeCacheBytes is the decoded-node cache budget explored by the
+	// nodecache experiment (0 = the engine default, <0 = disabled). The
+	// paper-reproduction experiments always run cache-free regardless:
+	// cache hits bypass the buffer pool, so a cache would deflate the
+	// page-transfer counts the paper's figures are built on.
+	NodeCacheBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +111,7 @@ func Experiments() []Experiment {
 		{"prune", "Section 4.3 support: node-level pruning power, NXNDIST vs MAXMAXDIST on both indexes", RunPruning},
 		{"ablate", "Ablations: traversal order, k-bound strategy, engine enhancements, index choice", RunAblations},
 		{"parallel", "Multi-core scaling: concurrent DFBI subtree workers vs the serial engine", RunParallel},
+		{"nodecache", "Decoded-node cache: cache-off vs cold vs warm, MBA and RBA", RunNodeCache},
 	}
 }
 
@@ -225,8 +233,12 @@ func measure(name string, cfg Config, pool *storage.BufferPool, extraIO uint64, 
 }
 
 // runMBA executes the core engine (MBA over MBRQT, RBA over R*-tree)
-// against prepared indexes.
+// against prepared indexes. The decoded-node cache is always disabled
+// here: its hits bypass the buffer pool, and the paper experiments
+// reproduce I/O counts that assume every expansion reads its page. The
+// dedicated nodecache experiment measures the cache on its own terms.
 func runMBA(name string, cfg Config, p *prepared, opts core.Options) (Measurement, error) {
+	opts.NodeCacheBytes = core.NodeCacheDisabled
 	ir, is, pool, err := p.open(cfg.PoolBytes)
 	if err != nil {
 		return Measurement{}, err

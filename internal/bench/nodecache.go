@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"allnn/internal/core"
+)
+
+// RunNodeCache measures the decoded-node cache on the TAC self-join for
+// both engine configurations (MBA over MBRQT, RBA over the R*-tree).
+// Each index runs three times over a resident buffer pool — cache
+// disabled, cache enabled cold, cache enabled warm (the trees keep their
+// cache between runs, as a long-lived deployment would) — so the table
+// separates the first-run decode cost from the steady state. The output
+// stream of every run is hashed and compared against the cache-off run:
+// the cache must change cost, never results.
+//
+// The pool is kept resident (as in the parallel scaling experiment)
+// because the cache's win is decode CPU, not page I/O; with a cold 512 KB
+// pool the page-latency model would drown the effect being measured.
+// Config.NodeCacheBytes sets the budget (0 = engine default, 32 MiB per
+// index). With Config.JSONPath set, a machine-readable summary suitable
+// for committing as BENCH_nodecache.json is written there.
+func RunNodeCache(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w := cfg.Out
+	pts := tacData(cfg)
+	dim := len(pts[0])
+	budget := cfg.NodeCacheBytes
+	fmt.Fprintf(w, "\nDecoded-node cache: self-ANN on TAC surrogate (%d points, %d-D, k=1)\n", len(pts), dim)
+	fmt.Fprintf(w, "%d MB resident pool; cache budget %s\n", parallelPoolBytes>>20, cacheBudgetLabel(budget))
+
+	type row struct {
+		index     string
+		mode      string
+		wall      time.Duration
+		stats     core.Stats
+		identical bool
+	}
+	var rows []row
+	speedupVsOff := func(r row) float64 {
+		for _, o := range rows {
+			if o.index == r.index && o.mode == "off" {
+				return float64(o.wall) / float64(r.wall)
+			}
+		}
+		return 1
+	}
+
+	for _, kind := range []struct {
+		kind  IndexKind
+		label string
+	}{{KindMBRQT, "MBA/MBRQT"}, {KindRStar, "RBA/R*-tree"}} {
+		p, err := prepareSelf(kind.kind, pts)
+		if err != nil {
+			return err
+		}
+		ir, is, _, err := p.open(parallelPoolBytes)
+		if err != nil {
+			return err
+		}
+		off := core.Options{ExcludeSelf: true, NodeCacheBytes: core.NodeCacheDisabled}
+		offWall, offStats, offHash, err := timedRun(ir, is, off)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{kind.label, "off", offWall, offStats, true})
+
+		on := core.Options{ExcludeSelf: true, NodeCacheBytes: budget}
+		for _, mode := range []string{"cold", "warm"} {
+			wall, stats, hash, err := timedRun(ir, is, on)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row{kind.label, mode, wall, stats, hash == offHash})
+		}
+	}
+
+	fmt.Fprintf(w, "\n%-12s %-6s %12s %10s %12s %12s %10s\n",
+		"index", "cache", "wall", "vs off", "cache-hits", "cache-miss", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-6s %12s %9.2fx %12d %12d %10v\n",
+			r.index, r.mode, fmtDur(r.wall), speedupVsOff(r),
+			r.stats.NodeCacheHits, r.stats.NodeCacheMisses, r.identical)
+		if !r.identical {
+			return fmt.Errorf("nodecache: %s %s run produced output differing from cache-off", r.index, r.mode)
+		}
+	}
+
+	if cfg.JSONPath != "" {
+		type runJSON struct {
+			Index           string     `json:"index"`
+			CacheMode       string     `json:"cache_mode"`
+			WallNS          int64      `json:"wall_ns"`
+			Wall            string     `json:"wall"`
+			SpeedupVsOff    float64    `json:"speedup_vs_cache_off"`
+			IdenticalOutput bool       `json:"identical_output"`
+			Stats           core.Stats `json:"stats"`
+		}
+		doc := struct {
+			Experiment  string    `json:"experiment"`
+			Dataset     string    `json:"dataset"`
+			Points      int       `json:"points"`
+			Dim         int       `json:"dim"`
+			K           int       `json:"k"`
+			PoolBytes   int       `json:"pool_bytes"`
+			CacheBudget string    `json:"cache_budget"`
+			Runs        []runJSON `json:"runs"`
+		}{
+			Experiment:  "nodecache",
+			Dataset:     "TAC-surrogate",
+			Points:      len(pts),
+			Dim:         dim,
+			K:           1,
+			PoolBytes:   parallelPoolBytes,
+			CacheBudget: cacheBudgetLabel(budget),
+		}
+		for _, r := range rows {
+			doc.Runs = append(doc.Runs, runJSON{
+				Index:           r.index,
+				CacheMode:       r.mode,
+				WallNS:          r.wall.Nanoseconds(),
+				Wall:            r.wall.Round(time.Microsecond).String(),
+				SpeedupVsOff:    speedupVsOff(r),
+				IdenticalOutput: r.identical,
+				Stats:           r.stats,
+			})
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(cfg.JSONPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nJSON summary written to %s\n", cfg.JSONPath)
+	}
+	return nil
+}
+
+func cacheBudgetLabel(budget int64) string {
+	switch {
+	case budget < 0:
+		return "disabled"
+	case budget == 0:
+		return "default (32 MiB per index)"
+	default:
+		return fmt.Sprintf("%d bytes", budget)
+	}
+}

@@ -83,7 +83,7 @@ func collectLevels(t index.Tree) ([][]geom.Rect, error) {
 		levels = append(levels, mbrs)
 		var next []index.Entry
 		for i := range frontier {
-			entries, err := t.Expand(frontier[i])
+			entries, err := t.Expand(&frontier[i])
 			if err != nil {
 				return nil, err
 			}

@@ -228,7 +228,7 @@ func bnnGroup(r Dataset, group []int, is index.Tree, opts Options, stats *Stats,
 		if w := math.Min(worst, groupBound); item.Key > w {
 			break
 		}
-		entries, err := is.Expand(item.Value)
+		entries, err := is.Expand(&item.Value)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"allnn/internal/geom"
+	"allnn/internal/index"
+)
+
+// benchBuilders pairs each index kind with its test builder so the
+// benchmarks below cover MBA (MBRQT) and RBA (R*-tree) symmetrically.
+var benchBuilders = []struct {
+	name  string
+	build func(testing.TB, []geom.Point) index.Tree
+}{
+	{"mbrqt", buildMBRQT},
+	{"rstar", buildRStar},
+}
+
+// BenchmarkExpand measures a single node expansion with the decoded-node
+// cache absent (every iteration decodes from the buffer pool) and warm
+// (every iteration is served the shared cached slice). The warm case is
+// the engine's steady state and must report 0 allocs/op.
+func BenchmarkExpand(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	pts := uniformPoints(rng, 5000, 2, 100)
+	for _, bb := range benchBuilders {
+		tree := bb.build(b, pts)
+		nc := tree.(index.NodeCacher)
+		root, err := tree.Root()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bb.name+"/cold", func(b *testing.B) {
+			nc.SetNodeCache(nil)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.Expand(&root); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(bb.name+"/warm", func(b *testing.B) {
+			nc.SetNodeCache(index.NewNodeCache(0))
+			if _, err := tree.Expand(&root); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.Expand(&root); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		nc.SetNodeCache(nil)
+	}
+}
+
+// BenchmarkCollect measures the end-to-end self-ANN join, cache off vs
+// warm. Both cases run one untimed warm-up execution first, so the
+// cache-on allocs/op show the steady state the engine reaches on
+// repeated (or parallel, per-worker) executions.
+func BenchmarkCollect(b *testing.B) {
+	rng := rand.New(rand.NewSource(29))
+	pts := clusteredPoints(rng, 3000, 2, 100)
+	for _, bb := range benchBuilders {
+		tree := bb.build(b, pts)
+		for _, mode := range []struct {
+			name string
+			opts Options
+		}{
+			{"cacheoff", Options{ExcludeSelf: true, NodeCacheBytes: NodeCacheDisabled}},
+			{"cachewarm", Options{ExcludeSelf: true}},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", bb.name, mode.name), func(b *testing.B) {
+				if _, _, err := Collect(tree, tree, mode.opts); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := Collect(tree, tree, mode.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"allnn/internal/index"
+	"allnn/internal/nodecache"
+)
+
+// setupNodeCaches attaches (or detaches) decoded-node caches on the two
+// indexes according to Options.NodeCacheBytes and returns the distinct
+// caches in use, so Run can report per-execution hit/miss deltas. A
+// self-join passes the same tree twice and therefore yields one cache.
+//
+// Attachment is idempotent: a tree keeps its cache (and its warm
+// contents) across runs as long as the budget does not change, which is
+// what makes steady-state Collect calls allocation-free.
+func setupNodeCaches(ir, is index.Tree, budget int64) []*index.NodeCache {
+	var caches []*index.NodeCache
+	seen := map[*index.NodeCache]bool{}
+	for _, t := range []index.Tree{ir, is} {
+		nc, ok := t.(index.NodeCacher)
+		if !ok {
+			continue
+		}
+		if budget < 0 {
+			nc.SetNodeCache(nil)
+			continue
+		}
+		want := budget
+		if want == 0 {
+			want = index.DefaultNodeCacheBytes
+		}
+		c := nc.NodeCacheRef()
+		if c == nil || c.Cap() != want {
+			c = index.NewNodeCache(want)
+			nc.SetNodeCache(c)
+		}
+		if !seen[c] {
+			seen[c] = true
+			caches = append(caches, c)
+		}
+	}
+	return caches
+}
+
+// cacheSnapshot sums the cumulative hit/miss counters of the caches.
+func cacheSnapshot(caches []*index.NodeCache) nodecache.Stats {
+	var st nodecache.Stats
+	for _, c := range caches {
+		st.Add(c.Stats())
+	}
+	return st
+}
+
+// addCacheDelta folds the per-run change between two snapshots into the
+// execution's Stats.
+func addCacheDelta(stats *Stats, before, after nodecache.Stats) {
+	stats.NodeCacheHits += after.Hits - before.Hits
+	stats.NodeCacheMisses += after.Misses - before.Misses
+}

@@ -84,7 +84,7 @@ func KClosestPairs(ir, is index.Tree, k int, excludeSelf bool) ([]Pair, Stats, e
 		// Expand the side with the larger margin (objects cannot expand).
 		expandR := !p.r.IsObject() && (p.s.IsObject() || p.r.MBR.Margin() >= p.s.MBR.Margin())
 		if expandR {
-			children, err := e.ir.Expand(*p.r)
+			children, err := e.ir.Expand(p.r)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -93,7 +93,7 @@ func KClosestPairs(ir, is index.Tree, k int, excludeSelf bool) ([]Pair, Stats, e
 				push(&children[i], p.s)
 			}
 		} else {
-			children, err := e.is.Expand(*p.s)
+			children, err := e.is.Expand(p.s)
 			if err != nil {
 				return nil, stats, err
 			}

@@ -75,7 +75,7 @@ func (e *engine) joinPair(r, s *index.Entry, distSq float64, excludeSelf bool, e
 	// Expand the non-object side with the larger MBR margin.
 	expandR := !r.IsObject() && (s.IsObject() || r.MBR.Margin() >= s.MBR.Margin())
 	if expandR {
-		children, err := e.ir.Expand(*r)
+		children, err := e.ir.Expand(r)
 		if err != nil {
 			return err
 		}
@@ -87,7 +87,7 @@ func (e *engine) joinPair(r, s *index.Entry, distSq float64, excludeSelf bool, e
 		}
 		return nil
 	}
-	children, err := e.is.Expand(*s)
+	children, err := e.is.Expand(s)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"allnn/internal/index"
 )
@@ -56,19 +57,43 @@ type lpq struct {
 	stats   *Stats
 }
 
+// lpqPool recycles LPQ structs together with their items/scratch backing
+// arrays. An ANN run creates one LPQ per I_R entry (millions at paper
+// scale) but only O(height x fanout) are ever live at once under the
+// depth-first traversal, so pooling turns the dominant engine allocation
+// into a constant number of live objects per worker.
+var lpqPool = sync.Pool{New: func() any { return new(lpq) }}
+
 // newLPQ creates an LPQ for owner with an inherited bound (Lemma 3.2
 // makes the parent's bound valid for the child owner).
 func newLPQ(owner *index.Entry, inherited float64, k int, kb KBound, monotone bool, stats *Stats) *lpq {
 	stats.LPQsCreated++
-	return &lpq{
+	q := lpqPool.Get().(*lpq)
+	*q = lpq{
 		owner:     owner,
+		items:     q.items[:0],
 		inherited: inherited,
 		cached:    inherited,
 		monotone:  monotone,
 		k:         k,
 		kb:        kb,
+		scratch:   q.scratch[:0],
 		stats:     stats,
 	}
+	return q
+}
+
+// releaseLPQ returns a fully drained LPQ to the pool. The caller must not
+// touch q afterwards. Entry pointers held by the retained items backing
+// array are cleared so the pool does not pin evicted cache slices.
+func releaseLPQ(q *lpq) {
+	items := q.items[:cap(q.items)]
+	for i := range items {
+		items[i].e = nil
+	}
+	q.owner = nil
+	q.stats = nil
+	lpqPool.Put(q)
 }
 
 // bound returns the current pruning upper bound, recomputing it after

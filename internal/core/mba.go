@@ -17,12 +17,17 @@ import (
 // processes the LPQ queue depth-first (ANN-DFBI, Algorithm 3) with
 // bi-directional node expansion and the Three-Stage pruning of
 // Algorithm 4. Over MBRQT indexes this is MBA; over R*-trees, RBA.
-func Run(ir, is index.Tree, opts Options, emit func(Result) error) (Stats, error) {
+func Run(ir, is index.Tree, opts Options, emit func(Result) error) (stats Stats, err error) {
 	opts = opts.withDefaults()
-	var stats Stats
 	if ir.Dim() != is.Dim() {
 		return stats, fmt.Errorf("core: index dimensionality mismatch: %d vs %d", ir.Dim(), is.Dim())
 	}
+	if opts.Traversal == BreadthFirst && opts.Parallelism > 1 {
+		return stats, fmt.Errorf("core: BreadthFirst traversal does not support Parallelism > 1 (its single global queue has no independent subtrees); use DepthFirst")
+	}
+	caches := setupNodeCaches(ir, is, opts.NodeCacheBytes)
+	cachesBefore := cacheSnapshot(caches)
+	defer func() { addCacheDelta(&stats, cachesBefore, cacheSnapshot(caches)) }()
 	rootR, err := ir.Root()
 	if err != nil {
 		return stats, err
@@ -37,7 +42,7 @@ func Run(ir, is index.Tree, opts Options, emit func(Result) error) (Stats, error
 	e := &engine{ir: ir, is: is, opts: opts, emit: emit, stats: &stats}
 	if rootS.Count == 0 {
 		// No targets: every query object gets an empty neighbor list.
-		return stats, e.emitEmpty(rootR)
+		return stats, e.emitEmpty(&rootR)
 	}
 
 	root := newLPQ(&rootR, infinity, opts.effectiveK(), opts.KBound, !opts.VolatileBounds, &stats)
@@ -54,6 +59,7 @@ func Run(ir, is index.Tree, opts Options, emit func(Result) error) (Stats, error
 			if err != nil {
 				return stats, err
 			}
+			releaseLPQ(q)
 			queue = append(queue, children...)
 		}
 	default: // DepthFirst
@@ -85,15 +91,25 @@ type engine struct {
 	opts   Options
 	emit   func(Result) error
 	stats  *Stats
+
+	// Per-engine scratch reused across expandAndPrune calls. The engine
+	// is single-threaded (each parallel worker builds its own), and the
+	// leaf join and the Gather Stage never nest, so one set suffices.
+	join       leafJoin
+	gatherBest *pq.KBest[*index.Entry]
+	gatherTop  []pq.Item[*index.Entry]
 }
 
 // dfbi is Algorithm 3 (ANN-DFBI): expand the input LPQ, then recurse into
-// each child LPQ in FIFO order.
+// each child LPQ in FIFO order. The input LPQ is fully drained by the
+// expansion and returns to the pool before the recursion (children never
+// reference their parent queue).
 func (e *engine) dfbi(q *lpq) error {
 	children, err := e.expandAndPrune(q)
 	if err != nil {
 		return err
 	}
+	releaseLPQ(q)
 	for _, c := range children {
 		if err := e.dfbi(c); err != nil {
 			return err
@@ -178,7 +194,7 @@ func (e *engine) expandAndPrune(q *lpq) ([]*lpq, error) {
 		return nil, e.gather(q)
 	}
 
-	children, err := e.ir.Expand(*q.owner)
+	children, err := e.ir.Expand(q.owner)
 	if err != nil {
 		return nil, err
 	}
@@ -198,43 +214,8 @@ func (e *engine) expandAndPrune(q *lpq) ([]*lpq, error) {
 		if err := e.drainToObjects(q, lpqcs); err != nil {
 			return nil, err
 		}
-	} else {
-
-		for {
-			// Entries whose MIND exceeds every child's bound are useless; the
-			// queue is MIND-ordered, so the first such entry ends the loop.
-			maxBound := math.Inf(-1)
-			for _, c := range lpqcs {
-				if b := c.slackBound(); b > maxBound {
-					maxBound = b
-				}
-			}
-			it, ok := q.dequeue()
-			if !ok {
-				break
-			}
-			if it.mind > maxBound {
-				break
-			}
-			if it.e.IsObject() {
-				// An object cannot be expanded further; probe it directly.
-				for _, c := range lpqcs {
-					e.probe(c, it.e)
-				}
-				continue
-			}
-			cands, err := e.is.Expand(*it.e)
-			if err != nil {
-				return nil, err
-			}
-			e.stats.NodesExpandedS++
-			for ci := range cands {
-				cand := &cands[ci]
-				for _, c := range lpqcs {
-					e.probe(c, cand)
-				}
-			}
-		}
+	} else if err := e.drainToChildren(q, lpqcs); err != nil {
+		return nil, err
 	}
 
 	out := lpqcs[:0]
@@ -246,9 +227,154 @@ func (e *engine) expandAndPrune(q *lpq) ([]*lpq, error) {
 			// when the target index is empty below every probed entry —
 			// impossible while S is non-empty. Guard anyway.
 			return nil, fmt.Errorf("core: child LPQ starved for owner %v", c.owner.MBR)
+		} else {
+			releaseLPQ(c)
 		}
 	}
 	return out, nil
+}
+
+// drainToChildren is the Expand Stage for an internal owner: the parent
+// queue's candidates are dequeued best-first, expanded one level in I_S
+// when they are nodes, and probed against every child LPQ.
+func (e *engine) drainToChildren(q *lpq, lpqcs []*lpq) error {
+	for {
+		// Entries whose MIND exceeds every child's bound are useless; the
+		// queue is MIND-ordered, so the first such entry ends the loop.
+		maxBound := math.Inf(-1)
+		for _, c := range lpqcs {
+			if b := c.slackBound(); b > maxBound {
+				maxBound = b
+			}
+		}
+		it, ok := q.dequeue()
+		if !ok {
+			return nil
+		}
+		if it.mind > maxBound {
+			return nil
+		}
+		if it.e.IsObject() {
+			// An object cannot be expanded further; probe it directly.
+			for _, c := range lpqcs {
+				e.probe(c, it.e)
+			}
+			continue
+		}
+		cands, err := e.is.Expand(it.e)
+		if err != nil {
+			return err
+		}
+		e.stats.NodesExpandedS++
+		for ci := range cands {
+			cand := &cands[ci]
+			for _, c := range lpqcs {
+				e.probe(c, cand)
+			}
+		}
+	}
+}
+
+// leafJoin is the engine's scratch state for drainToObjects: the packed
+// owner coordinates and cached bounds of the leaf-level object join, plus
+// the candidate-node work heap. One instance lives per engine (one per
+// parallel worker) and is reset for each I_R leaf, so the join performs
+// no steady-state allocations beyond growth of the retained buffers.
+type leafJoin struct {
+	dim     int
+	lpqcs   []*lpq
+	leafMBR geom.Rect
+	// The object/object probes of the leaf-level join dominate the whole
+	// ANN computation. The owners' coordinates are packed into one flat
+	// row-major matrix and their bounds cached in a parallel slice, so the
+	// inner loop runs over contiguous memory with an early-abort distance.
+	flat          []float64
+	bounds        []float64
+	maxOwnerBound float64
+	work          pq.Heap[*index.Entry]
+	stats         *Stats
+}
+
+// reset points the scratch at a new leaf owner and its object LPQs.
+func (j *leafJoin) reset(dim int, q *lpq, lpqcs []*lpq, stats *Stats) {
+	j.dim = dim
+	j.lpqcs = lpqcs
+	j.leafMBR = q.owner.MBR
+	j.flat = j.flat[:0]
+	j.bounds = append(j.bounds[:0], make([]float64, len(lpqcs))...)
+	for i, c := range lpqcs {
+		j.flat = append(j.flat, c.owner.Point...)
+		j.bounds[i] = c.slackBound()
+	}
+	j.refreshMaxOwnerBound()
+	j.work.Reset()
+	j.stats = stats
+}
+
+// finish drops the references held by the scratch so recycled LPQs and
+// evicted cache slices are not pinned between leaves.
+func (j *leafJoin) finish() {
+	j.lpqcs = nil
+	j.leafMBR = geom.Rect{}
+	j.work.Reset()
+	j.stats = nil
+}
+
+func (j *leafJoin) refreshMaxOwnerBound() {
+	j.maxOwnerBound = math.Inf(-1)
+	for _, b := range j.bounds {
+		if b > j.maxOwnerBound {
+			j.maxOwnerBound = b
+		}
+	}
+}
+
+// probeOne offers one candidate object to every owner of the leaf.
+func (j *leafJoin) probeOne(cand *index.Entry) {
+	cp := cand.Point
+	// Pre-filter against the leaf MBR: a candidate farther from the whole
+	// leaf than every owner's bound cannot survive any per-owner probe.
+	// The vast majority of candidates fall here for the price of a single
+	// distance evaluation.
+	j.stats.DistanceCalcs++
+	if geom.MinDistPointRectSq(cp, j.leafMBR) > j.maxOwnerBound {
+		j.stats.PrunedOnProbe += uint64(len(j.lpqcs))
+		return
+	}
+	j.stats.DistanceCalcs += uint64(len(j.lpqcs))
+	changed := false
+	for i := range j.lpqcs {
+		base := j.flat[i*j.dim : (i+1)*j.dim]
+		limit := j.bounds[i]
+		var s float64
+		pruned := false
+		for d := 0; d < j.dim; d++ {
+			diff := base[d] - cp[d]
+			s += diff * diff
+			if s > limit {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			j.stats.PrunedOnProbe++
+			continue
+		}
+		c := j.lpqcs[i]
+		c.enqueueChecked(lpqItem{e: cand, mind: s, maxd: s})
+		j.bounds[i] = c.slackBound()
+		changed = true
+	}
+	if changed {
+		j.refreshMaxOwnerBound()
+	}
+}
+
+// probeAll offers every candidate of a fully expanded leaf node.
+func (j *leafJoin) probeAll(cands []index.Entry) {
+	for ci := range cands {
+		j.probeOne(&cands[ci])
+	}
 }
 
 // drainToObjects distributes the candidates of a leaf owner's LPQ over
@@ -257,98 +383,24 @@ func (e *engine) expandAndPrune(q *lpq) ([]*lpq, error) {
 // exceeds every object's bound are discarded along with everything
 // farther.
 func (e *engine) drainToObjects(q *lpq, lpqcs []*lpq) error {
-	dim := e.ir.Dim()
-	// The object/object probes of the leaf-level join dominate the whole
-	// ANN computation. The owners' coordinates are packed into one flat
-	// row-major matrix and their bounds cached in a parallel slice, so the
-	// inner loop runs over contiguous memory with an early-abort distance.
-	flat := make([]float64, 0, len(lpqcs)*dim)
-	bounds := make([]float64, len(lpqcs))
-	for i, c := range lpqcs {
-		flat = append(flat, c.owner.Point...)
-		bounds[i] = c.slackBound()
-	}
-	leafMBR := q.owner.MBR
-	maxOwnerBound := math.Inf(-1)
-	for _, b := range bounds {
-		if b > maxOwnerBound {
-			maxOwnerBound = b
-		}
-	}
-	probeObjects := func(cands []index.Entry, only *index.Entry) {
-		if only != nil {
-			cands = nil
-		}
-		n := len(cands)
-		if only != nil {
-			n = 1
-		}
-		for ci := 0; ci < n; ci++ {
-			cand := only
-			if cand == nil {
-				cand = &cands[ci]
-			}
-			cp := cand.Point
-			// Pre-filter against the leaf MBR: a candidate farther from
-			// the whole leaf than every owner's bound cannot survive any
-			// per-owner probe. The vast majority of candidates fall here
-			// for the price of a single distance evaluation.
-			e.stats.DistanceCalcs++
-			if geom.MinDistPointRectSq(cp, leafMBR) > maxOwnerBound {
-				e.stats.PrunedOnProbe += uint64(len(lpqcs))
-				continue
-			}
-			e.stats.DistanceCalcs += uint64(len(lpqcs))
-			changed := false
-			for i := range lpqcs {
-				base := flat[i*dim : (i+1)*dim]
-				limit := bounds[i]
-				var s float64
-				pruned := false
-				for d := 0; d < dim; d++ {
-					diff := base[d] - cp[d]
-					s += diff * diff
-					if s > limit {
-						pruned = true
-						break
-					}
-				}
-				if pruned {
-					e.stats.PrunedOnProbe++
-					continue
-				}
-				c := lpqcs[i]
-				c.enqueueChecked(lpqItem{e: cand, mind: s, maxd: s})
-				bounds[i] = c.slackBound()
-				changed = true
-			}
-			if changed {
-				maxOwnerBound = math.Inf(-1)
-				for _, b := range bounds {
-					if b > maxOwnerBound {
-						maxOwnerBound = b
-					}
-				}
-			}
-		}
-	}
-
-	work := pq.NewHeap[*index.Entry](64)
+	j := &e.join
+	j.reset(e.ir.Dim(), q, lpqcs, e.stats)
+	defer j.finish()
 	for {
 		it, ok := q.dequeue()
 		if !ok {
 			break
 		}
 		if it.e.Kind == index.ObjectEntry {
-			probeObjects(nil, it.e)
+			j.probeOne(it.e)
 		} else {
-			work.Push(it.mind, it.e)
+			j.work.Push(it.mind, it.e)
 		}
 	}
-	for work.Len() > 0 {
-		item, _ := work.Pop()
+	for j.work.Len() > 0 {
+		item, _ := j.work.Pop()
 		maxBound := math.Inf(-1)
-		for _, b := range bounds {
+		for _, b := range j.bounds {
 			if b > maxBound {
 				maxBound = b
 			}
@@ -356,7 +408,7 @@ func (e *engine) drainToObjects(q *lpq, lpqcs []*lpq) error {
 		if item.Key > maxBound {
 			break
 		}
-		cands, err := e.is.Expand(*item.Value)
+		cands, err := e.is.Expand(item.Value)
 		if err != nil {
 			return err
 		}
@@ -369,18 +421,18 @@ func (e *engine) drainToObjects(q *lpq, lpqcs []*lpq) error {
 			}
 		}
 		if allObjects {
-			probeObjects(cands, nil)
+			j.probeAll(cands)
 			continue
 		}
 		for ci := range cands {
 			cand := &cands[ci]
 			if cand.Kind == index.ObjectEntry {
-				probeObjects(nil, cand)
+				j.probeOne(cand)
 			} else {
 				e.stats.DistanceCalcs++
 				mind := e.minDistUncounted(q.owner, cand)
 				if mind <= maxBound {
-					work.Push(mind, cand)
+					j.work.Push(mind, cand)
 				} else {
 					e.stats.PrunedOnProbe++
 				}
@@ -395,7 +447,12 @@ func (e *engine) drainToObjects(q *lpq, lpqcs []*lpq) error {
 func (e *engine) gather(q *lpq) error {
 	r := q.owner
 	k := q.k
-	best := pq.NewKBest[*index.Entry](k)
+	if e.gatherBest == nil || e.gatherBest.K() != k {
+		e.gatherBest = pq.NewKBest[*index.Entry](k)
+	} else {
+		e.gatherBest.Reset()
+	}
+	best := e.gatherBest
 	for {
 		it, ok := q.dequeue()
 		if !ok {
@@ -408,7 +465,7 @@ func (e *engine) gather(q *lpq) error {
 			best.Add(it.mind, it.e) // mind == exact squared distance
 			continue
 		}
-		cands, err := e.is.Expand(*it.e)
+		cands, err := e.is.Expand(it.e)
 		if err != nil {
 			return err
 		}
@@ -434,7 +491,8 @@ func (e *engine) gather(q *lpq) error {
 		}
 	}
 
-	items := best.Items()
+	e.gatherTop = best.AppendItems(e.gatherTop[:0])
+	items := e.gatherTop
 	neighbors := make([]Neighbor, 0, e.opts.K)
 	selfSeen := false
 	for _, it := range items {
@@ -457,7 +515,7 @@ func (e *engine) gather(q *lpq) error {
 
 // emitEmpty walks the query index emitting empty results (used when the
 // target index holds no points).
-func (e *engine) emitEmpty(entry index.Entry) error {
+func (e *engine) emitEmpty(entry *index.Entry) error {
 	if entry.IsObject() {
 		e.stats.Results++
 		return e.emit(Result{Object: entry.Object, Point: entry.Point})
@@ -469,8 +527,8 @@ func (e *engine) emitEmpty(entry index.Entry) error {
 	if err != nil {
 		return err
 	}
-	for _, c := range children {
-		if err := e.emitEmpty(c); err != nil {
+	for i := range children {
+		if err := e.emitEmpty(&children[i]); err != nil {
 			return err
 		}
 	}

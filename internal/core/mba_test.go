@@ -48,7 +48,7 @@ func clusteredPoints(rng *rand.Rand, n, dim int, lim float64) []geom.Point {
 }
 
 // buildMBRQT / buildRStar build an index over pts in a fresh pool.
-func buildMBRQT(t *testing.T, pts []geom.Point) index.Tree {
+func buildMBRQT(t testing.TB, pts []geom.Point) index.Tree {
 	t.Helper()
 	tree, err := mbrqt.BulkLoad(newPool(4096), pts, nil, mbrqt.Config{BucketCapacity: 16})
 	if err != nil {
@@ -57,7 +57,7 @@ func buildMBRQT(t *testing.T, pts []geom.Point) index.Tree {
 	return tree
 }
 
-func buildRStar(t *testing.T, pts []geom.Point) index.Tree {
+func buildRStar(t testing.TB, pts []geom.Point) index.Tree {
 	t.Helper()
 	tree, err := rstar.BulkLoad(newPool(4096), pts, nil, rstar.Config{MaxEntries: 16})
 	if err != nil {
@@ -107,7 +107,7 @@ func TestANNBothIndexesBothMetrics(t *testing.T) {
 	rng := rand.New(rand.NewSource(101))
 	rPts := clusteredPoints(rng, 400, 2, 100)
 	sPts := uniformPoints(rng, 300, 2, 100)
-	builders := map[string]func(*testing.T, []geom.Point) index.Tree{
+	builders := map[string]func(testing.TB, []geom.Point) index.Tree{
 		"mbrqt": buildMBRQT,
 		"rstar": buildRStar,
 	}

@@ -122,9 +122,12 @@ type Options struct {
 	// engine (the zero value stays the paper's configuration); higher
 	// values expand the first level(s) of I_R serially and hand each
 	// resulting LPQ subtree to a worker. Only the depth-first traversal
-	// parallelises; BreadthFirst ignores this field and runs serially.
-	// Workers read I_S through the shared storage.BufferPool, which is
-	// safe for concurrent readers.
+	// parallelises; combining Parallelism > 1 with BreadthFirst is a
+	// configuration error and Run rejects it (a single global level queue
+	// has no independent subtrees to hand out, and silently running
+	// serially would misreport the requested concurrency). Workers read
+	// I_S through the shared storage.BufferPool, which is safe for
+	// concurrent readers.
 	Parallelism int
 	// OrderedEmit buffers each parallel subtree's results and releases
 	// them in index traversal order, making parallel output identical to
@@ -133,7 +136,21 @@ type Options struct {
 	// soon as workers produce them, in scheduling-dependent order — the
 	// fastest mode. No effect when Parallelism <= 1.
 	OrderedEmit bool
+	// NodeCacheBytes bounds the decoded-node cache Run attaches to each
+	// index that supports one (see index.NodeCacher): 0 selects
+	// index.DefaultNodeCacheBytes, a positive value is the budget in
+	// bytes, and a negative value (NodeCacheDisabled) detaches the cache
+	// so every expansion decodes from the buffer pool — the configuration
+	// the paper-reproduction experiments use, since cache hits bypass the
+	// pool and would distort the reproduced I/O counts. The cache changes
+	// only the cost of expansion, never the traversal: probe/expansion
+	// counters in Stats are identical with and without it.
+	NodeCacheBytes int64
 }
+
+// NodeCacheDisabled disables the decoded-node cache when assigned to
+// Options.NodeCacheBytes.
+const NodeCacheDisabled int64 = -1
 
 func (o Options) withDefaults() Options {
 	if o.K <= 0 {
@@ -186,6 +203,12 @@ type Stats struct {
 	NodesExpandedS uint64
 	// Results counts emitted result rows (one per R object).
 	Results uint64
+	// NodeCacheHits / NodeCacheMisses count decoded-node cache lookups
+	// made during this execution (zero when the cache is disabled or the
+	// indexes do not support one). A hit serves an Expand without pool
+	// I/O or decoding.
+	NodeCacheHits   uint64
+	NodeCacheMisses uint64
 }
 
 // Add accumulates other into s. The parallel executor gives each worker a
@@ -200,6 +223,8 @@ func (s *Stats) Add(other Stats) {
 	s.NodesExpandedR += other.NodesExpandedR
 	s.NodesExpandedS += other.NodesExpandedS
 	s.Results += other.Results
+	s.NodeCacheHits += other.NodeCacheHits
+	s.NodeCacheMisses += other.NodeCacheMisses
 }
 
 var infinity = math.Inf(1)

@@ -143,6 +143,7 @@ func (e *engine) buildFrontier(root *lpq, target int) ([]*lpq, error) {
 			if err != nil {
 				return nil, err
 			}
+			releaseLPQ(q)
 			next = append(next, children...)
 		}
 		frontier = next

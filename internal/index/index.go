@@ -55,8 +55,10 @@ type Tree interface {
 	Root() (Entry, error)
 	// Expand reads the node referenced by a NodeEntry and returns its
 	// entries: child NodeEntries for an internal node, ObjectEntries for
-	// a leaf. It must not be called with an ObjectEntry.
-	Expand(e Entry) ([]Entry, error)
+	// a leaf. It must not be called with an ObjectEntry. The returned
+	// slice may be shared (served from a decoded-node cache) and must be
+	// treated as immutable by the caller.
+	Expand(e *Entry) ([]Entry, error)
 	// Bounds returns the MBR of all indexed points (empty rect if none).
 	Bounds() geom.Rect
 }

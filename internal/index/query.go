@@ -23,13 +23,14 @@ func RangeSearch(t Tree, rect geom.Rect) ([]QueryResult, error) {
 		return nil, nil
 	}
 	var out []QueryResult
-	var walk func(e Entry) error
-	walk = func(e Entry) error {
+	var walk func(e *Entry) error
+	walk = func(e *Entry) error {
 		entries, err := t.Expand(e)
 		if err != nil {
 			return err
 		}
-		for _, c := range entries {
+		for i := range entries {
+			c := &entries[i]
 			if c.IsObject() {
 				if rect.Contains(c.Point) {
 					out = append(out, QueryResult{Object: c.Object, Point: c.Point})
@@ -42,7 +43,7 @@ func RangeSearch(t Tree, rect geom.Rect) ([]QueryResult, error) {
 		}
 		return nil
 	}
-	if err := walk(root); err != nil {
+	if err := walk(&root); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -69,7 +70,7 @@ func NearestNeighbors(t Tree, q geom.Point, k int) ([]QueryResult, error) {
 		if item.Key >= best.Worst() {
 			break
 		}
-		entries, err := t.Expand(item.Value)
+		entries, err := t.Expand(&item.Value)
 		if err != nil {
 			return nil, err
 		}

@@ -23,6 +23,7 @@ import (
 
 	"allnn/internal/geom"
 	"allnn/internal/index"
+	"allnn/internal/storage"
 )
 
 // MaxDim is the largest supported dimensionality: quadrant codes are bit
@@ -255,6 +256,9 @@ func (t *Tree) updateNode(ref nodeRef, n *node) (nodeRef, error) {
 	if err != nil {
 		return invalidRef, err
 	}
+	// The decoded form of this node is stale whether or not the head ref
+	// survives the rewrite.
+	t.cache.Invalidate(storage.PageID(ref))
 	if len(segments) == 1 && len(oldChain) == 1 {
 		return t.rs.update(ref, segments[0])
 	}
@@ -287,13 +291,16 @@ func (t *Tree) chainRefs(ref nodeRef) ([]nodeRef, error) {
 	return refs, nil
 }
 
-// freeNode releases every record of the node chain at ref.
+// freeNode releases every record of the node chain at ref. Every ref in
+// the chain is dropped from the node cache: freed refs can be recycled by
+// later allocations, so a stale decode must not outlive the record.
 func (t *Tree) freeNode(ref nodeRef) error {
 	refs, err := t.chainRefs(ref)
 	if err != nil {
 		return err
 	}
 	for _, r := range refs {
+		t.cache.Invalidate(storage.PageID(r))
 		if err := t.rs.free(r); err != nil {
 			return err
 		}

@@ -77,7 +77,7 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int) ([]Result, error) {
 		if item.Key >= best.Worst() {
 			break // every remaining entry is at least this far away
 		}
-		entries, err := t.Expand(item.Value)
+		entries, err := t.Expand(&item.Value)
 		if err != nil {
 			return nil, err
 		}

@@ -49,6 +49,11 @@ type Tree struct {
 	bounds geom.Rect // exact MBR of the data
 	size   int
 	height int
+
+	// cache, when attached, serves Expand from decoded entry slices keyed
+	// by node ref. Mutation paths invalidate through it (see freeNode and
+	// updateNode).
+	cache *index.NodeCache
 }
 
 const metaMagic = 0x4D515432 // "MQT2"
@@ -200,13 +205,39 @@ func (t *Tree) Root() (index.Entry, error) {
 	}, nil
 }
 
+// SetNodeCache implements index.NodeCacher. The attached cache keys
+// decoded entry slices by node ref (the value Expand receives in
+// Entry.Child), so it must not be shared with another tree whose refs
+// could collide; the engine attaches one cache per tree (or one shared
+// cache for a self-join over the same tree).
+func (t *Tree) SetNodeCache(c *index.NodeCache) { t.cache = c }
+
+// NodeCacheRef implements index.NodeCacher.
+func (t *Tree) NodeCacheRef() *index.NodeCache { return t.cache }
+
 // Expand implements index.Tree. Entry.Child carries the node's record
-// ref (an opaque handle from the engine's point of view).
-func (t *Tree) Expand(e index.Entry) ([]index.Entry, error) {
+// ref (an opaque handle from the engine's point of view). With a node
+// cache attached, a warm expansion is a single lookup returning the
+// shared immutable slice; a miss decodes the node and populates the
+// cache.
+func (t *Tree) Expand(e *index.Entry) ([]index.Entry, error) {
 	if e.IsObject() {
 		return nil, fmt.Errorf("mbrqt: Expand called on an object entry")
 	}
-	n, err := t.readNode(nodeRef(e.Child))
+	if out, ok := t.cache.Get(e.Child); ok {
+		return out, nil
+	}
+	out, err := t.decodeEntries(nodeRef(e.Child))
+	if err != nil {
+		return nil, err
+	}
+	index.CachePut(t.cache, e.Child, out)
+	return out, nil
+}
+
+// decodeEntries reads the node at ref and materialises its entry slice.
+func (t *Tree) decodeEntries(ref nodeRef) ([]index.Entry, error) {
+	n, err := t.readNode(ref)
 	if err != nil {
 		return nil, err
 	}

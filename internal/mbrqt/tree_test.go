@@ -277,7 +277,7 @@ func TestExpandRootAndChildren(t *testing.T) {
 	if root.IsObject() || int(root.Count) != 200 {
 		t.Fatalf("root entry = %+v", root)
 	}
-	entries, err := tree.Expand(root)
+	entries, err := tree.Expand(&root)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestExpandRootAndChildren(t *testing.T) {
 	if total != 200 {
 		t.Fatalf("children count to %d, want 200", total)
 	}
-	if _, err := tree.Expand(index.Entry{Kind: index.ObjectEntry}); err == nil {
+	if _, err := tree.Expand(&index.Entry{Kind: index.ObjectEntry}); err == nil {
 		t.Fatal("Expand of an object entry must fail")
 	}
 }
@@ -379,7 +379,7 @@ func TestHighDimensionalTree(t *testing.T) {
 	}
 	// Root should have more children than fit a single page for 10-D.
 	root, _ := tree.Root()
-	entries, err := tree.Expand(root)
+	entries, err := tree.Expand(&root)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,308 @@
+// Package nodecache provides the decoded-node cache sitting between the
+// spatial indexes and the page-level buffer pool. The buffer pool caches
+// raw 8 KB page bytes; every index.Tree.Expand still re-parses the page
+// and allocates fresh entry slices, even though ANN traversal expands the
+// same I_S nodes once per owning LPQ — across sibling subtrees, across
+// the Filter/Gather stages, and across parallel workers. This cache maps
+// a page id to the immutable decoded value (an entry slice and the packed
+// coordinate slabs it points into) so repeated expansions of a warm node
+// cost one map lookup and zero allocations.
+//
+// The cache is generic over the cached value so the storage layer stays
+// free of index types; the indexes cache []index.Entry through the
+// helpers in the index package.
+//
+// Capacity is bounded in bytes (the caller reports each value's resident
+// footprint at Put time), with LRU replacement. Like the buffer pool, the
+// cache shards itself by page id for concurrency — and stays single-
+// sharded below the same 128-page-equivalent threshold, so the small
+// caches of paper-scale experiments keep exact global LRU behaviour and
+// exact counters.
+package nodecache
+
+import (
+	"runtime"
+	"sync"
+
+	"allnn/internal/storage"
+)
+
+// Stats accumulates cache activity, summed over the shards.
+type Stats struct {
+	// Hits and Misses count Get outcomes; the hit rate is the fraction
+	// of node expansions served without decoding.
+	Hits   uint64
+	Misses uint64
+	// Evictions counts values dropped to stay within the byte budget.
+	Evictions uint64
+	// Invalidations counts values dropped because their page mutated.
+	Invalidations uint64
+	// Entries and Bytes describe the current residency.
+	Entries int
+	Bytes   int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.Invalidations += other.Invalidations
+	s.Entries += other.Entries
+	s.Bytes += other.Bytes
+}
+
+// node is one cached value, linked into its shard's LRU list.
+type node[V any] struct {
+	id         storage.PageID
+	val        V
+	bytes      int64
+	prev, next *node[V]
+}
+
+// shard is one independently-locked slice of the cache. A page id maps to
+// exactly one shard, which runs its own byte-bounded LRU.
+type shard[V any] struct {
+	mu       sync.Mutex
+	maxBytes int64
+	table    map[storage.PageID]*node[V]
+	// Doubly-linked LRU list; head is most recently used.
+	head, tail *node[V]
+	bytes      int64
+	stats      Stats
+}
+
+// Cache is a sharded, byte-bounded LRU over decoded page values. It is
+// safe for concurrent use; a nil *Cache is a valid always-miss cache
+// whose methods are no-ops.
+type Cache[V any] struct {
+	shards   []shard[V]
+	maxBytes int64
+}
+
+// shardThresholdPages mirrors the buffer pool's single-shard rule: below
+// 128 page-equivalents of budget the cache keeps one shard and therefore
+// exact global LRU replacement and exact counters.
+const shardThresholdPages = 128
+
+// minPagesPerShard keeps shards large enough that per-shard LRU still
+// approximates global LRU.
+const minPagesPerShard = 32
+
+// defaultShardCount picks the shard count for New: 1 for small caches,
+// otherwise a power of two scaled to the machine, every shard keeping at
+// least minPagesPerShard page-equivalents of budget.
+func defaultShardCount(maxBytes int64) int {
+	pages := maxBytes / storage.PageSize
+	if pages < shardThresholdPages {
+		return 1
+	}
+	s := 1
+	for s < 16 && s*2 <= runtime.GOMAXPROCS(0)*2 {
+		s *= 2
+	}
+	for s > 1 && pages/int64(s) < minPagesPerShard {
+		s /= 2
+	}
+	return s
+}
+
+// New creates a cache bounded to maxBytes of decoded values, choosing a
+// shard count automatically. maxBytes must be positive.
+func New[V any](maxBytes int64) *Cache[V] {
+	return NewSharded[V](maxBytes, defaultShardCount(maxBytes))
+}
+
+// NewSharded creates a cache with an explicit shard count; the byte
+// budget is split evenly across the shards.
+func NewSharded[V any](maxBytes int64, numShards int) *Cache[V] {
+	if maxBytes < 1 {
+		maxBytes = 1
+	}
+	if numShards < 1 {
+		numShards = 1
+	}
+	c := &Cache[V]{shards: make([]shard[V], numShards), maxBytes: maxBytes}
+	base, extra := maxBytes/int64(numShards), maxBytes%int64(numShards)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.maxBytes = base
+		if int64(i) < extra {
+			sh.maxBytes++
+		}
+		sh.table = make(map[storage.PageID]*node[V])
+	}
+	return c
+}
+
+// shardOf returns the shard owning page id.
+func (c *Cache[V]) shardOf(id storage.PageID) *shard[V] {
+	return &c.shards[uint32(id)%uint32(len(c.shards))]
+}
+
+// Cap returns the configured byte budget.
+func (c *Cache[V]) Cap() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.maxBytes
+}
+
+// NumShards returns the number of independently-locked shards.
+func (c *Cache[V]) NumShards() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.shards)
+}
+
+// Get returns the cached value for id. The value must be treated as
+// immutable: it is shared with every other Get of the same page.
+func (c *Cache[V]) Get(id storage.PageID) (V, bool) {
+	if c == nil {
+		var zero V
+		return zero, false
+	}
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	n, ok := sh.table[id]
+	if !ok {
+		sh.stats.Misses++
+		sh.mu.Unlock()
+		var zero V
+		return zero, false
+	}
+	sh.stats.Hits++
+	sh.moveFront(n)
+	v := n.val
+	sh.mu.Unlock()
+	return v, true
+}
+
+// Put stores the value for id with its resident footprint in bytes,
+// evicting least recently used values as needed to stay within the
+// budget. A value larger than a whole shard's budget is not retained.
+// Storing for an id that is already cached replaces the old value
+// (concurrent decoders may race to fill the same page; last wins).
+func (c *Cache[V]) Put(id storage.PageID, v V, bytes int64) {
+	if c == nil {
+		return
+	}
+	if bytes < 1 {
+		bytes = 1
+	}
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	if n, ok := sh.table[id]; ok {
+		sh.bytes += bytes - n.bytes
+		n.val = v
+		n.bytes = bytes
+		sh.moveFront(n)
+	} else {
+		n := &node[V]{id: id, val: v, bytes: bytes}
+		sh.table[id] = n
+		sh.pushFront(n)
+		sh.bytes += bytes
+	}
+	for sh.bytes > sh.maxBytes && sh.tail != nil {
+		sh.stats.Evictions++
+		sh.remove(sh.tail)
+	}
+	sh.mu.Unlock()
+}
+
+// Invalidate drops the cached value for id, if any. Index mutation paths
+// call it for every page whose decoded form went stale.
+func (c *Cache[V]) Invalidate(id storage.PageID) {
+	if c == nil {
+		return
+	}
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	if n, ok := sh.table[id]; ok {
+		sh.stats.Invalidations++
+		sh.remove(n)
+	}
+	sh.mu.Unlock()
+}
+
+// Len returns the number of cached values.
+func (c *Cache[V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.table)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the accumulated statistics, summed over
+// the shards. Entries and Bytes reflect current residency.
+func (c *Cache[V]) Stats() Stats {
+	var st Stats
+	if c == nil {
+		return st
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Hits += sh.stats.Hits
+		st.Misses += sh.stats.Misses
+		st.Evictions += sh.stats.Evictions
+		st.Invalidations += sh.stats.Invalidations
+		st.Entries += len(sh.table)
+		st.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// --- intrusive LRU list (all called with the shard lock held) ---------------
+
+func (sh *shard[V]) pushFront(n *node[V]) {
+	n.prev = nil
+	n.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = n
+	}
+	sh.head = n
+	if sh.tail == nil {
+		sh.tail = n
+	}
+}
+
+func (sh *shard[V]) unlink(n *node[V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		sh.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		sh.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (sh *shard[V]) moveFront(n *node[V]) {
+	if sh.head == n {
+		return
+	}
+	sh.unlink(n)
+	sh.pushFront(n)
+}
+
+// remove unlinks n and deletes it from the table, adjusting residency.
+func (sh *shard[V]) remove(n *node[V]) {
+	sh.unlink(n)
+	delete(sh.table, n.id)
+	sh.bytes -= n.bytes
+	var zero V
+	n.val = zero // release the value for the GC
+}

@@ -32,6 +32,18 @@ func (h *Heap[T]) Len() int { return len(h.items) }
 // Clear removes every item, retaining the allocated capacity.
 func (h *Heap[T]) Clear() { h.items = h.items[:0] }
 
+// Reset removes every item like Clear, but also zeroes the retained
+// backing array so stale references cannot pin their targets between
+// uses of a pooled heap.
+func (h *Heap[T]) Reset() {
+	var zero Item[T]
+	items := h.items[:cap(h.items)]
+	for i := range items {
+		items[i] = zero
+	}
+	h.items = h.items[:0]
+}
+
 // Push queues v with the given key.
 func (h *Heap[T]) Push(key float64, v T) {
 	h.items = append(h.items, Item[T]{Key: key, Value: v})
@@ -159,6 +171,24 @@ func (b *KBest[T]) Items() []Item[T] {
 		out[i] = b.popMax()
 	}
 	return out
+}
+
+// AppendItems appends the collected items to dst sorted by ascending key
+// and returns the extended slice. The collector is consumed: it is empty
+// afterwards. Unlike Items, it lets callers reuse a scratch buffer.
+func (b *KBest[T]) AppendItems(dst []Item[T]) []Item[T] {
+	base := len(dst)
+	n := len(b.items)
+	if cap(dst)-base < n {
+		grown := make([]Item[T], base, base+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+n]
+	for i := n - 1; i >= 0; i-- {
+		dst[base+i] = b.popMax()
+	}
+	return dst
 }
 
 // Reset empties the collector, retaining capacity.

@@ -43,12 +43,12 @@ func (t *Tree) Delete(id index.ObjectID, pt geom.Point) (bool, error) {
 		if n.leaf || len(n.entries) != 1 {
 			break
 		}
-		t.freePages = append(t.freePages, t.root)
+		t.freePage(t.root)
 		t.root = n.entries[0].child
 		t.height--
 	}
 	if t.size == 0 {
-		t.freePages = append(t.freePages, t.root)
+		t.freePage(t.root)
 		t.root = storage.InvalidPage
 		t.height = 0
 		t.bounds = geom.EmptyRect(t.dim)
@@ -94,7 +94,7 @@ func (t *Tree) deleteRec(pid storage.PageID, level int, id index.ObjectID, pt ge
 			for i := range n.entries {
 				t.pending = append(t.pending, pendingEntry{e: n.entries[i], level: 0})
 			}
-			t.freePages = append(t.freePages, pid)
+			t.freePage(pid)
 			return deleteResult{found: true, dissolved: true}, nil
 		}
 		if err := t.writeNode(pid, n); err != nil {
@@ -128,7 +128,7 @@ func (t *Tree) deleteRec(pid storage.PageID, level int, id index.ObjectID, pt ge
 			for j := range n.entries {
 				t.pending = append(t.pending, pendingEntry{e: n.entries[j], level: level})
 			}
-			t.freePages = append(t.freePages, pid)
+			t.freePage(pid)
 			return deleteResult{found: true, dissolved: true}, nil
 		}
 		if err := t.writeNode(pid, n); err != nil {

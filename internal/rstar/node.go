@@ -128,7 +128,10 @@ func (t *Tree) readNode(pid storage.PageID) (*node, error) {
 }
 
 // writeNode stores n at pid. The entry count must fit a single page.
+// Every structural mutation funnels through here, so it also drops the
+// page's stale decoded form from the node cache.
 func (t *Tree) writeNode(pid storage.PageID, n *node) error {
+	t.cache.Invalidate(pid)
 	var max int
 	if n.leaf {
 		max = maxEntriesFor(leafEntrySize(t.dim))
@@ -179,6 +182,13 @@ func (t *Tree) writeNode(pid storage.PageID, n *node) error {
 	}
 	f.MarkDirty()
 	return nil
+}
+
+// freePage returns a node page to the tree's free list, dropping any
+// cached decode so a recycled page can never serve stale entries.
+func (t *Tree) freePage(pid storage.PageID) {
+	t.cache.Invalidate(pid)
+	t.freePages = append(t.freePages, pid)
 }
 
 // allocPage takes a page from the free list or the shared store.

@@ -76,6 +76,10 @@ type Tree struct {
 
 	freePages []storage.PageID
 
+	// cache, when attached, serves Expand from decoded entry slices keyed
+	// by page id. writeNode and the delete paths invalidate through it.
+	cache *index.NodeCache
+
 	// reinserting tracks the levels where forced reinsertion already ran
 	// during the current top-level Insert (R* applies it once per level).
 	reinserting map[int]bool
@@ -210,12 +214,34 @@ func (t *Tree) Root() (index.Entry, error) {
 	}, nil
 }
 
-// Expand implements index.Tree.
-func (t *Tree) Expand(e index.Entry) ([]index.Entry, error) {
+// SetNodeCache implements index.NodeCacher. The cache is keyed by node
+// page id, so it must not be shared with a tree in a different store
+// (the engine attaches one cache per tree, shared only for self-joins).
+func (t *Tree) SetNodeCache(c *index.NodeCache) { t.cache = c }
+
+// NodeCacheRef implements index.NodeCacher.
+func (t *Tree) NodeCacheRef() *index.NodeCache { return t.cache }
+
+// Expand implements index.Tree. With a node cache attached, a warm
+// expansion is a single lookup returning the shared immutable slice.
+func (t *Tree) Expand(e *index.Entry) ([]index.Entry, error) {
 	if e.IsObject() {
 		return nil, fmt.Errorf("rstar: Expand called on an object entry")
 	}
-	n, err := t.readNode(e.Child)
+	if out, ok := t.cache.Get(e.Child); ok {
+		return out, nil
+	}
+	out, err := t.decodeEntries(e.Child)
+	if err != nil {
+		return nil, err
+	}
+	index.CachePut(t.cache, e.Child, out)
+	return out, nil
+}
+
+// decodeEntries reads the node at pid and materialises its entry slice.
+func (t *Tree) decodeEntries(pid storage.PageID) ([]index.Entry, error) {
+	n, err := t.readNode(pid)
 	if err != nil {
 		return nil, err
 	}
