@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench-smoke bench-parallel bench-nodecache
+.PHONY: build test race vet check bench-smoke trace-smoke bench-parallel bench-nodecache
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,16 @@ race:
 
 # check is what CI runs: vet plus the full suite under the race detector,
 # plus a one-iteration pass over every benchmark so they cannot rot.
-check: vet race bench-smoke
+check: vet race bench-smoke trace-smoke
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# trace-smoke validates the observability artifacts end to end: it runs
+# the traced "mba" experiment and checks the emitted Chrome trace JSON
+# (span coverage and nesting) and QueryReport against the registry.
+trace-smoke:
+	$(GO) test -run TestTraceSmoke -v ./internal/bench
 
 bench-parallel:
 	$(GO) run ./cmd/annbench -exp parallel -scale 0.2 -json BENCH_parallel.json

@@ -28,6 +28,7 @@ package ann
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 
@@ -35,6 +36,7 @@ import (
 	"allnn/internal/geom"
 	"allnn/internal/index"
 	"allnn/internal/mbrqt"
+	"allnn/internal/obs"
 	"allnn/internal/rstar"
 	"allnn/internal/storage"
 )
@@ -116,6 +118,26 @@ type QueryConfig struct {
 	// the cache so every expansion decodes from the pool. The cache only
 	// changes speed, never results.
 	NodeCacheBytes int64
+	// TraceOut, when non-nil, receives the query's execution trace as
+	// Chrome trace-event JSON when the query completes — open it at
+	// https://ui.perfetto.dev. Spans cover the setup/seed/traversal
+	// phases, every Expand/Filter/Gather stage, parallel worker and
+	// subtree lifetimes, buffer-pool reads and node-cache fetches.
+	// Tracing costs a few timestamps per index node; nil (the default)
+	// costs nothing.
+	TraceOut io.Writer
+	// Metrics, when non-nil, accumulates this query's counters, the live
+	// pool/cache state and the query-latency histogram into the shared
+	// registry (see MetricsRegistry).
+	Metrics *MetricsRegistry
+	// OnReport, when non-nil, is called once after the query with the
+	// unified QueryReport (counters + timings) for this run.
+	OnReport func(QueryReport)
+}
+
+// observed reports whether any observability output is requested.
+func (cfg QueryConfig) observed() bool {
+	return cfg.TraceOut != nil || cfg.Metrics != nil || cfg.OnReport != nil
 }
 
 // Neighbor is one neighbor in a query result.
@@ -290,7 +312,7 @@ func run(r, s *Index, k int, cfg QueryConfig, excludeSelf bool, emit func(Result
 	if cfg.Metric == MaxMaxDist {
 		opts.Metric = core.MaxMaxDist
 	}
-	_, err := core.Run(r.tree, s.tree, opts, func(res core.Result) error {
+	coreEmit := func(res core.Result) error {
 		out := Result{
 			ID:        uint64(res.Object),
 			Point:     Point(res.Point),
@@ -300,7 +322,26 @@ func run(r, s *Index, k int, cfg QueryConfig, excludeSelf bool, emit func(Result
 			out.Neighbors[i] = Neighbor{ID: uint64(n.Object), Point: Point(n.Point), Dist: n.Dist}
 		}
 		return emit(out)
-	})
+	}
+	if !cfg.observed() {
+		_, err := core.Run(r.tree, s.tree, opts, coreEmit)
+		return err
+	}
+	var tracer *obs.Tracer
+	if cfg.TraceOut != nil {
+		tracer = obs.NewTracer()
+	}
+	opts.Tracer = tracer
+	opts.Registry = cfg.Metrics.registry()
+	rep, err := core.RunReport(r.tree, s.tree, opts, coreEmit)
+	if cfg.TraceOut != nil {
+		if werr := tracer.WriteJSON(cfg.TraceOut); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if cfg.OnReport != nil {
+		cfg.OnReport(rep)
+	}
 	return err
 }
 

@@ -5,9 +5,16 @@
 //	annbench -exp fig3a              # one experiment at the default scale
 //	annbench -all -scale 0.1         # the full evaluation at 10% cardinality
 //	annbench -exp fig3b -latency 2ms # different modeled disk latency
+//	annbench -exp mba -trace out.json -json report.json
+//	annbench -all -metrics-addr :9100 -cpuprofile cpu.pprof
 //
 // The -scale flag multiplies the paper's dataset cardinalities (500K-700K
 // points); 1.0 reproduces the full sizes but takes correspondingly long.
+// A progress heartbeat is printed to stderr after each measurement;
+// -quiet suppresses it. -trace writes a Chrome trace-event JSON of the
+// traced experiment ("mba"), loadable at https://ui.perfetto.dev;
+// -metrics-addr serves the live metrics registry (plus /debug/pprof/)
+// over HTTP while the experiments run.
 package main
 
 import (
@@ -18,30 +25,55 @@ import (
 	"time"
 
 	"allnn/internal/bench"
+	"allnn/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("annbench: ")
 	var (
-		exp     = flag.String("exp", "", "experiment to run (see -list)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		scale   = flag.Float64("scale", 0.05, "fraction of the paper's dataset cardinalities")
-		latency = flag.Duration("latency", time.Millisecond, "modeled time per page transfer")
-		pool    = flag.Int("pool", 512*1024, "buffer pool size in bytes (experiments that vary it ignore this)")
-		seed    = flag.Int64("seed", 1, "dataset generator seed")
-		par     = flag.Int("parallelism", 0, "max workers for the parallel scaling experiment (0 = GOMAXPROCS)")
-		jsonOut = flag.String("json", "", "write a machine-readable summary here (parallel and nodecache experiments)")
-		ncBytes = flag.Int64("nodecache-bytes", 0, "decoded-node cache budget for the nodecache experiment (0 = default, <0 = disabled)")
+		exp         = flag.String("exp", "", "experiment to run (see -list)")
+		all         = flag.Bool("all", false, "run every experiment")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		scale       = flag.Float64("scale", 0.05, "fraction of the paper's dataset cardinalities")
+		latency     = flag.Duration("latency", time.Millisecond, "modeled time per page transfer")
+		pool        = flag.Int("pool", 512*1024, "buffer pool size in bytes (experiments that vary it ignore this)")
+		seed        = flag.Int64("seed", 1, "dataset generator seed")
+		par         = flag.Int("parallelism", 0, "max workers for the parallel scaling experiment (0 = GOMAXPROCS)")
+		jsonOut     = flag.String("json", "", "write a machine-readable summary here (parallel, nodecache and mba experiments)")
+		ncBytes     = flag.Int64("nodecache-bytes", 0, "decoded-node cache budget for the nodecache experiment (0 = default, <0 = disabled)")
+		quiet       = flag.Bool("quiet", false, "suppress the per-measurement progress heartbeat on stderr")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON of the traced experiment here (mba experiment; open at ui.perfetto.dev)")
+		metricsAddr = flag.String("metrics-addr", "", "serve the metrics registry as JSON (and /debug/pprof/) on this address")
 	)
+	var prof obs.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.Experiments() {
-			fmt.Printf("%-8s %s\n", e.Name, e.Description)
+			fmt.Printf("%-10s %s\n", e.Name, e.Description)
 		}
 		return
+	}
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		bench.DeclareMetricFamilies(reg)
+		addr, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "annbench: metrics on http://%s/metrics\n", addr)
+	}
+	stopProf, err := prof.Start(reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fail := func(format string, args ...any) {
+		_ = stopProf()
+		log.Fatalf(format, args...)
 	}
 
 	cfg := bench.Config{
@@ -53,6 +85,11 @@ func main() {
 		Parallelism:    *par,
 		JSONPath:       *jsonOut,
 		NodeCacheBytes: *ncBytes,
+		TracePath:      *tracePath,
+		Metrics:        reg,
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
 	}
 
 	switch {
@@ -61,20 +98,24 @@ func main() {
 			fmt.Printf("\n=== %s: %s ===\n", e.Name, e.Description)
 			start := time.Now()
 			if err := e.Run(cfg); err != nil {
-				log.Fatalf("%s: %v", e.Name, err)
+				fail("%s: %v", e.Name, err)
 			}
 			fmt.Printf("(%s finished in %s)\n", e.Name, time.Since(start).Round(time.Millisecond))
 		}
 	case *exp != "":
 		e, ok := bench.Find(*exp)
 		if !ok {
-			log.Fatalf("unknown experiment %q (use -list)", *exp)
+			fail("unknown experiment %q (use -list)", *exp)
 		}
 		if err := e.Run(cfg); err != nil {
-			log.Fatal(err)
+			fail("%v", err)
 		}
 	default:
+		_ = stopProf()
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := stopProf(); err != nil {
+		log.Fatal(err)
 	}
 }

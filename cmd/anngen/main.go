@@ -19,6 +19,7 @@ import (
 
 	"allnn/internal/datagen"
 	"allnn/internal/geom"
+	"allnn/internal/obs"
 )
 
 func main() {
@@ -44,6 +45,8 @@ func run(args []string, stdout io.Writer) error {
 		skew     = fs.Float64("skew", 3, "skew exponent (skewed kind)")
 		out      = fs.String("out", "", "output file (required)")
 	)
+	var prof obs.ProfileFlags
+	prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +56,15 @@ func run(args []string, stdout io.Writer) error {
 	if *n <= 0 {
 		return fmt.Errorf("-n must be positive, got %d", *n)
 	}
+	stopProf, err := prof.Start(nil)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			log.Printf("profile: %v", perr)
+		}
+	}()
 
 	var pts []geom.Point
 	switch *kind {

@@ -5,10 +5,17 @@
 //
 //	annquery -r queries.pts -s targets.pts -k 1
 //	annquery -r catalog.pts -self -k 5 -index rstar -metric maxmax
+//	annquery -r catalog.pts -self -trace trace.json -report -quiet
+//
+// -trace writes the query's execution trace as Chrome trace-event JSON
+// (open at https://ui.perfetto.dev); -report prints the unified
+// QueryReport (counters + stage timings) as JSON to stderr; -cpuprofile,
+// -memprofile and -pprof-addr enable the standard Go profiling hooks.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +25,7 @@ import (
 
 	"allnn/ann"
 	"allnn/internal/datagen"
+	"allnn/internal/obs"
 )
 
 func main() {
@@ -40,7 +48,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		kindStr = fs.String("index", "mbrqt", "index structure: mbrqt | rstar")
 		metric  = fs.String("metric", "nxndist", "pruning metric: nxndist | maxmax")
 		quiet   = fs.Bool("quiet", false, "suppress per-point output; print only the summary")
+
+		tracePath   = fs.String("trace", "", "write a Chrome trace-event JSON of the query here (open at ui.perfetto.dev)")
+		report      = fs.Bool("report", false, "print the unified QueryReport (counters + stage timings) as JSON to stderr")
+		metricsAddr = fs.String("metrics-addr", "", "serve the metrics registry as JSON (and /debug/pprof/) on this address")
 	)
+	var prof obs.ProfileFlags
+	prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +86,43 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown metric %q", *metric)
 	}
+
+	var metrics *ann.MetricsRegistry
+	if *metricsAddr != "" {
+		metrics = ann.NewMetricsRegistry()
+		addr, err := metrics.Serve(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "annquery: metrics on http://%s/metrics\n", addr)
+		qcfg.Metrics = metrics
+	}
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		defer traceFile.Close()
+		qcfg.TraceOut = traceFile
+	}
+	if *report {
+		qcfg.OnReport = func(rep ann.QueryReport) {
+			enc := json.NewEncoder(stderr)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(rep)
+		}
+	}
+	stopProf, err := prof.Start(nil)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintf(stderr, "annquery: profile: %v\n", perr)
+		}
+	}()
 
 	rRaw, err := datagen.ReadFile(*rPath)
 	if err != nil {

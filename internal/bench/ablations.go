@@ -107,10 +107,11 @@ func runHNNConfig(name string, cfg Config, pts []geom.Point) (Measurement, error
 	extra := 2 * scanPages(len(pts), len(pts[0]))
 	return measure(name, cfg, pool, extra, func() (uint64, error) {
 		var results uint64
-		_, err := hnn.Join(ds, ds, pool, hnn.Options{ExcludeSelf: true}, func(core.Result) error {
+		st, err := hnn.Join(ds, ds, pool, hnn.Options{ExcludeSelf: true}, func(core.Result) error {
 			results++
 			return nil
 		})
+		st.AddTo(cfg.Metrics) // no-op on a nil registry
 		return results, err
 	})
 }

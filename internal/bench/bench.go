@@ -19,10 +19,15 @@ import (
 	"runtime"
 	"time"
 
+	"allnn/internal/bnn"
 	"allnn/internal/core"
 	"allnn/internal/geom"
+	"allnn/internal/gorder"
+	"allnn/internal/hnn"
 	"allnn/internal/index"
 	"allnn/internal/mbrqt"
+	"allnn/internal/nodecache"
+	"allnn/internal/obs"
 	"allnn/internal/rstar"
 	"allnn/internal/storage"
 )
@@ -54,6 +59,19 @@ type Config struct {
 	// cache hits bypass the buffer pool, so a cache would deflate the
 	// page-transfer counts the paper's figures are built on.
 	NodeCacheBytes int64
+	// Progress, when non-nil, receives one heartbeat line per completed
+	// measurement (elapsed time, result rows, rows/sec), so long runs
+	// show liveness without polluting the report on Out. annbench wires
+	// os.Stderr here unless -quiet is given.
+	Progress io.Writer
+	// TracePath, when non-empty, makes experiments that support it
+	// (currently "mba") write a Chrome trace-event JSON of their traced
+	// run there — open it at https://ui.perfetto.dev.
+	TracePath string
+	// Metrics, when non-nil, receives the counters of experiments that
+	// publish them (currently "mba"); annbench serves it at
+	// -metrics-addr.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +130,7 @@ func Experiments() []Experiment {
 		{"ablate", "Ablations: traversal order, k-bound strategy, engine enhancements, index choice", RunAblations},
 		{"parallel", "Multi-core scaling: concurrent DFBI subtree workers vs the serial engine", RunParallel},
 		{"nodecache", "Decoded-node cache: cache-off vs cold vs warm, MBA and RBA", RunNodeCache},
+		{"mba", "Observability deep-dive: one traced MBA self-join with the unified QueryReport (counters, stage timings; -trace writes Perfetto JSON)", RunMBAReport},
 	}
 }
 
@@ -221,6 +240,7 @@ func measure(name string, cfg Config, pool *storage.BufferPool, extraIO uint64, 
 	if err != nil {
 		return Measurement{}, fmt.Errorf("%s: %w", name, err)
 	}
+	heartbeat(cfg, name, cpu, results)
 	st := pool.Stats()
 	io := st.Reads + st.Writes + extraIO
 	return Measurement{
@@ -230,6 +250,21 @@ func measure(name string, cfg Config, pool *storage.BufferPool, extraIO uint64, 
 		IOTime:  time.Duration(io) * cfg.PageLatency,
 		Results: results,
 	}, nil
+}
+
+// heartbeat emits one liveness line per completed measurement to
+// cfg.Progress (nil = silent). Long experiments run many configurations
+// back to back; the heartbeat shows which one just finished and how fast
+// it went without touching the report on cfg.Out.
+func heartbeat(cfg Config, name string, wall time.Duration, results uint64) {
+	if cfg.Progress == nil {
+		return
+	}
+	rate := "-"
+	if wall > 0 {
+		rate = fmt.Sprintf("%.0f rows/s", float64(results)/wall.Seconds())
+	}
+	fmt.Fprintf(cfg.Progress, "[bench] %-32s %10s %12d rows %14s\n", name, fmtDur(wall), results, rate)
 }
 
 // runMBA executes the core engine (MBA over MBRQT, RBA over R*-tree)
@@ -245,8 +280,22 @@ func runMBA(name string, cfg Config, p *prepared, opts core.Options) (Measuremen
 	}
 	return measure(name, cfg, pool, 0, func() (uint64, error) {
 		stats, err := core.Run(ir, is, opts, func(core.Result) error { return nil })
+		stats.AddTo(cfg.Metrics) // no-op on a nil registry
 		return stats.Results, err
 	})
+}
+
+// DeclareMetricFamilies pre-creates the six stats families in r by
+// accumulating zero-valued stats, so a freshly served -metrics-addr
+// snapshot lists every stable metric name (DESIGN.md §10) before any
+// experiment has produced counts.
+func DeclareMetricFamilies(r *obs.Registry) {
+	core.Stats{}.AddTo(r)
+	storage.Stats{}.AddTo(r, "pool")
+	nodecache.Counters{}.AddTo(r, "cache")
+	gorder.Stats{}.AddTo(r)
+	hnn.Stats{}.AddTo(r)
+	bnn.Stats{}.AddTo(r)
 }
 
 // scanPages is the number of pages a sequential scan of n dim-dimensional

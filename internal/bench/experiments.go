@@ -60,10 +60,11 @@ func runBNNConfig(name string, cfg Config, p *prepared, pts []geom.Point, opts b
 	extra := scanPages(len(pts), len(pts[0]))
 	return measure(name, cfg, pool, extra, func() (uint64, error) {
 		var results uint64
-		_, err := bnn.BNN(r, is, opts, func(core.Result) error {
+		st, err := bnn.BNN(r, is, opts, func(core.Result) error {
 			results++
 			return nil
 		})
+		st.AddTo(cfg.Metrics) // no-op on a nil registry
 		return results, err
 	})
 }
@@ -82,10 +83,11 @@ func runGorderConfig(name string, cfg Config, rPts, sPts []geom.Point, opts gord
 	extra := scanPages(len(rPts), len(rPts[0])) + scanPages(len(sPts), len(sPts[0]))
 	return measure(name, cfg, pool, extra, func() (uint64, error) {
 		var results uint64
-		_, err := gorder.Join(r, s, pool, opts, func(core.Result) error {
+		st, err := gorder.Join(r, s, pool, opts, func(core.Result) error {
 			results++
 			return nil
 		})
+		st.AddTo(cfg.Metrics) // no-op on a nil registry
 		return results, err
 	})
 }

@@ -67,6 +67,7 @@ func RunNodeCache(cfg Config) error {
 		if err != nil {
 			return err
 		}
+		heartbeat(cfg, kind.label+": cache off", offWall, offStats.Results)
 		rows = append(rows, row{kind.label, "off", offWall, offStats, true})
 
 		on := core.Options{ExcludeSelf: true, NodeCacheBytes: budget}
@@ -75,6 +76,7 @@ func RunNodeCache(cfg Config) error {
 			if err != nil {
 				return err
 			}
+			heartbeat(cfg, kind.label+": cache "+mode, wall, stats.Results)
 			rows = append(rows, row{kind.label, mode, wall, stats, hash == offHash})
 		}
 	}

@@ -56,6 +56,7 @@ func RunParallel(cfg Config) error {
 	if err != nil {
 		return err
 	}
+	heartbeat(cfg, "parallel: serial", serialWall, serialStats.Results)
 
 	type row struct {
 		parallelism int
@@ -72,6 +73,7 @@ func RunParallel(cfg Config) error {
 		if err != nil {
 			return err
 		}
+		heartbeat(cfg, fmt.Sprintf("parallel: %d workers", workers), wall, stats.Results)
 		rows = append(rows, row{workers, wall, stats, hash == serialHash})
 	}
 

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"allnn/internal/core"
+	"allnn/internal/obs"
+)
+
+// traceDoc mirrors the Chrome trace-event JSON for validation.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string   `json:"name"`
+		Ph   string   `json:"ph"`
+		Ts   float64  `json:"ts"`
+		Dur  *float64 `json:"dur"`
+		Tid  int64    `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+// TestTraceSmoke is the end-to-end trace validation behind the Makefile's
+// trace-smoke target: it runs the "mba" experiment exactly as
+// `annbench -exp mba -trace out.json -json report.json` does and checks
+// that the emitted artifacts are well-formed — the trace parses as Chrome
+// trace-event JSON, its setup/seed/traverse spans cover >= 95% of the
+// query span, every filter span nests inside an expand span, and the
+// QueryReport JSON round-trips with the counters the registry saw.
+func TestTraceSmoke(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	reportPath := filepath.Join(dir, "report.json")
+
+	var out, progress bytes.Buffer
+	reg := obs.NewRegistry()
+	DeclareMetricFamilies(reg)
+	cfg := tinyConfig(&out)
+	cfg.TracePath = tracePath
+	cfg.JSONPath = reportPath
+	cfg.Metrics = reg
+	cfg.Progress = &progress
+	if err := RunMBAReport(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(progress.Bytes(), []byte("mba: traced run")) {
+		t.Fatalf("no heartbeat emitted:\n%s", progress.String())
+	}
+
+	// --- the trace ------------------------------------------------------
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid Chrome trace-event JSON: %v", err)
+	}
+	type span struct{ ts, end float64 }
+	var query *span
+	var phaseCover float64
+	var expands, filters []span
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.Dur == nil {
+			continue
+		}
+		s := span{e.Ts, e.Ts + *e.Dur}
+		switch e.Name {
+		case "query":
+			q := s
+			query = &q
+		case "setup", "seed", "traverse":
+			phaseCover += s.end - s.ts
+		case "expand":
+			expands = append(expands, s)
+		case "filter":
+			filters = append(filters, s)
+		}
+	}
+	if query == nil {
+		t.Fatal("trace has no query span")
+	}
+	if wall := query.end - query.ts; phaseCover < 0.95*wall {
+		t.Fatalf("setup+seed+traverse cover %.1f%% of the query span, want >= 95%%",
+			100*phaseCover/wall)
+	}
+	if len(expands) == 0 || len(filters) == 0 {
+		t.Fatalf("trace has %d expand / %d filter spans, want both > 0", len(expands), len(filters))
+	}
+	for _, f := range filters {
+		ok := false
+		for _, e := range expands {
+			if f.ts >= e.ts-0.001 && f.end <= e.end+0.001 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("filter span [%g,%g] not nested in any expand span", f.ts, f.end)
+		}
+	}
+
+	// --- the QueryReport JSON and the registry --------------------------
+	repRaw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep core.QueryReport
+	if err := json.Unmarshal(repRaw, &rep); err != nil {
+		t.Fatalf("QueryReport JSON does not parse: %v", err)
+	}
+	if rep.Engine.Results == 0 {
+		t.Fatal("QueryReport has zero results")
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["engine.results"]; got != rep.Engine.Results {
+		t.Fatalf("registry engine.results = %d, report says %d", got, rep.Engine.Results)
+	}
+	if got := s.Counters["pool.misses"]; got < rep.Pool.Misses {
+		t.Fatalf("registry pool.misses = %d < report's %d", got, rep.Pool.Misses)
+	}
+	// DeclareMetricFamilies must have pre-created every family's names.
+	for _, name := range []string{
+		"engine.distance_calcs", "pool.misses", "cache.hits",
+		"gorder.blocks_read", "hnn.dist_calcs", "bnn.distance_calcs",
+	} {
+		if _, ok := s.Counters[name]; !ok {
+			t.Fatalf("metric family %q not declared in the registry", name)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"allnn/internal/curve"
 	"allnn/internal/geom"
 	"allnn/internal/index"
+	"allnn/internal/obs"
 	"allnn/internal/pq"
 )
 
@@ -55,6 +56,15 @@ type Stats struct {
 	DistanceCalcs uint64 // point/MBR distance evaluations
 	NodesVisited  uint64 // target index nodes expanded
 	Groups        uint64 // batches processed (BNN) or points (MNN)
+}
+
+// AddTo accumulates the counters into a metrics registry under the "bnn"
+// family (see DESIGN.md §10). MNN runs share the family: an MNN point is
+// a batch of one.
+func (s Stats) AddTo(r *obs.Registry) {
+	r.Counter("bnn.distance_calcs").Add(s.DistanceCalcs)
+	r.Counter("bnn.nodes_visited").Add(s.NodesVisited)
+	r.Counter("bnn.groups").Add(s.Groups)
 }
 
 // Dataset is the in-memory query-side input.

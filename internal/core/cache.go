@@ -42,18 +42,21 @@ func setupNodeCaches(ir, is index.Tree, budget int64) []*index.NodeCache {
 	return caches
 }
 
-// cacheSnapshot sums the cumulative hit/miss counters of the caches.
-func cacheSnapshot(caches []*index.NodeCache) nodecache.Stats {
-	var st nodecache.Stats
+// cacheSnapshot sums the cumulative monotonic counters of the caches.
+// Residency is deliberately not part of the snapshot: it is a gauge, and
+// accumulating per-run residency deltas would double-count values that
+// merely stayed resident.
+func cacheSnapshot(caches []*index.NodeCache) nodecache.Counters {
+	var ct nodecache.Counters
 	for _, c := range caches {
-		st.Add(c.Stats())
+		ct.Add(c.Counters())
 	}
-	return st
+	return ct
 }
 
 // addCacheDelta folds the per-run change between two snapshots into the
 // execution's Stats.
-func addCacheDelta(stats *Stats, before, after nodecache.Stats) {
+func addCacheDelta(stats *Stats, before, after nodecache.Counters) {
 	stats.NodeCacheHits += after.Hits - before.Hits
 	stats.NodeCacheMisses += after.Misses - before.Misses
 }

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"allnn/internal/geom"
 	"allnn/internal/index"
+	"allnn/internal/obs"
 	"allnn/internal/pq"
 )
 
@@ -25,9 +27,40 @@ func Run(ir, is index.Tree, opts Options, emit func(Result) error) (stats Stats,
 	if opts.Traversal == BreadthFirst && opts.Parallelism > 1 {
 		return stats, fmt.Errorf("core: BreadthFirst traversal does not support Parallelism > 1 (its single global queue has no independent subtrees); use DepthFirst")
 	}
+
+	// Observability. tMark advances across the setup/seed/traverse
+	// boundaries; the "query" span (and Wall) closes on every exit path.
+	tr := opts.Tracer
+	obsOn := tr != nil || opts.timings != nil
+	var tQuery, tMark time.Time
+	if obsOn {
+		tQuery = time.Now()
+		tMark = tQuery
+		defer func() {
+			now := time.Now()
+			tr.Complete("query", obs.TidMain, tQuery, now, "results", int64(stats.Results))
+			if opts.timings != nil {
+				opts.timings.Wall += now.Sub(tQuery)
+			}
+		}()
+	}
+
 	caches := setupNodeCaches(ir, is, opts.NodeCacheBytes)
 	cachesBefore := cacheSnapshot(caches)
 	defer func() { addCacheDelta(&stats, cachesBefore, cacheSnapshot(caches)) }()
+	if tr != nil {
+		tr.SetThreadName(obs.TidMain, "engine")
+		tr.SetThreadName(obs.TidPool, "bufferpool")
+		tr.SetThreadName(obs.TidCache, "nodecache")
+		for _, p := range distinctPools(ir, is) {
+			p.SetTracer(tr)
+			defer p.SetTracer(nil)
+		}
+		for _, c := range caches {
+			c.SetTracer(tr)
+			defer c.SetTracer(nil)
+		}
+	}
 	rootR, err := ir.Root()
 	if err != nil {
 		return stats, err
@@ -36,10 +69,19 @@ func Run(ir, is index.Tree, opts Options, emit func(Result) error) (stats Stats,
 	if err != nil {
 		return stats, err
 	}
+	if obsOn {
+		now := time.Now()
+		tr.Complete("setup", obs.TidMain, tMark, now, "", 0)
+		if opts.timings != nil {
+			opts.timings.Setup += now.Sub(tMark)
+		}
+		tMark = now
+	}
 	if rootR.Count == 0 {
 		return stats, nil // nothing to query
 	}
-	e := &engine{ir: ir, is: is, opts: opts, emit: emit, stats: &stats}
+	e := &engine{ir: ir, is: is, opts: opts, emit: emit, stats: &stats,
+		tr: tr, tid: obs.TidMain, tm: opts.timings}
 	if rootS.Count == 0 {
 		// No targets: every query object gets an empty neighbor list.
 		return stats, e.emitEmpty(&rootR)
@@ -48,32 +90,43 @@ func Run(ir, is index.Tree, opts Options, emit func(Result) error) (stats Stats,
 	root := newLPQ(&rootR, infinity, opts.effectiveK(), opts.KBound, !opts.VolatileBounds, &stats)
 	mind, maxd := e.distances(&rootR, &rootS)
 	root.enqueue(lpqItem{e: &rootS, mind: mind, maxd: maxd})
+	if obsOn {
+		now := time.Now()
+		tr.Complete("seed", obs.TidMain, tMark, now, "", 0)
+		if opts.timings != nil {
+			opts.timings.Seed += now.Sub(tMark)
+		}
+		tMark = now
+	}
 
 	switch opts.Traversal {
 	case BreadthFirst:
 		queue := []*lpq{root}
-		for head := 0; head < len(queue); head++ {
+		for head := 0; head < len(queue) && err == nil; head++ {
 			q := queue[head]
 			queue[head] = nil // release the popped LPQ for the GC
-			children, err := e.expandAndPrune(q)
-			if err != nil {
-				return stats, err
+			var children []*lpq
+			children, err = e.expandAndPrune(q)
+			if err == nil {
+				releaseLPQ(q)
+				queue = append(queue, children...)
 			}
-			releaseLPQ(q)
-			queue = append(queue, children...)
 		}
 	default: // DepthFirst
 		if opts.Parallelism > 1 {
-			if err := e.runParallel(root, opts.Parallelism); err != nil {
-				return stats, err
-			}
-			return stats, nil
-		}
-		if err := e.dfbi(root); err != nil {
-			return stats, err
+			err = e.runParallel(root, opts.Parallelism)
+		} else {
+			err = e.dfbi(root)
 		}
 	}
-	return stats, nil
+	if obsOn {
+		now := time.Now()
+		tr.Complete("traverse", obs.TidMain, tMark, now, "results", int64(stats.Results))
+		if opts.timings != nil {
+			opts.timings.Traverse += now.Sub(tMark)
+		}
+	}
+	return stats, err
 }
 
 // Collect runs the query and materialises all results.
@@ -92,6 +145,14 @@ type engine struct {
 	emit   func(Result) error
 	stats  *Stats
 
+	// Observability: tr records stage spans on lane tid (parallel workers
+	// get lanes of their own); tm accumulates the stage wall-time
+	// breakdown. Both nil in the default configuration, where the only
+	// overhead is the obsOn nil check per expandAndPrune call.
+	tr  *obs.Tracer
+	tid int64
+	tm  *Timings
+
 	// Per-engine scratch reused across expandAndPrune calls. The engine
 	// is single-threaded (each parallel worker builds its own), and the
 	// leaf join and the Gather Stage never nest, so one set suffices.
@@ -99,6 +160,9 @@ type engine struct {
 	gatherBest *pq.KBest[*index.Entry]
 	gatherTop  []pq.Item[*index.Entry]
 }
+
+// obsOn reports whether the engine records spans or stage timings.
+func (e *engine) obsOn() bool { return e.tr != nil || e.tm != nil }
 
 // dfbi is Algorithm 3 (ANN-DFBI): expand the input LPQ, then recurse into
 // each child LPQ in FIFO order. The input LPQ is fully drained by the
@@ -189,11 +253,32 @@ func (e *engine) probe(c *lpq, cand *index.Entry) {
 // Stage (emitting that owner's result); for a node owner it runs the
 // Expand Stage, distributing the queued candidates over freshly created
 // child LPQs (Filter Stage pruning happens inside lpq.enqueue).
+//
+// With observability enabled (engine.obsOn) the call is bracketed by an
+// "expand" span with a nested "filter" span over the candidate drain (or
+// a "gather" span for an object owner); the stage clocks in Timings
+// attribute the drain to Filter and the remainder to Expand, so the
+// three stage totals are disjoint.
 func (e *engine) expandAndPrune(q *lpq) ([]*lpq, error) {
 	if q.owner.IsObject() {
-		return nil, e.gather(q)
+		if !e.obsOn() {
+			return nil, e.gather(q)
+		}
+		start := time.Now()
+		err := e.gather(q)
+		end := time.Now()
+		e.tr.Complete("gather", e.tid, start, end, "k", int64(q.k))
+		if e.tm != nil {
+			e.tm.Gather += end.Sub(start)
+		}
+		return nil, err
 	}
 
+	obsOn := e.obsOn()
+	var tExpand time.Time
+	if obsOn {
+		tExpand = time.Now()
+	}
 	children, err := e.ir.Expand(q.owner)
 	if err != nil {
 		return nil, err
@@ -204,6 +289,10 @@ func (e *engine) expandAndPrune(q *lpq) ([]*lpq, error) {
 		lpqcs[i] = newLPQ(&children[i], q.bound(), q.k, q.kb, q.monotone, e.stats)
 	}
 
+	var tDrain time.Time
+	if obsOn {
+		tDrain = time.Now()
+	}
 	if !e.opts.PerObjectGather && len(children) > 0 && children[0].Kind == index.ObjectEntry {
 		// The owner is a leaf of I_R: its children are the query objects
 		// themselves. Drain the candidates all the way to object level
@@ -217,6 +306,10 @@ func (e *engine) expandAndPrune(q *lpq) ([]*lpq, error) {
 	} else if err := e.drainToChildren(q, lpqcs); err != nil {
 		return nil, err
 	}
+	var tDrainEnd time.Time
+	if obsOn {
+		tDrainEnd = time.Now()
+	}
 
 	out := lpqcs[:0]
 	for _, c := range lpqcs {
@@ -229,6 +322,16 @@ func (e *engine) expandAndPrune(q *lpq) ([]*lpq, error) {
 			return nil, fmt.Errorf("core: child LPQ starved for owner %v", c.owner.MBR)
 		} else {
 			releaseLPQ(c)
+		}
+	}
+	if obsOn {
+		end := time.Now()
+		e.tr.Complete("filter", e.tid, tDrain, tDrainEnd, "kept", int64(len(out)))
+		e.tr.Complete("expand", e.tid, tExpand, end, "children", int64(len(children)))
+		if e.tm != nil {
+			drain := tDrainEnd.Sub(tDrain)
+			e.tm.Filter += drain
+			e.tm.Expand += end.Sub(tExpand) - drain
 		}
 	}
 	return out, nil

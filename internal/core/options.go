@@ -15,6 +15,7 @@ import (
 
 	"allnn/internal/geom"
 	"allnn/internal/index"
+	"allnn/internal/obs"
 )
 
 // Metric selects the pruning upper bound used between an owner MBR M (from
@@ -146,6 +147,23 @@ type Options struct {
 	// only the cost of expansion, never the traversal: probe/expansion
 	// counters in Stats are identical with and without it.
 	NodeCacheBytes int64
+	// Tracer, when non-nil, records the query's lifecycle as spans —
+	// setup/seed/traverse, the per-LPQ Expand/Filter/Gather stages,
+	// parallel worker and subtree lifetimes, plus buffer-pool reads and
+	// node-cache fetches (wired for the duration of the run). Export the
+	// trace with Tracer.WriteJSON and open it in Perfetto. Nil (the
+	// default) records nothing and costs one nil check per stage.
+	Tracer *obs.Tracer
+	// Registry, when non-nil, receives engine observations that only
+	// exist mid-run (currently the per-subtree drain-time histogram of
+	// the parallel executor, "engine.subtree_nanos"). Final counters are
+	// published by RunReport, not Run.
+	Registry *obs.Registry
+
+	// timings, when non-nil, receives the per-stage wall-time breakdown.
+	// Set by RunReport; stage clocks cost two time.Now() calls per LPQ
+	// when enabled and nothing when nil.
+	timings *Timings
 }
 
 // NodeCacheDisabled disables the decoded-node cache when assigned to
@@ -225,6 +243,22 @@ func (s *Stats) Add(other Stats) {
 	s.Results += other.Results
 	s.NodeCacheHits += other.NodeCacheHits
 	s.NodeCacheMisses += other.NodeCacheMisses
+}
+
+// AddTo accumulates the execution's counters into a metrics registry
+// under the "engine" family. The metric names are the stable external
+// form of Stats (see DESIGN.md §10).
+func (s Stats) AddTo(r *obs.Registry) {
+	r.Counter("engine.distance_calcs").Add(s.DistanceCalcs)
+	r.Counter("engine.lpqs_created").Add(s.LPQsCreated)
+	r.Counter("engine.enqueued").Add(s.Enqueued)
+	r.Counter("engine.pruned_on_probe").Add(s.PrunedOnProbe)
+	r.Counter("engine.pruned_by_filter").Add(s.PrunedByFilter)
+	r.Counter("engine.nodes_expanded_r").Add(s.NodesExpandedR)
+	r.Counter("engine.nodes_expanded_s").Add(s.NodesExpandedS)
+	r.Counter("engine.results").Add(s.Results)
+	r.Counter("engine.node_cache_hits").Add(s.NodeCacheHits)
+	r.Counter("engine.node_cache_misses").Add(s.NodeCacheMisses)
 }
 
 var infinity = math.Inf(1)

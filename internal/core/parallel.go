@@ -1,8 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"allnn/internal/obs"
 )
 
 // subtreesPerWorker is the frontier granularity: the serial prefix of the
@@ -27,7 +31,18 @@ const subtreesPerWorker = 4
 // (mutex-guarded callback, fastest) or order-preserving (per-subtree
 // buffers released in frontier order — byte-identical to serial output).
 func (e *engine) runParallel(root *lpq, workers int) error {
+	var tFrontier time.Time
+	if e.obsOn() {
+		tFrontier = time.Now()
+	}
 	frontier, err := e.buildFrontier(root, workers*subtreesPerWorker)
+	if e.obsOn() {
+		now := time.Now()
+		e.tr.Complete("frontier", obs.TidMain, tFrontier, now, "subtrees", int64(len(frontier)))
+		if e.tm != nil {
+			e.tm.Frontier += now.Sub(tFrontier)
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -38,6 +53,15 @@ func (e *engine) runParallel(root *lpq, workers int) error {
 	if workers > n {
 		workers = n
 	}
+
+	// Per-subtree drain times feed the "engine.subtree_nanos" histogram —
+	// the skew diagnostic for the frontier decomposition — when a metrics
+	// registry is attached.
+	var subtreeHist *obs.Histogram
+	if e.opts.Registry != nil {
+		subtreeHist = e.opts.Registry.Histogram("engine.subtree_nanos", obs.LatencyBuckets())
+	}
+	timed := e.tr != nil || subtreeHist != nil
 
 	var (
 		cursor   atomic.Int64
@@ -67,10 +91,21 @@ func (e *engine) runParallel(root *lpq, workers int) error {
 	var statsMu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			var wstats Stats
-			we := &engine{ir: e.ir, is: e.is, opts: e.opts, stats: &wstats}
+			wtid := obs.TidWorkerBase + int64(w)
+			var wtm *Timings
+			if e.tm != nil {
+				wtm = &Timings{}
+			}
+			we := &engine{ir: e.ir, is: e.is, opts: e.opts, stats: &wstats,
+				tr: e.tr, tid: wtid, tm: wtm}
+			var wSpan obs.Span
+			if e.tr != nil {
+				e.tr.SetThreadName(wtid, fmt.Sprintf("worker-%d", w))
+				wSpan = e.tr.Begin("worker", wtid)
+			}
 			for !stop.Load() {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
@@ -81,6 +116,10 @@ func (e *engine) runParallel(root *lpq, workers int) error {
 				// the main Stats; re-point them at this worker's private
 				// counters before touching them concurrently.
 				q.stats = &wstats
+				var tSub time.Time
+				if timed {
+					tSub = time.Now()
+				}
 				if seq != nil {
 					var buf []Result
 					we.emit = func(r Result) error {
@@ -90,6 +129,9 @@ func (e *engine) runParallel(root *lpq, workers int) error {
 					if err := we.dfbi(q); err != nil {
 						fail(err)
 						break
+					}
+					if timed {
+						finishSubtree(e.tr, subtreeHist, wtid, i, tSub)
 					}
 					if err := seq.finish(i, buf); err != nil {
 						fail(err)
@@ -105,15 +147,31 @@ func (e *engine) runParallel(root *lpq, workers int) error {
 						fail(err)
 						break
 					}
+					if timed {
+						finishSubtree(e.tr, subtreeHist, wtid, i, tSub)
+					}
 				}
 			}
+			wSpan.End()
 			statsMu.Lock()
 			e.stats.Add(wstats)
+			if wtm != nil {
+				e.tm.addStages(*wtm)
+			}
 			statsMu.Unlock()
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// finishSubtree records one frontier subtree's drain: a "subtree" span on
+// the worker's lane (nesting the expand/filter/gather spans the drain
+// emitted) and an observation in the subtree-duration histogram.
+func finishSubtree(tr *obs.Tracer, hist *obs.Histogram, tid int64, i int, start time.Time) {
+	end := time.Now()
+	tr.Complete("subtree", tid, start, end, "subtree", int64(i))
+	hist.Observe(float64(end.Sub(start).Nanoseconds()))
 }
 
 // buildFrontier expands the query index serially, level by level, until

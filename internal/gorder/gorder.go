@@ -10,6 +10,7 @@ import (
 	"allnn/internal/extsort"
 	"allnn/internal/geom"
 	"allnn/internal/index"
+	"allnn/internal/obs"
 	"allnn/internal/pq"
 	"allnn/internal/storage"
 )
@@ -48,6 +49,15 @@ type Stats struct {
 	PointDistCalcs uint64
 	// Chunks counts outer-chunk iterations (full scans of S metadata).
 	Chunks uint64
+}
+
+// AddTo accumulates the counters into a metrics registry under the
+// "gorder" family (see DESIGN.md §10).
+func (s Stats) AddTo(r *obs.Registry) {
+	r.Counter("gorder.blocks_read").Add(s.BlocksRead)
+	r.Counter("gorder.block_pairs_pruned").Add(s.BlockPairsPruned)
+	r.Counter("gorder.point_dist_calcs").Add(s.PointDistCalcs)
+	r.Counter("gorder.chunks").Add(s.Chunks)
 }
 
 // Dataset pairs ids with points.

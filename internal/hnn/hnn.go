@@ -21,6 +21,7 @@ import (
 	"allnn/internal/core"
 	"allnn/internal/geom"
 	"allnn/internal/index"
+	"allnn/internal/obs"
 	"allnn/internal/pq"
 	"allnn/internal/storage"
 )
@@ -53,6 +54,17 @@ type Stats struct {
 	BucketReads    uint64 // bucket fetches during the search (logical)
 	DistCalcs      uint64
 	MaxRing        int // widest ring any query had to expand to
+}
+
+// AddTo accumulates the run into a metrics registry under the "hnn"
+// family (see DESIGN.md §10). Cells and MaxRing are levels, not
+// monotonic counts, and publish as gauges.
+func (s Stats) AddTo(r *obs.Registry) {
+	r.Counter("hnn.buckets_spilled").Add(s.BucketsSpilled)
+	r.Counter("hnn.bucket_reads").Add(s.BucketReads)
+	r.Counter("hnn.dist_calcs").Add(s.DistCalcs)
+	r.Gauge("hnn.cells").Set(int64(s.Cells))
+	r.Gauge("hnn.max_ring").Set(int64(s.MaxRing))
 }
 
 // Dataset pairs ids with points.

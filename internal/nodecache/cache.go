@@ -23,12 +23,16 @@ package nodecache
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"allnn/internal/obs"
 	"allnn/internal/storage"
 )
 
-// Stats accumulates cache activity, summed over the shards.
-type Stats struct {
+// Counters are the monotonic counters of cache activity, summed over the
+// shards. Unlike residency, counters may be subtracted between two
+// snapshots to obtain an exact per-run delta.
+type Counters struct {
 	// Hits and Misses count Get outcomes; the hit rate is the fraction
 	// of node expansions served without decoding.
 	Hits   uint64
@@ -37,19 +41,53 @@ type Stats struct {
 	Evictions uint64
 	// Invalidations counts values dropped because their page mutated.
 	Invalidations uint64
-	// Entries and Bytes describe the current residency.
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Hits += other.Hits
+	c.Misses += other.Misses
+	c.Evictions += other.Evictions
+	c.Invalidations += other.Invalidations
+}
+
+// AddTo accumulates the counters into a metrics registry under the given
+// family prefix ("<prefix>.hits", ".misses", ".evictions",
+// ".invalidations"). Used for publishing per-run deltas; for live wiring
+// of a long-lived cache prefer Cache.Register.
+func (c Counters) AddTo(r *obs.Registry, prefix string) {
+	r.Counter(prefix + ".hits").Add(c.Hits)
+	r.Counter(prefix + ".misses").Add(c.Misses)
+	r.Counter(prefix + ".evictions").Add(c.Evictions)
+	r.Counter(prefix + ".invalidations").Add(c.Invalidations)
+}
+
+// Delta returns c - prev, the activity between two snapshots.
+func (c Counters) Delta(prev Counters) Counters {
+	return Counters{
+		Hits:          c.Hits - prev.Hits,
+		Misses:        c.Misses - prev.Misses,
+		Evictions:     c.Evictions - prev.Evictions,
+		Invalidations: c.Invalidations - prev.Invalidations,
+	}
+}
+
+// Residency describes the cache's point-in-time occupancy. It is a gauge:
+// summing residency snapshots across shards is correct for one instant,
+// but accumulating residency across runs (as the old combined Stats.Add
+// invited) double-counts values that simply stayed resident — which is
+// why it is a separate type with no Add.
+type Residency struct {
 	Entries int
 	Bytes   int64
 }
 
-// Add accumulates other into s.
-func (s *Stats) Add(other Stats) {
-	s.Hits += other.Hits
-	s.Misses += other.Misses
-	s.Evictions += other.Evictions
-	s.Invalidations += other.Invalidations
-	s.Entries += other.Entries
-	s.Bytes += other.Bytes
+// Stats combines the monotonic counters with the current residency, for
+// display. It deliberately has no Add: accumulate Counters (monotonic)
+// and sample Residency (gauge) separately.
+type Stats struct {
+	Counters
+	Residency
 }
 
 // node is one cached value, linked into its shard's LRU list.
@@ -69,7 +107,7 @@ type shard[V any] struct {
 	// Doubly-linked LRU list; head is most recently used.
 	head, tail *node[V]
 	bytes      int64
-	stats      Stats
+	stats      Counters
 }
 
 // Cache is a sharded, byte-bounded LRU over decoded page values. It is
@@ -78,6 +116,9 @@ type shard[V any] struct {
 type Cache[V any] struct {
 	shards   []shard[V]
 	maxBytes int64
+	// trace, when set, receives an instant event per Get (lane
+	// obs.TidCache). One atomic load per lookup when unset.
+	trace atomic.Pointer[obs.Tracer]
 }
 
 // shardThresholdPages mirrors the buffer pool's single-shard rule: below
@@ -169,6 +210,9 @@ func (c *Cache[V]) Get(id storage.PageID) (V, bool) {
 	if !ok {
 		sh.stats.Misses++
 		sh.mu.Unlock()
+		if tr := c.trace.Load(); tr != nil {
+			tr.Instant("cache.miss", obs.TidCache, "page", int64(id))
+		}
 		var zero V
 		return zero, false
 	}
@@ -176,6 +220,9 @@ func (c *Cache[V]) Get(id storage.PageID) (V, bool) {
 	sh.moveFront(n)
 	v := n.val
 	sh.mu.Unlock()
+	if tr := c.trace.Load(); tr != nil {
+		tr.Instant("cache.hit", obs.TidCache, "page", int64(id))
+	}
 	return v, true
 }
 
@@ -241,25 +288,68 @@ func (c *Cache[V]) Len() int {
 	return n
 }
 
-// Stats returns a snapshot of the accumulated statistics, summed over
-// the shards. Entries and Bytes reflect current residency.
-func (c *Cache[V]) Stats() Stats {
-	var st Stats
+// Counters returns the accumulated monotonic counters, summed over the
+// shards. Two Counters snapshots subtract into an exact per-run delta.
+func (c *Cache[V]) Counters() Counters {
+	var ct Counters
 	if c == nil {
-		return st
+		return ct
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		st.Hits += sh.stats.Hits
-		st.Misses += sh.stats.Misses
-		st.Evictions += sh.stats.Evictions
-		st.Invalidations += sh.stats.Invalidations
-		st.Entries += len(sh.table)
-		st.Bytes += sh.bytes
+		ct.Add(sh.stats)
 		sh.mu.Unlock()
 	}
-	return st
+	return ct
+}
+
+// Residency returns the current occupancy, summed over the shards. It is
+// a point-in-time gauge — never accumulate it across runs.
+func (c *Cache[V]) Residency() Residency {
+	var rs Residency
+	if c == nil {
+		return rs
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		rs.Entries += len(sh.table)
+		rs.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return rs
+}
+
+// Stats returns the combined counters-plus-residency snapshot.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{Counters: c.Counters(), Residency: c.Residency()}
+}
+
+// SetTracer attaches (or, with nil, detaches) a tracer receiving an
+// instant event per Get. Safe to flip concurrently with lookups.
+func (c *Cache[V]) SetTracer(t *obs.Tracer) {
+	if c == nil {
+		return
+	}
+	c.trace.Store(t)
+}
+
+// Register wires the cache into a metrics registry under the given
+// family prefix: monotonic counters "<prefix>.hits" / ".misses" /
+// ".evictions" / ".invalidations" and residency gauges "<prefix>.entries"
+// / ".bytes". Callback-backed, so snapshots always reflect the live
+// cache; re-registering (e.g. once per run) is idempotent.
+func (c *Cache[V]) Register(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc(prefix+".hits", func() uint64 { return c.Counters().Hits })
+	r.CounterFunc(prefix+".misses", func() uint64 { return c.Counters().Misses })
+	r.CounterFunc(prefix+".evictions", func() uint64 { return c.Counters().Evictions })
+	r.CounterFunc(prefix+".invalidations", func() uint64 { return c.Counters().Invalidations })
+	r.GaugeFunc(prefix+".entries", func() int64 { return int64(c.Residency().Entries) })
+	r.GaugeFunc(prefix+".bytes", func() int64 { return c.Residency().Bytes })
 }
 
 // --- intrusive LRU list (all called with the shard lock held) ---------------

@@ -160,13 +160,44 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 }
 
-func TestStatsAdd(t *testing.T) {
-	a := Stats{Hits: 1, Misses: 2, Evictions: 3, Invalidations: 4, Entries: 5, Bytes: 6}
+func TestCountersAddDelta(t *testing.T) {
+	a := Counters{Hits: 1, Misses: 2, Evictions: 3, Invalidations: 4}
 	b := a
 	a.Add(b)
-	want := Stats{Hits: 2, Misses: 4, Evictions: 6, Invalidations: 8, Entries: 10, Bytes: 12}
+	want := Counters{Hits: 2, Misses: 4, Evictions: 6, Invalidations: 8}
 	if a != want {
 		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+	if d := a.Delta(b); d != b {
+		t.Fatalf("Delta = %+v, want %+v", d, b)
+	}
+}
+
+func TestCountersResidencySplit(t *testing.T) {
+	// Residency is a gauge: two snapshots around idle activity must be
+	// identical (not doubled), while counters accumulate.
+	c := NewSharded[int](1<<20, 1)
+	c.Put(1, 1, 100)
+	c.Put(2, 2, 100)
+	c.Get(1)
+	c.Get(3) // miss
+	before := c.Residency()
+	c.Get(1) // hit: counter moves, residency must not
+	after := c.Residency()
+	if before != after {
+		t.Fatalf("residency changed across pure hits: %+v -> %+v", before, after)
+	}
+	if after != (Residency{Entries: 2, Bytes: 200}) {
+		t.Fatalf("residency = %+v, want 2 entries / 200 bytes", after)
+	}
+	ct := c.Counters()
+	if ct.Hits != 2 || ct.Misses != 1 {
+		t.Fatalf("counters = %+v, want 2 hits / 1 miss", ct)
+	}
+	// The combined Stats view carries both halves via embedding.
+	st := c.Stats()
+	if st.Hits != 2 || st.Entries != 2 {
+		t.Fatalf("combined stats = %+v", st)
 	}
 }
 

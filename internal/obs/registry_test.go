@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("engine.distance_calcs")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("engine.distance_calcs") != c {
+		t.Fatal("Counter is not get-or-create: second lookup returned a different instance")
+	}
+
+	g := r.Gauge("cache.bytes")
+	g.Set(100)
+	g.Add(-30)
+	if got := g.Value(); got != 70 {
+		t.Fatalf("gauge = %d, want 70", got)
+	}
+	if r.Gauge("cache.bytes") != g {
+		t.Fatal("Gauge is not get-or-create")
+	}
+
+	s := r.Snapshot()
+	if s.Counters["engine.distance_calcs"] != 42 || s.Gauges["cache.bytes"] != 70 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("engine.query_nanos", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 10, 11, 99, 5000} {
+		h.Observe(v)
+	}
+	if r.Histogram("engine.query_nanos", nil) != h {
+		t.Fatal("Histogram is not get-or-create (bounds of the existing histogram must win)")
+	}
+	s := r.Snapshot().Histograms["engine.query_nanos"]
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 5+10+11+99+5000 {
+		t.Fatalf("sum = %g, want %d", s.Sum, 5+10+11+99+5000)
+	}
+	wantBuckets := []uint64{2, 2, 0} // <=10: {5,10}; <=100: {11,99}; <=1000: {}
+	for i, want := range wantBuckets {
+		if s.Buckets[i].Count != want {
+			t.Fatalf("bucket %d (le %g) = %d, want %d", i, s.Buckets[i].UpperBound, s.Buckets[i].Count, want)
+		}
+	}
+	if s.Overflow != 1 {
+		t.Fatalf("overflow = %d, want 1 (the 5000 observation)", s.Overflow)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1e3, 4, 3)
+	want := []float64{1e3, 4e3, 16e3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	if n := len(LatencyBuckets()); n != 13 {
+		t.Fatalf("LatencyBuckets has %d bounds, want 13", n)
+	}
+}
+
+func TestCallbackMetricsReplace(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("pool.misses", func() uint64 { return 1 })
+	r.CounterFunc("pool.misses", func() uint64 { return 7 }) // re-register replaces
+	r.GaugeFunc("pool.pinned_frames", func() int64 { return -3 })
+	s := r.Snapshot()
+	if s.Counters["pool.misses"] != 7 {
+		t.Fatalf("callback counter = %d, want the replacement's 7", s.Counters["pool.misses"])
+	}
+	if s.Gauges["pool.pinned_frames"] != -3 {
+		t.Fatalf("callback gauge = %d, want -3", s.Gauges["pool.pinned_frames"])
+	}
+}
+
+// TestNilRegistryNoOps: a nil registry (observability disabled) must be
+// fully usable — accessors return nil metrics whose methods do nothing.
+func TestNilRegistryNoOps(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(5)
+	r.Gauge("y").Set(1)
+	r.Gauge("y").Add(-1)
+	r.Histogram("z", LatencyBuckets()).Observe(3)
+	r.CounterFunc("f", func() uint64 { return 1 })
+	r.GaugeFunc("g", func() int64 { return 1 })
+	if v := r.Counter("x").Value(); v != 0 {
+		t.Fatalf("nil counter Value = %d", v)
+	}
+	if v := r.Gauge("y").Value(); v != 0 {
+		t.Fatalf("nil gauge Value = %d", v)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from 8 goroutines — mixed
+// get-or-create lookups, updates, callback re-registration and snapshots
+// — and checks the final totals. Run under -race this is the registry's
+// safety proof.
+func TestRegistryConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 2000
+	)
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared.counter").Inc()
+				r.Gauge("shared.gauge").Add(1)
+				r.Histogram("shared.hist", []float64{10, 1000}).Observe(float64(i % 20))
+				r.CounterFunc("shared.func", func() uint64 { return 11 })
+				if i%64 == 0 {
+					_ = r.Snapshot() // reads race against the writers above
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := r.Snapshot()
+	const total = goroutines * iters
+	if s.Counters["shared.counter"] != total {
+		t.Fatalf("counter = %d, want %d", s.Counters["shared.counter"], total)
+	}
+	if s.Gauges["shared.gauge"] != total {
+		t.Fatalf("gauge = %d, want %d", s.Gauges["shared.gauge"], total)
+	}
+	h := s.Histograms["shared.hist"]
+	if h.Count != total {
+		t.Fatalf("histogram count = %d, want %d", h.Count, total)
+	}
+	// Each goroutine observes i%20 ∈ [0,19]: values <=10 are 11 of every
+	// 20, the rest land in the <=1000 bucket; none overflow.
+	if want := uint64(total * 11 / 20); h.Buckets[0].Count != want {
+		t.Fatalf("bucket 0 = %d, want %d", h.Buckets[0].Count, want)
+	}
+	if h.Overflow != 0 {
+		t.Fatalf("overflow = %d, want 0", h.Overflow)
+	}
+	if s.Counters["shared.func"] != 11 {
+		t.Fatalf("callback counter = %d, want 11", s.Counters["shared.func"])
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.results").Add(9)
+	r.Gauge("cache.entries").Set(4)
+	r.Histogram("engine.query_nanos", LatencyBuckets()).Observe(2e3)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if s.Counters["engine.results"] != 9 || s.Gauges["cache.entries"] != 4 {
+		t.Fatalf("round-tripped snapshot mismatch: %+v", s)
+	}
+	h := s.Histograms["engine.query_nanos"]
+	if h.Count != 1 || h.Sum != 2e3 {
+		t.Fatalf("round-tripped histogram mismatch: %+v", h)
+	}
+}

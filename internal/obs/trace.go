@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Reserved trace lanes ("tid" values). The serial engine and the parallel
+// frontier builder record on TidMain; parallel workers use TidWorkerBase+i;
+// the buffer pool and the decoded-node cache get lanes of their own, since
+// their events can be emitted concurrently from any worker.
+const (
+	TidMain       int64 = 0
+	TidWorkerBase int64 = 1
+	TidPool       int64 = 1000
+	TidCache      int64 = 1001
+)
+
+// DefaultTraceEvents caps a Tracer's buffered events (~64 B each). Events
+// past the cap are dropped and counted, so tracing a paper-scale run
+// degrades to a truncated trace instead of unbounded memory growth.
+const DefaultTraceEvents = 1 << 20
+
+// event is one buffered trace record. Timestamps are nanoseconds since
+// the tracer's epoch; dur < 0 marks an instant event, ph 'M' a metadata
+// (thread name) record.
+type event struct {
+	name    string
+	ph      byte
+	tid     int64
+	ts      int64
+	dur     int64
+	argName string
+	argVal  int64
+}
+
+// Tracer buffers spans and instant events and renders them as Chrome
+// trace-event JSON (chrome://tracing, https://ui.perfetto.dev). It is safe
+// for concurrent use; a nil *Tracer is a valid no-op, which is how
+// tracing stays free when disabled.
+type Tracer struct {
+	epoch   time.Time
+	max     int
+	dropped atomic.Uint64
+
+	mu     sync.Mutex
+	events []event
+	names  map[int64]string // tid -> thread name
+}
+
+// NewTracer creates a tracer capped at DefaultTraceEvents events.
+func NewTracer() *Tracer { return NewTracerLimit(DefaultTraceEvents) }
+
+// NewTracerLimit creates a tracer buffering at most maxEvents events;
+// further events are dropped and counted in the output metadata.
+func NewTracerLimit(maxEvents int) *Tracer {
+	if maxEvents < 1 {
+		maxEvents = 1
+	}
+	return &Tracer{epoch: time.Now(), max: maxEvents, names: map[int64]string{}}
+}
+
+// Enabled reports whether t records anything (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetThreadName labels a tid lane in the trace viewer.
+func (t *Tracer) SetThreadName(tid int64, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.names[tid] = name
+	t.mu.Unlock()
+}
+
+func (t *Tracer) push(e event) {
+	t.mu.Lock()
+	if len(t.events) >= t.max {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Span is an in-flight interval started by Begin. The zero Span (from a
+// nil tracer) is a no-op; End must be called exactly once.
+type Span struct {
+	t       *Tracer
+	start   time.Time
+	name    string
+	tid     int64
+	argName string
+	argVal  int64
+}
+
+// Begin starts a span on the given lane. The returned Span is a value —
+// no allocation — and records nothing until End.
+func (t *Tracer) Begin(name string, tid int64) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, start: time.Now(), name: name, tid: tid}
+}
+
+// Arg attaches one integer argument, shown in the trace viewer's span
+// details. At most one argument per span keeps the record allocation-free.
+func (s *Span) Arg(name string, v int64) {
+	s.argName, s.argVal = name, v
+}
+
+// End completes the span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.Complete(s.name, s.tid, s.start, time.Now(), s.argName, s.argVal)
+}
+
+// Complete records a finished interval with explicit endpoints (the form
+// the engine uses when it already holds the timestamps for stage
+// timings). argName "" omits the argument.
+func (t *Tracer) Complete(name string, tid int64, start, end time.Time, argName string, argVal int64) {
+	if t == nil {
+		return
+	}
+	t.push(event{
+		name: name, ph: 'X', tid: tid,
+		ts: start.Sub(t.epoch).Nanoseconds(), dur: end.Sub(start).Nanoseconds(),
+		argName: argName, argVal: argVal,
+	})
+}
+
+// Instant records a zero-duration marker (buffer-pool and node-cache
+// fetches use these: they are too frequent and too concurrent for clean
+// span nesting in a single lane).
+func (t *Tracer) Instant(name string, tid int64, argName string, argVal int64) {
+	if t == nil {
+		return
+	}
+	t.push(event{
+		name: name, ph: 'i', tid: tid,
+		ts: time.Since(t.epoch).Nanoseconds(), dur: -1,
+		argName: argName, argVal: argVal,
+	})
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns the number of events lost to the buffer cap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// jsonEvent is the Chrome trace-event wire form. ts/dur are fractional
+// microseconds, which Perfetto resolves back to nanoseconds.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON renders the buffered events as a Chrome trace-event JSON
+// object ({"traceEvents": [...]}), loadable in Perfetto or
+// chrome://tracing. The tracer remains usable afterwards.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	doc := struct {
+		TraceEvents     []jsonEvent       `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData,omitempty"`
+	}{DisplayTimeUnit: "ns"}
+	if t != nil {
+		t.mu.Lock()
+		events := append([]event(nil), t.events...)
+		names := make(map[int64]string, len(t.names))
+		for tid, n := range t.names {
+			names[tid] = n
+		}
+		t.mu.Unlock()
+
+		doc.TraceEvents = make([]jsonEvent, 0, len(events)+len(names))
+		for tid, name := range names {
+			doc.TraceEvents = append(doc.TraceEvents, jsonEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		for _, e := range events {
+			je := jsonEvent{
+				Name: e.name, Ph: string(e.ph), Pid: 1, Tid: e.tid,
+				Ts: float64(e.ts) / 1e3,
+			}
+			if e.ph == 'X' {
+				d := float64(e.dur) / 1e3
+				je.Dur = &d
+			}
+			if e.ph == 'i' {
+				je.S = "t" // thread-scoped instant
+			}
+			if e.argName != "" {
+				je.Args = map[string]any{e.argName: e.argVal}
+			}
+			doc.TraceEvents = append(doc.TraceEvents, je)
+		}
+		if d := t.dropped.Load(); d > 0 {
+			doc.OtherData = map[string]string{"droppedEvents": strconv.FormatUint(d, 10)}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

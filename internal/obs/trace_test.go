@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// traceDoc mirrors the Chrome trace-event JSON for decoding in tests.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  *float64       `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int64          `json:"tid"`
+		S    string         `json:"s"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+func decodeTrace(t *testing.T, tr *Tracer) traceDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+func TestTracerSpansAndJSON(t *testing.T) {
+	tr := NewTracer()
+	if !tr.Enabled() {
+		t.Fatal("non-nil tracer must report Enabled")
+	}
+	tr.SetThreadName(TidMain, "engine")
+
+	outer := tr.Begin("query", TidMain)
+	inner := tr.Begin("expand", TidMain)
+	inner.Arg("children", 4)
+	time.Sleep(time.Millisecond)
+	inner.End()
+	tr.Instant("cache.hit", TidCache, "node", 7)
+	outer.End()
+
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (two spans + one instant)", tr.Len())
+	}
+	doc := decodeTrace(t, tr)
+
+	byName := map[string]int{}
+	for i, e := range doc.TraceEvents {
+		byName[e.Name] = i
+	}
+	meta := doc.TraceEvents[byName["thread_name"]]
+	if meta.Ph != "M" || meta.Args["name"] != "engine" {
+		t.Fatalf("thread_name metadata wrong: %+v", meta)
+	}
+
+	expand := doc.TraceEvents[byName["expand"]]
+	if expand.Ph != "X" || expand.Dur == nil || *expand.Dur <= 0 {
+		t.Fatalf("expand span malformed: %+v", expand)
+	}
+	if v, ok := expand.Args["children"].(float64); !ok || v != 4 {
+		t.Fatalf("expand arg = %v, want children=4", expand.Args)
+	}
+
+	query := doc.TraceEvents[byName["query"]]
+	// Nesting: the inner span must be contained in the outer one (ts/dur
+	// are fractional microseconds).
+	if expand.Ts < query.Ts || expand.Ts+*expand.Dur > query.Ts+*query.Dur {
+		t.Fatalf("expand [%g,+%g] not contained in query [%g,+%g]",
+			expand.Ts, *expand.Dur, query.Ts, *query.Dur)
+	}
+
+	hit := doc.TraceEvents[byName["cache.hit"]]
+	if hit.Ph != "i" || hit.S != "t" || hit.Dur != nil || hit.Tid != TidCache {
+		t.Fatalf("instant malformed: %+v", hit)
+	}
+}
+
+func TestTracerComplete(t *testing.T) {
+	tr := NewTracer()
+	start := time.Now()
+	end := start.Add(5 * time.Millisecond)
+	tr.Complete("filter", TidWorkerBase, start, end, "kept", 12)
+	tr.Complete("bare", TidMain, start, end, "", 0) // argName "" omits the arg
+
+	doc := decodeTrace(t, tr)
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	filter := doc.TraceEvents[0]
+	if filter.Name != "filter" || *filter.Dur != 5000 { // 5ms = 5000µs
+		t.Fatalf("filter span: %+v", filter)
+	}
+	if doc.TraceEvents[1].Args != nil {
+		t.Fatalf("empty argName must omit args, got %v", doc.TraceEvents[1].Args)
+	}
+}
+
+func TestTracerDropCap(t *testing.T) {
+	tr := NewTracerLimit(2)
+	now := time.Now()
+	for i := 0; i < 5; i++ {
+		tr.Complete("e", TidMain, now, now, "", 0)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want the cap 2", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", tr.Dropped())
+	}
+	doc := decodeTrace(t, tr)
+	if doc.OtherData["droppedEvents"] != "3" {
+		t.Fatalf("otherData = %v, want droppedEvents=3", doc.OtherData)
+	}
+}
+
+// TestNilTracerNoOps: a nil tracer is the disabled state — every method,
+// including spans begun on it, must be a safe no-op.
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer must not report Enabled")
+	}
+	tr.SetThreadName(TidMain, "x")
+	sp := tr.Begin("query", TidMain)
+	sp.Arg("a", 1)
+	sp.End()
+	tr.Complete("c", TidMain, time.Now(), time.Now(), "", 0)
+	tr.Instant("i", TidMain, "", 0)
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must report zero events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer JSON does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil tracer emitted events: %+v", doc.TraceEvents)
+	}
+}
+
+// TestTracerConcurrent drives the tracer from 8 goroutines (as the
+// parallel executor, buffer pool and node cache do) — meaningful under
+// -race, and checks nothing is lost below the cap.
+func TestTracerConcurrent(t *testing.T) {
+	const goroutines, iters = 8, 500
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tid := TidWorkerBase + int64(g)
+			tr.SetThreadName(tid, "worker")
+			for i := 0; i < iters; i++ {
+				sp := tr.Begin("subtree", tid)
+				tr.Instant("cache.hit", TidCache, "", 0)
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if want := goroutines * iters * 2; tr.Len() != want {
+		t.Fatalf("Len = %d, want %d", tr.Len(), want)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", tr.Dropped())
+	}
+}

@@ -5,6 +5,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"allnn/internal/obs"
 )
 
 // Stats accumulates buffer pool activity. Misses is the number that
@@ -25,6 +29,30 @@ func (s *Stats) Add(other Stats) {
 	s.Reads += other.Reads
 	s.Writes += other.Writes
 	s.Evictions += other.Evictions
+}
+
+// Delta returns s - prev, the activity between two snapshots (all
+// counters are monotonic).
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Reads:     s.Reads - prev.Reads,
+		Writes:    s.Writes - prev.Writes,
+		Evictions: s.Evictions - prev.Evictions,
+	}
+}
+
+// AddTo accumulates the snapshot into a metrics registry under the given
+// family prefix ("<prefix>.hits", ".misses", ".reads", ".writes",
+// ".evictions"). Used for publishing per-run deltas; for live wiring of a
+// long-lived pool prefer BufferPool.Register.
+func (s Stats) AddTo(r *obs.Registry, prefix string) {
+	r.Counter(prefix + ".hits").Add(s.Hits)
+	r.Counter(prefix + ".misses").Add(s.Misses)
+	r.Counter(prefix + ".reads").Add(s.Reads)
+	r.Counter(prefix + ".writes").Add(s.Writes)
+	r.Counter(prefix + ".evictions").Add(s.Evictions)
 }
 
 // IOs returns the total number of page transfers (reads + writes).
@@ -104,6 +132,9 @@ type poolShard struct {
 type BufferPool struct {
 	store  Store
 	shards []poolShard
+	// trace, when set, receives a "pool.read" span per miss (lane
+	// obs.TidPool). One atomic load per Get when unset.
+	trace atomic.Pointer[obs.Tracer]
 }
 
 // shardThreshold is the pool size (in frames) below which the pool stays
@@ -229,6 +260,7 @@ func (p *BufferPool) ResetStats() {
 
 // Get pins the page id, reading it from the store on a miss.
 func (p *BufferPool) Get(id PageID) (*Frame, error) {
+	tr := p.trace.Load()
 	sh := p.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -247,9 +279,16 @@ func (p *BufferPool) Get(id PageID) (*Frame, error) {
 		return nil, err
 	}
 	f := &sh.frames[idx]
+	var readStart time.Time
+	if tr != nil {
+		readStart = time.Now()
+	}
 	if err := sh.store.ReadPage(id, f.data); err != nil {
 		sh.free = append(sh.free, idx)
 		return nil, err
+	}
+	if tr != nil {
+		tr.Complete("pool.read", obs.TidPool, readStart, time.Now(), "page", int64(id))
 	}
 	sh.stats.Reads++
 	f.id = id
@@ -305,6 +344,29 @@ func (p *BufferPool) FlushAll() error {
 		sh.mu.Unlock()
 	}
 	return nil
+}
+
+// SetTracer attaches (or, with nil, detaches) a tracer receiving a
+// "pool.read" span per page fetched from the store. Safe to flip
+// concurrently with Gets. Spans land in the shared obs.TidPool lane, so
+// concurrent workers' reads may overlap there — use them for when/what,
+// not for nesting.
+func (p *BufferPool) SetTracer(t *obs.Tracer) { p.trace.Store(t) }
+
+// Register wires the pool into a metrics registry under the given family
+// prefix ("<prefix>.hits", ".misses", ".reads", ".writes", ".evictions",
+// plus gauge "<prefix>.pinned_frames"). Callback-backed, so snapshots
+// always reflect the live pool; re-registering is idempotent.
+func (p *BufferPool) Register(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc(prefix+".hits", func() uint64 { return p.Stats().Hits })
+	r.CounterFunc(prefix+".misses", func() uint64 { return p.Stats().Misses })
+	r.CounterFunc(prefix+".reads", func() uint64 { return p.Stats().Reads })
+	r.CounterFunc(prefix+".writes", func() uint64 { return p.Stats().Writes })
+	r.CounterFunc(prefix+".evictions", func() uint64 { return p.Stats().Evictions })
+	r.GaugeFunc(prefix+".pinned_frames", func() int64 { return int64(p.PinnedFrames()) })
 }
 
 // PinnedFrames returns the number of currently pinned frames; useful for
