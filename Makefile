@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench-smoke trace-smoke bench-parallel bench-nodecache
+.PHONY: build test race vet check bench-smoke trace-smoke bench-parallel bench-nodecache chaos fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,22 @@ race:
 # check is what CI runs: vet plus the full suite under the race detector,
 # plus a one-iteration pass over every benchmark so they cannot rot.
 check: vet race bench-smoke trace-smoke
+
+# chaos runs the fault-injection suite under the race detector: thousands
+# of queries over a store that fails 1% of reads, corruption surfacing,
+# and mid-query cancellation — asserting classified errors and zero
+# leaked pins throughout.
+chaos:
+	$(GO) test -race -run 'Chaos|Cancel' -count=1 ./internal/... ./ann/
+
+# fuzz-smoke gives each decode fuzzer a short budget on top of the
+# checked-in corpora (which every plain `go test` already replays).
+# `go test -fuzz` accepts one matching target per invocation, hence the
+# three lines.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzDecodeRecord -fuzztime=5s ./internal/mbrqt
+	$(GO) test -run=NONE -fuzz=FuzzRecordFromPage -fuzztime=5s ./internal/mbrqt
+	$(GO) test -run=NONE -fuzz=FuzzDecodeNode -fuzztime=5s ./internal/rstar
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -27,10 +27,12 @@
 package ann
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"runtime"
+	"time"
 
 	"allnn/internal/core"
 	"allnn/internal/geom"
@@ -90,7 +92,31 @@ type IndexConfig struct {
 	// PageFile, when non-empty, stores the index pages in a file at this
 	// path instead of in memory.
 	PageFile string
+	// ReadRetries is the number of times a transient page-read failure is
+	// retried (with jittered exponential backoff) before it surfaces from
+	// a query. 0 selects the default (3); negative disables retries.
+	// Corrupt pages — checksum or structural verification failures,
+	// ErrCorruptPage — are never retried.
+	ReadRetries int
+	// RetryBackoff is the base delay before the first read retry; each
+	// further retry doubles it up to RetryBackoffMax. Zero values select
+	// the defaults (200µs base, 5ms cap).
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 }
+
+// Error classification re-exported from the storage layer, so callers
+// can tell permanently damaged data from transient device trouble with
+// errors.Is on any error a query or index build surfaces:
+//
+//   - ErrCorruptPage: a page failed its checksum, header or structural
+//     verification. Retrying cannot help; the index needs a rebuild.
+//   - ErrTransientIO: an I/O operation failed in a retryable way and the
+//     configured retries (IndexConfig.ReadRetries) were exhausted.
+var (
+	ErrCorruptPage = storage.ErrCorruptPage
+	ErrTransientIO = storage.ErrTransientIO
+)
 
 // QueryConfig configures the ANN/AkNN execution.
 type QueryConfig struct {
@@ -197,7 +223,11 @@ func BuildIndex(points []Point, cfg IndexConfig) (*Index, error) {
 	} else {
 		store = storage.NewMemStore()
 	}
-	pool := storage.NewBufferPool(store, storage.FramesForBytes(poolBytes))
+	pool := storage.NewBufferPoolWithConfig(store, storage.FramesForBytes(poolBytes), storage.BufferPoolConfig{
+		ReadRetries:     cfg.ReadRetries,
+		RetryBackoff:    cfg.RetryBackoff,
+		RetryBackoffMax: cfg.RetryBackoffMax,
+	})
 
 	var tree index.Tree
 	var err error
@@ -258,11 +288,25 @@ func AllNearestNeighbors(r, s *Index, cfg QueryConfig) ([]Result, error) {
 	return AllKNearestNeighbors(r, s, 1, cfg)
 }
 
+// AllNearestNeighborsContext is AllNearestNeighbors with cancellation:
+// when ctx is cancelled or its deadline passes, the query — serial or
+// parallel — stops promptly, releases its storage resources, and returns
+// ctx.Err() alongside the results produced so far.
+func AllNearestNeighborsContext(ctx context.Context, r, s *Index, cfg QueryConfig) ([]Result, error) {
+	return AllKNearestNeighborsContext(ctx, r, s, 1, cfg)
+}
+
 // AllKNearestNeighbors computes, for every point of r, its k nearest
 // neighbors in s.
 func AllKNearestNeighbors(r, s *Index, k int, cfg QueryConfig) ([]Result, error) {
+	return AllKNearestNeighborsContext(context.Background(), r, s, k, cfg)
+}
+
+// AllKNearestNeighborsContext is AllKNearestNeighbors with cancellation
+// (see AllNearestNeighborsContext).
+func AllKNearestNeighborsContext(ctx context.Context, r, s *Index, k int, cfg QueryConfig) ([]Result, error) {
 	var out []Result
-	err := StreamAllKNearestNeighbors(r, s, k, cfg, func(res Result) error {
+	err := StreamAllKNearestNeighborsContext(ctx, r, s, k, cfg, func(res Result) error {
 		out = append(out, res)
 		return nil
 	})
@@ -276,11 +320,23 @@ func SelfAllNearestNeighbors(ix *Index, cfg QueryConfig) ([]Result, error) {
 	return SelfAllKNearestNeighbors(ix, 1, cfg)
 }
 
+// SelfAllNearestNeighborsContext is SelfAllNearestNeighbors with
+// cancellation (see AllNearestNeighborsContext).
+func SelfAllNearestNeighborsContext(ctx context.Context, ix *Index, cfg QueryConfig) ([]Result, error) {
+	return SelfAllKNearestNeighborsContext(ctx, ix, 1, cfg)
+}
+
 // SelfAllKNearestNeighbors computes, for every point of ix, its k nearest
 // other points in the same dataset.
 func SelfAllKNearestNeighbors(ix *Index, k int, cfg QueryConfig) ([]Result, error) {
+	return SelfAllKNearestNeighborsContext(context.Background(), ix, k, cfg)
+}
+
+// SelfAllKNearestNeighborsContext is SelfAllKNearestNeighbors with
+// cancellation (see AllNearestNeighborsContext).
+func SelfAllKNearestNeighborsContext(ctx context.Context, ix *Index, k int, cfg QueryConfig) ([]Result, error) {
 	var out []Result
-	err := run(ix, ix, k, cfg, true, func(res Result) error {
+	err := run(ctx, ix, ix, k, cfg, true, func(res Result) error {
 		out = append(out, res)
 		return nil
 	})
@@ -291,10 +347,17 @@ func SelfAllKNearestNeighbors(ix *Index, k int, cfg QueryConfig) ([]Result, erro
 // callback instead of a materialised slice; emit is called once per query
 // point, in index traversal order.
 func StreamAllKNearestNeighbors(r, s *Index, k int, cfg QueryConfig, emit func(Result) error) error {
-	return run(r, s, k, cfg, false, emit)
+	return run(context.Background(), r, s, k, cfg, false, emit)
 }
 
-func run(r, s *Index, k int, cfg QueryConfig, excludeSelf bool, emit func(Result) error) error {
+// StreamAllKNearestNeighborsContext is StreamAllKNearestNeighbors with
+// cancellation (see AllNearestNeighborsContext); emit is not called again
+// after the cancellation is observed.
+func StreamAllKNearestNeighborsContext(ctx context.Context, r, s *Index, k int, cfg QueryConfig, emit func(Result) error) error {
+	return run(ctx, r, s, k, cfg, false, emit)
+}
+
+func run(ctx context.Context, r, s *Index, k int, cfg QueryConfig, excludeSelf bool, emit func(Result) error) error {
 	if k < 1 {
 		return fmt.Errorf("ann: k must be at least 1, got %d", k)
 	}
@@ -324,7 +387,7 @@ func run(r, s *Index, k int, cfg QueryConfig, excludeSelf bool, emit func(Result
 		return emit(out)
 	}
 	if !cfg.observed() {
-		_, err := core.Run(r.tree, s.tree, opts, coreEmit)
+		_, err := core.RunContext(ctx, r.tree, s.tree, opts, coreEmit)
 		return err
 	}
 	var tracer *obs.Tracer
@@ -333,7 +396,7 @@ func run(r, s *Index, k int, cfg QueryConfig, excludeSelf bool, emit func(Result
 	}
 	opts.Tracer = tracer
 	opts.Registry = cfg.Metrics.registry()
-	rep, err := core.RunReport(r.tree, s.tree, opts, coreEmit)
+	rep, err := core.RunReportContext(ctx, r.tree, s.tree, opts, coreEmit)
 	if cfg.TraceOut != nil {
 		if werr := tracer.WriteJSON(cfg.TraceOut); werr != nil && err == nil {
 			err = werr

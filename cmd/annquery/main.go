@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -48,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		kindStr = fs.String("index", "mbrqt", "index structure: mbrqt | rstar")
 		metric  = fs.String("metric", "nxndist", "pruning metric: nxndist | maxmax")
 		quiet   = fs.Bool("quiet", false, "suppress per-point output; print only the summary")
+		timeout = fs.Duration("timeout", 0, "abort the query after this long (0 disables); exits with ctx deadline error")
 
 		tracePath   = fs.String("trace", "", "write a Chrome trace-event JSON of the query here (open at ui.perfetto.dev)")
 		report      = fs.Bool("report", false, "print the unified QueryReport (counters + stage timings) as JSON to stderr")
@@ -155,6 +157,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	buildTime := time.Since(buildStart)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	w := bufio.NewWriter(stdout)
 	defer w.Flush()
 	queryStart := time.Now()
@@ -172,7 +181,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 	if *selfQ && sIx == rIx {
-		results, err := ann.SelfAllKNearestNeighbors(rIx, *k, qcfg)
+		results, err := ann.SelfAllKNearestNeighborsContext(ctx, rIx, *k, qcfg)
 		if err != nil {
 			return err
 		}
@@ -182,7 +191,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 	} else {
-		if err := ann.StreamAllKNearestNeighbors(rIx, sIx, *k, qcfg, emit); err != nil {
+		if err := ann.StreamAllKNearestNeighborsContext(ctx, rIx, sIx, *k, qcfg, emit); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"allnn/internal/geom"
+	"allnn/internal/mbrqt"
+	"allnn/internal/storage"
+)
+
+// buildSlowTree builds an MBRQT whose store delays every read, so a full
+// ANN run over it takes far longer than the cancellation deadlines below.
+// The tiny pool plus NodeCacheDisabled in the options keep the traversal
+// hitting the slow store instead of warm frames.
+func buildSlowTree(t testing.TB, pts []geom.Point, readLatency time.Duration) (*mbrqt.Tree, *storage.BufferPool) {
+	t.Helper()
+	fs := storage.NewFaultStore(storage.NewMemStore(), storage.FaultConfig{})
+	pool := storage.NewBufferPool(fs, 4)
+	tree, err := mbrqt.BulkLoad(pool, pts, nil, mbrqt.Config{BucketCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetConfig(storage.FaultConfig{ReadLatency: readLatency})
+	return tree, pool
+}
+
+// TestCancelStopsRun cancels a slow query mid-flight — serially and with
+// four workers — and checks that it returns promptly with
+// context.Canceled and no pinned frames left behind.
+func TestCancelStopsRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := clusteredPoints(rng, 5000, 2, 100)
+	tree, pool := buildSlowTree(t, pts, 2*time.Millisecond)
+
+	for _, par := range []int{1, 4} {
+		name := "serial"
+		if par > 1 {
+			name = "parallel"
+		}
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			timer := time.AfterFunc(20*time.Millisecond, cancel)
+			defer timer.Stop()
+
+			start := time.Now()
+			_, _, err := CollectContext(ctx, tree, tree, Options{
+				K:              1,
+				ExcludeSelf:    true,
+				Parallelism:    par,
+				NodeCacheBytes: NodeCacheDisabled,
+			})
+			elapsed := time.Since(start)
+
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			// The bound is generous — what matters is that the run did not
+			// grind through the multi-second full traversal.
+			if elapsed > 1500*time.Millisecond {
+				t.Fatalf("run took %v after a 20ms cancellation", elapsed)
+			}
+			storage.RequireNoPinnedFrames(t, pool)
+		})
+	}
+}
+
+// TestCancelDeadline runs the same slow query under context.WithTimeout
+// and expects DeadlineExceeded — the annquery -timeout path.
+func TestCancelDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pts := clusteredPoints(rng, 5000, 2, 100)
+	tree, pool := buildSlowTree(t, pts, 2*time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := CollectContext(ctx, tree, tree, Options{
+		K:              1,
+		ExcludeSelf:    true,
+		NodeCacheBytes: NodeCacheDisabled,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
+		t.Fatalf("run took %v after a 25ms deadline", elapsed)
+	}
+	storage.RequireNoPinnedFrames(t, pool)
+}
+
+// TestCancelBeforeRun passes an already-cancelled context: the run must
+// return immediately without touching the index.
+func TestCancelBeforeRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pts := clusteredPoints(rng, 100, 2, 100)
+	tree, pool := buildSlowTree(t, pts, 0)
+	before := pool.Stats()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, stats, err := CollectContext(ctx, tree, tree, Options{K: 1, ExcludeSelf: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("pre-cancelled run produced %d results", len(results))
+	}
+	if stats.NodesExpandedR != 0 || stats.NodesExpandedS != 0 {
+		t.Fatalf("pre-cancelled run expanded %d/%d nodes", stats.NodesExpandedR, stats.NodesExpandedS)
+	}
+	if after := pool.Stats(); after.Reads != before.Reads {
+		t.Fatalf("pre-cancelled run performed %d reads", after.Reads-before.Reads)
+	}
+	storage.RequireNoPinnedFrames(t, pool)
+}
+
+// TestCancelReportCoversPartialWork checks RunReportContext under
+// cancellation: the error surfaces and the report reflects only the work
+// done before the abort (no negative or absurd counters, pins released).
+func TestCancelReportCoversPartialWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	pts := clusteredPoints(rng, 5000, 2, 100)
+	tree, pool := buildSlowTree(t, pts, 2*time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	rep, err := RunReportContext(ctx, tree, tree, Options{
+		K:              1,
+		ExcludeSelf:    true,
+		NodeCacheBytes: NodeCacheDisabled,
+	}, func(Result) error { return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if rep.Timings.Wall <= 0 {
+		t.Fatalf("report wall time %v, want > 0", rep.Timings.Wall)
+	}
+	storage.RequireNoPinnedFrames(t, pool)
+}

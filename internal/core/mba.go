@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"allnn/internal/geom"
@@ -19,8 +21,35 @@ import (
 // processes the LPQ queue depth-first (ANN-DFBI, Algorithm 3) with
 // bi-directional node expansion and the Three-Stage pruning of
 // Algorithm 4. Over MBRQT indexes this is MBA; over R*-trees, RBA.
-func Run(ir, is index.Tree, opts Options, emit func(Result) error) (stats Stats, err error) {
+func Run(ir, is index.Tree, opts Options, emit func(Result) error) (Stats, error) {
+	return RunContext(context.Background(), ir, is, opts, emit)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled (or its
+// deadline passes), the traversal — serial or parallel — stops at the
+// next loop boundary, releases its resources (no buffer-pool pin survives
+// an abort) and returns ctx.Err(). A context that can never be cancelled
+// (context.Background()) costs nothing: the cancellation machinery — one
+// watcher goroutine flipping a shared atomic flag the engine polls — is
+// only armed when ctx.Done() is non-nil.
+func RunContext(ctx context.Context, ir, is index.Tree, opts Options, emit func(Result) error) (stats Stats, err error) {
 	opts = opts.withDefaults()
+	var cancelled *atomic.Bool
+	if done := ctx.Done(); done != nil {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		cancelled = new(atomic.Bool)
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-done:
+				cancelled.Store(true)
+			case <-stopWatch:
+			}
+		}()
+	}
 	if ir.Dim() != is.Dim() {
 		return stats, fmt.Errorf("core: index dimensionality mismatch: %d vs %d", ir.Dim(), is.Dim())
 	}
@@ -81,6 +110,7 @@ func Run(ir, is index.Tree, opts Options, emit func(Result) error) (stats Stats,
 		return stats, nil // nothing to query
 	}
 	e := &engine{ir: ir, is: is, opts: opts, emit: emit, stats: &stats,
+		ctx: ctx, cancelled: cancelled,
 		tr: tr, tid: obs.TidMain, tm: opts.timings}
 	if rootS.Count == 0 {
 		// No targets: every query object gets an empty neighbor list.
@@ -103,6 +133,9 @@ func Run(ir, is index.Tree, opts Options, emit func(Result) error) (stats Stats,
 	case BreadthFirst:
 		queue := []*lpq{root}
 		for head := 0; head < len(queue) && err == nil; head++ {
+			if err = e.checkCancel(); err != nil {
+				break
+			}
 			q := queue[head]
 			queue[head] = nil // release the popped LPQ for the GC
 			var children []*lpq
@@ -131,8 +164,15 @@ func Run(ir, is index.Tree, opts Options, emit func(Result) error) (stats Stats,
 
 // Collect runs the query and materialises all results.
 func Collect(ir, is index.Tree, opts Options) ([]Result, Stats, error) {
+	return CollectContext(context.Background(), ir, is, opts)
+}
+
+// CollectContext is Collect with cancellation (see RunContext). On early
+// cancellation the results gathered so far are returned alongside
+// ctx.Err().
+func CollectContext(ctx context.Context, ir, is index.Tree, opts Options) ([]Result, Stats, error) {
 	var out []Result
-	stats, err := Run(ir, is, opts, func(r Result) error {
+	stats, err := RunContext(ctx, ir, is, opts, func(r Result) error {
 		out = append(out, r)
 		return nil
 	})
@@ -144,6 +184,13 @@ type engine struct {
 	opts   Options
 	emit   func(Result) error
 	stats  *Stats
+
+	// Cancellation: cancelled is the shared flag the RunContext watcher
+	// goroutine flips (nil when the context can never be cancelled, so the
+	// paper-configuration hot path stays free of it); ctx supplies the
+	// error to surface. Parallel workers share both.
+	ctx       context.Context
+	cancelled *atomic.Bool
 
 	// Observability: tr records stage spans on lane tid (parallel workers
 	// get lanes of their own); tm accumulates the stage wall-time
@@ -164,11 +211,25 @@ type engine struct {
 // obsOn reports whether the engine records spans or stage timings.
 func (e *engine) obsOn() bool { return e.tr != nil || e.tm != nil }
 
+// checkCancel returns the context's error once the watcher has flipped
+// the shared flag, nil otherwise. One atomic load when a cancellable
+// context is attached, one nil check when not — cheap enough for every
+// traversal loop to poll.
+func (e *engine) checkCancel() error {
+	if e.cancelled != nil && e.cancelled.Load() {
+		return e.ctx.Err()
+	}
+	return nil
+}
+
 // dfbi is Algorithm 3 (ANN-DFBI): expand the input LPQ, then recurse into
 // each child LPQ in FIFO order. The input LPQ is fully drained by the
 // expansion and returns to the pool before the recursion (children never
 // reference their parent queue).
 func (e *engine) dfbi(q *lpq) error {
+	if err := e.checkCancel(); err != nil {
+		return err
+	}
 	children, err := e.expandAndPrune(q)
 	if err != nil {
 		return err
@@ -342,6 +403,9 @@ func (e *engine) expandAndPrune(q *lpq) ([]*lpq, error) {
 // when they are nodes, and probed against every child LPQ.
 func (e *engine) drainToChildren(q *lpq, lpqcs []*lpq) error {
 	for {
+		if err := e.checkCancel(); err != nil {
+			return err
+		}
 		// Entries whose MIND exceeds every child's bound are useless; the
 		// queue is MIND-ordered, so the first such entry ends the loop.
 		maxBound := math.Inf(-1)
@@ -501,6 +565,9 @@ func (e *engine) drainToObjects(q *lpq, lpqcs []*lpq) error {
 		}
 	}
 	for j.work.Len() > 0 {
+		if err := e.checkCancel(); err != nil {
+			return err
+		}
 		item, _ := j.work.Pop()
 		maxBound := math.Inf(-1)
 		for _, b := range j.bounds {
@@ -557,6 +624,9 @@ func (e *engine) gather(q *lpq) error {
 	}
 	best := e.gatherBest
 	for {
+		if err := e.checkCancel(); err != nil {
+			return err
+		}
 		it, ok := q.dequeue()
 		if !ok {
 			break
@@ -619,6 +689,9 @@ func (e *engine) gather(q *lpq) error {
 // emitEmpty walks the query index emitting empty results (used when the
 // target index holds no points).
 func (e *engine) emitEmpty(entry *index.Entry) error {
+	if err := e.checkCancel(); err != nil {
+		return err
+	}
 	if entry.IsObject() {
 		e.stats.Results++
 		return e.emit(Result{Object: entry.Object, Point: entry.Point})

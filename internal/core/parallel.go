@@ -100,6 +100,7 @@ func (e *engine) runParallel(root *lpq, workers int) error {
 				wtm = &Timings{}
 			}
 			we := &engine{ir: e.ir, is: e.is, opts: e.opts, stats: &wstats,
+				ctx: e.ctx, cancelled: e.cancelled,
 				tr: e.tr, tid: wtid, tm: wtm}
 			var wSpan obs.Span
 			if e.tr != nil {
@@ -107,6 +108,13 @@ func (e *engine) runParallel(root *lpq, workers int) error {
 				wSpan = e.tr.Begin("worker", wtid)
 			}
 			for !stop.Load() {
+				// A cancelled context stops the claim loop too, so workers
+				// cannot pick up fresh subtrees after the deadline; dfbi's
+				// own polling aborts the subtree already in progress.
+				if err := we.checkCancel(); err != nil {
+					fail(err)
+					break
+				}
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
 					break
@@ -182,6 +190,9 @@ func finishSubtree(tr *obs.Tracer, hist *obs.Histogram, tid int64, i int, start 
 func (e *engine) buildFrontier(root *lpq, target int) ([]*lpq, error) {
 	frontier := []*lpq{root}
 	for {
+		if err := e.checkCancel(); err != nil {
+			return nil, err
+		}
 		expandable := 0
 		for _, q := range frontier {
 			if !q.owner.IsObject() {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"allnn/internal/index"
@@ -106,6 +107,12 @@ func distinctPools(trees ...index.Tree) []*storage.BufferPool {
 // idempotent, summing when an R-vs-S join has two), and the query wall
 // time is observed into the "engine.query_nanos" histogram.
 func RunReport(ir, is index.Tree, opts Options, emit func(Result) error) (QueryReport, error) {
+	return RunReportContext(context.Background(), ir, is, opts, emit)
+}
+
+// RunReportContext is RunReport with cancellation (see RunContext). On
+// early cancellation the report covers the work done up to the abort.
+func RunReportContext(ctx context.Context, ir, is index.Tree, opts Options, emit func(Result) error) (QueryReport, error) {
 	var rep QueryReport
 	pools := distinctPools(ir, is)
 	poolsBefore := make([]storage.Stats, len(pools))
@@ -118,7 +125,7 @@ func RunReport(ir, is index.Tree, opts Options, emit func(Result) error) (QueryR
 	cachesBefore := cacheSnapshot(caches)
 
 	opts.timings = &rep.Timings
-	stats, err := Run(ir, is, opts, emit)
+	stats, err := RunContext(ctx, ir, is, opts, emit)
 	rep.Engine = stats
 	for i, p := range pools {
 		rep.Pool.Add(p.Stats().Delta(poolsBefore[i]))
@@ -161,6 +168,8 @@ func registerPools(r *obs.Registry, pools []*storage.BufferPool) {
 	r.CounterFunc("pool.reads", func() uint64 { return sum().Reads })
 	r.CounterFunc("pool.writes", func() uint64 { return sum().Writes })
 	r.CounterFunc("pool.evictions", func() uint64 { return sum().Evictions })
+	r.CounterFunc("pool.retries", func() uint64 { return sum().Retries })
+	r.CounterFunc("pool.corrupt_pages", func() uint64 { return sum().CorruptPages })
 	r.GaugeFunc("pool.pinned_frames", func() int64 {
 		n := 0
 		for _, p := range pools {

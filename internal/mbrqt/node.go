@@ -99,68 +99,101 @@ func entriesPerRecord(entrySize int) int {
 	return (maxRecordSize - recNodeHeader) / entrySize
 }
 
+// decodeRecord appends one record's entries to n, validating the record
+// structurally before touching a byte past the header: rec may be
+// arbitrary bytes (logically damaged but checksum-valid pages, legacy
+// files without checksums, fuzzer input). first selects whether the
+// record establishes the node type or must continue it. The returned ref
+// is the chain continuation. Violations wrap storage.ErrCorruptPage.
+func decodeRecord(n *node, rec []byte, dim int, first bool) (nodeRef, error) {
+	if len(rec) < recNodeHeader {
+		return invalidRef, fmt.Errorf("mbrqt: node record truncated to %d bytes: %w", len(rec), storage.ErrCorruptPage)
+	}
+	typ := rec[0]
+	if typ != nodeTypeLeaf && typ != nodeTypeInternal {
+		return invalidRef, fmt.Errorf("mbrqt: invalid node type %d: %w", typ, storage.ErrCorruptPage)
+	}
+	leaf := typ == nodeTypeLeaf
+	if first {
+		n.leaf = leaf
+	} else if n.leaf != leaf {
+		return invalidRef, fmt.Errorf("mbrqt: node chain mixes record types: %w", storage.ErrCorruptPage)
+	}
+	num := int(binary.LittleEndian.Uint16(rec[2:]))
+	next := nodeRef(binary.LittleEndian.Uint32(rec[4:]))
+	entrySize := internalEntrySize(dim)
+	if n.leaf {
+		entrySize = leafEntrySize(dim)
+	}
+	if want := recNodeHeader + num*entrySize; want != len(rec) {
+		return invalidRef, fmt.Errorf("mbrqt: node record of %d bytes claims %d entries (want %d bytes): %w",
+			len(rec), num, want, storage.ErrCorruptPage)
+	}
+	off := recNodeHeader
+	if n.leaf {
+		// One flat coordinate array per record keeps deserialisation at
+		// two allocations instead of one per point.
+		coords := make([]float64, num*dim)
+		n.objects = append(n.objects, make([]object, num)...)
+		base := len(n.objects) - num
+		for i := 0; i < num; i++ {
+			o := &n.objects[base+i]
+			o.id = index.ObjectID(binary.LittleEndian.Uint64(rec[off:]))
+			off += 8
+			o.pt = coords[i*dim : (i+1)*dim]
+			for d := 0; d < dim; d++ {
+				o.pt[d] = math.Float64frombits(binary.LittleEndian.Uint64(rec[off:]))
+				off += 8
+			}
+		}
+	} else {
+		coords := make([]float64, num*2*dim)
+		n.children = append(n.children, make([]childSlot, num)...)
+		base := len(n.children) - num
+		for i := 0; i < num; i++ {
+			c := &n.children[base+i]
+			c.ref = nodeRef(binary.LittleEndian.Uint32(rec[off:]))
+			c.quad = binary.LittleEndian.Uint32(rec[off+4:])
+			c.count = binary.LittleEndian.Uint32(rec[off+8:])
+			off += 12
+			lo := coords[i*2*dim : i*2*dim+dim]
+			hi := coords[i*2*dim+dim : (i+1)*2*dim]
+			for d := 0; d < dim; d++ {
+				lo[d] = math.Float64frombits(binary.LittleEndian.Uint64(rec[off:]))
+				off += 8
+			}
+			for d := 0; d < dim; d++ {
+				hi[d] = math.Float64frombits(binary.LittleEndian.Uint64(rec[off:]))
+				off += 8
+			}
+			c.mbr = geom.Rect{Lo: lo, Hi: hi}
+		}
+	}
+	return next, nil
+}
+
+// maxChainLen bounds a node chain walk: a chain cannot hold more records
+// than the store has slots, so exceeding that proves a ref cycle planted
+// by corruption (which record reads alone would follow forever).
+func (t *Tree) maxChainLen() int {
+	return t.pool.Store().NumPages() * maxSlots
+}
+
 // readNode loads the node chain starting at ref into memory.
 func (t *Tree) readNode(ref nodeRef) (*node, error) {
 	n := &node{}
-	first := true
-	for ref != invalidRef {
+	limit := t.maxChainLen()
+	for steps := 0; ref != invalidRef; steps++ {
+		if steps >= limit {
+			return nil, fmt.Errorf("mbrqt: node chain exceeds %d records (ref cycle): %w", limit, storage.ErrCorruptPage)
+		}
 		rec, err := t.rs.read(ref)
 		if err != nil {
 			return nil, err
 		}
-		typ := rec[0]
-		if first {
-			switch typ {
-			case nodeTypeLeaf:
-				n.leaf = true
-			case nodeTypeInternal:
-				n.leaf = false
-			default:
-				return nil, fmt.Errorf("mbrqt: record %d has invalid node type %d", ref, typ)
-			}
-			first = false
-		}
-		num := int(binary.LittleEndian.Uint16(rec[2:]))
-		next := nodeRef(binary.LittleEndian.Uint32(rec[4:]))
-		off := recNodeHeader
-		if n.leaf {
-			// One flat coordinate array per record keeps deserialisation at
-			// two allocations instead of one per point.
-			coords := make([]float64, num*t.dim)
-			n.objects = append(n.objects, make([]object, num)...)
-			base := len(n.objects) - num
-			for i := 0; i < num; i++ {
-				o := &n.objects[base+i]
-				o.id = index.ObjectID(binary.LittleEndian.Uint64(rec[off:]))
-				off += 8
-				o.pt = coords[i*t.dim : (i+1)*t.dim]
-				for d := 0; d < t.dim; d++ {
-					o.pt[d] = math.Float64frombits(binary.LittleEndian.Uint64(rec[off:]))
-					off += 8
-				}
-			}
-		} else {
-			coords := make([]float64, num*2*t.dim)
-			n.children = append(n.children, make([]childSlot, num)...)
-			base := len(n.children) - num
-			for i := 0; i < num; i++ {
-				c := &n.children[base+i]
-				c.ref = nodeRef(binary.LittleEndian.Uint32(rec[off:]))
-				c.quad = binary.LittleEndian.Uint32(rec[off+4:])
-				c.count = binary.LittleEndian.Uint32(rec[off+8:])
-				off += 12
-				lo := coords[i*2*t.dim : i*2*t.dim+t.dim]
-				hi := coords[i*2*t.dim+t.dim : (i+1)*2*t.dim]
-				for d := 0; d < t.dim; d++ {
-					lo[d] = math.Float64frombits(binary.LittleEndian.Uint64(rec[off:]))
-					off += 8
-				}
-				for d := 0; d < t.dim; d++ {
-					hi[d] = math.Float64frombits(binary.LittleEndian.Uint64(rec[off:]))
-					off += 8
-				}
-				c.mbr = geom.Rect{Lo: lo, Hi: hi}
-			}
+		next, err := decodeRecord(n, rec, t.dim, steps == 0)
+		if err != nil {
+			return nil, fmt.Errorf("record %v: %w", ref, err)
 		}
 		ref = next
 	}
@@ -280,11 +313,18 @@ func (t *Tree) updateNode(ref nodeRef, n *node) (nodeRef, error) {
 // chainRefs returns the record refs of the node chain starting at ref.
 func (t *Tree) chainRefs(ref nodeRef) ([]nodeRef, error) {
 	var refs []nodeRef
+	limit := t.maxChainLen()
 	for ref != invalidRef {
+		if len(refs) >= limit {
+			return nil, fmt.Errorf("mbrqt: node chain exceeds %d records (ref cycle): %w", limit, storage.ErrCorruptPage)
+		}
 		refs = append(refs, ref)
 		rec, err := t.rs.read(ref)
 		if err != nil {
 			return nil, err
+		}
+		if len(rec) < recNodeHeader {
+			return nil, fmt.Errorf("mbrqt: node record %v truncated to %d bytes: %w", ref, len(rec), storage.ErrCorruptPage)
 		}
 		ref = nodeRef(binary.LittleEndian.Uint32(rec[4:]))
 	}

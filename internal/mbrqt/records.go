@@ -240,6 +240,36 @@ func (rs *recordStore) tryAllocIn(pid storage.PageID, rec []byte) (nodeRef, bool
 	return makeRef(pid, slot), true, nil
 }
 
+// recordFromPage locates slot's record inside a slotted page, validating
+// every offset against the page bounds first: data may be arbitrary bytes
+// (a page that passed its checksum can still be logically damaged, legacy
+// files carry no checksum at all, and the fuzzer feeds garbage directly).
+// The returned slice aliases data. Structural violations wrap
+// storage.ErrCorruptPage.
+func recordFromPage(data []byte, slot int) ([]byte, error) {
+	if len(data) < recHeaderLen {
+		return nil, fmt.Errorf("mbrqt: slotted page truncated to %d bytes: %w", len(data), storage.ErrCorruptPage)
+	}
+	n := pageNumSlots(data)
+	dirLen := recHeaderLen + n*slotEntryLen
+	if n > maxSlots || dirLen > len(data) {
+		return nil, fmt.Errorf("mbrqt: slotted page claims %d slots: %w", n, storage.ErrCorruptPage)
+	}
+	if slot < 0 || slot >= n {
+		return nil, fmt.Errorf("mbrqt: dangling record ref: slot %d of %d: %w", slot, n, storage.ErrCorruptPage)
+	}
+	l := slotLength(data, slot)
+	if l == 0 {
+		return nil, fmt.Errorf("mbrqt: dangling record ref: slot %d is free: %w", slot, storage.ErrCorruptPage)
+	}
+	off := slotOffset(data, slot)
+	if off < dirLen || off+l > len(data) {
+		return nil, fmt.Errorf("mbrqt: record slot %d spans [%d, %d) outside the page: %w",
+			slot, off, off+l, storage.ErrCorruptPage)
+	}
+	return data[off : off+l], nil
+}
+
 // read returns a copy of the record bytes.
 func (rs *recordStore) read(ref nodeRef) ([]byte, error) {
 	f, err := rs.pool.Get(ref.page())
@@ -247,14 +277,12 @@ func (rs *recordStore) read(ref nodeRef) ([]byte, error) {
 		return nil, fmt.Errorf("mbrqt: read record %v: %w", ref, err)
 	}
 	defer f.Release()
-	data := f.Data()
-	slot := ref.slot()
-	if slot >= pageNumSlots(data) || slotLength(data, slot) == 0 {
-		return nil, fmt.Errorf("mbrqt: dangling record ref page=%d slot=%d", ref.page(), slot)
+	rec, err := recordFromPage(f.Data(), ref.slot())
+	if err != nil {
+		return nil, fmt.Errorf("page %d: %w", ref.page(), err)
 	}
-	off, l := slotOffset(data, slot), slotLength(data, slot)
-	out := make([]byte, l)
-	copy(out, data[off:off+l])
+	out := make([]byte, len(rec))
+	copy(out, rec)
 	return out, nil
 }
 

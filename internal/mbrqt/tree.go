@@ -97,11 +97,11 @@ func Open(pool *storage.BufferPool, meta storage.PageID) (*Tree, error) {
 	defer f.Release()
 	data := f.Data()
 	if binary.LittleEndian.Uint32(data) != metaMagic {
-		return nil, fmt.Errorf("mbrqt: page %d is not an MBRQT header", meta)
+		return nil, fmt.Errorf("mbrqt: page %d is not an MBRQT header: %w", meta, storage.ErrCorruptPage)
 	}
 	t.dim = int(binary.LittleEndian.Uint32(data[4:]))
 	if t.dim < 1 || t.dim > MaxDim {
-		return nil, fmt.Errorf("mbrqt: corrupt header: dim %d", t.dim)
+		return nil, fmt.Errorf("mbrqt: header dim %d out of range: %w", t.dim, storage.ErrCorruptPage)
 	}
 	t.root = nodeRef(binary.LittleEndian.Uint32(data[8:]))
 	t.size = int(binary.LittleEndian.Uint64(data[12:]))

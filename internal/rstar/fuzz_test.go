@@ -1,0 +1,74 @@
+package rstar
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"allnn/internal/storage"
+)
+
+// seedNodePage hand-renders a valid node page at the given dimensionality
+// using the same layout writeNode produces.
+func seedNodePage(dim int, leaf bool) []byte {
+	data := make([]byte, storage.PageSize)
+	if leaf {
+		data[offType] = nodeTypeLeaf
+	} else {
+		data[offType] = nodeTypeInternal
+	}
+	binary.LittleEndian.PutUint16(data[offNumEntries:], 2)
+	off := pageHeaderSize
+	for i := 0; i < 2; i++ {
+		if leaf {
+			binary.LittleEndian.PutUint64(data[off:], uint64(100+i))
+			off += 8
+			for d := 0; d < dim; d++ {
+				binary.LittleEndian.PutUint64(data[off:], math.Float64bits(float64(i*dim+d)))
+				off += 8
+			}
+		} else {
+			binary.LittleEndian.PutUint32(data[off:], uint32(5+i))
+			binary.LittleEndian.PutUint32(data[off+4:], 17)
+			off += 8
+			for d := 0; d < 2*dim; d++ {
+				binary.LittleEndian.PutUint64(data[off:], math.Float64bits(float64(d)))
+				off += 8
+			}
+		}
+	}
+	return data
+}
+
+// FuzzDecodeNode feeds arbitrary bytes to the R*-tree node decoder: it
+// must reject malformed pages with an error wrapping ErrCorruptPage and
+// never panic or read out of bounds.
+func FuzzDecodeNode(f *testing.F) {
+	for _, dim := range []int{1, 2, 3, 10} {
+		f.Add(seedNodePage(dim, true), uint8(dim))
+		f.Add(seedNodePage(dim, false), uint8(dim))
+	}
+	f.Add([]byte{}, uint8(2))
+	// A page whose entry count overruns the page.
+	bad := make([]byte, storage.PageSize)
+	bad[offType] = nodeTypeLeaf
+	binary.LittleEndian.PutUint16(bad[offNumEntries:], 0xFFFF)
+	f.Add(bad, uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, dimByte uint8) {
+		dim := int(dimByte)%16 + 1
+		n, err := decodeNode(data, dim)
+		if err != nil {
+			if !storage.IsCorrupt(err) {
+				t.Fatalf("decode error does not wrap ErrCorruptPage: %v", err)
+			}
+			return
+		}
+		entrySize := internalEntrySize(dim)
+		if n.leaf {
+			entrySize = leafEntrySize(dim)
+		}
+		if pageHeaderSize+len(n.entries)*entrySize > len(data) {
+			t.Fatalf("decoded %d entries from a %d-byte page", len(n.entries), len(data))
+		}
+	})
+}

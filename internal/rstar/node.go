@@ -70,14 +70,14 @@ func (n *node) countPoints() uint32 {
 	return c
 }
 
-// readNode loads the node at pid.
-func (t *Tree) readNode(pid storage.PageID) (*node, error) {
-	f, err := t.pool.Get(pid)
-	if err != nil {
-		return nil, fmt.Errorf("rstar: read node page %d: %w", pid, err)
+// decodeNode parses a node page, validating the header before trusting
+// any count in it: data may be arbitrary bytes (a logically damaged page
+// that still checksums, a legacy file without checksums, fuzzer input).
+// Structural violations wrap storage.ErrCorruptPage.
+func decodeNode(data []byte, dim int) (*node, error) {
+	if len(data) < pageHeaderSize {
+		return nil, fmt.Errorf("rstar: node page truncated to %d bytes: %w", len(data), storage.ErrCorruptPage)
 	}
-	defer f.Release()
-	data := f.Data()
 	n := &node{}
 	switch data[offType] {
 	case nodeTypeLeaf:
@@ -85,20 +85,28 @@ func (t *Tree) readNode(pid storage.PageID) (*node, error) {
 	case nodeTypeInternal:
 		n.leaf = false
 	default:
-		return nil, fmt.Errorf("rstar: page %d has invalid node type %d", pid, data[offType])
+		return nil, fmt.Errorf("rstar: invalid node type %d: %w", data[offType], storage.ErrCorruptPage)
 	}
 	num := int(binary.LittleEndian.Uint16(data[offNumEntries:]))
+	entrySize := internalEntrySize(dim)
+	if n.leaf {
+		entrySize = leafEntrySize(dim)
+	}
+	if pageHeaderSize+num*entrySize > len(data) {
+		return nil, fmt.Errorf("rstar: node claims %d entries, page fits %d: %w",
+			num, (len(data)-pageHeaderSize)/entrySize, storage.ErrCorruptPage)
+	}
 	n.entries = make([]entry, 0, num)
 	off := pageHeaderSize
 	if n.leaf {
 		for i := 0; i < num; i++ {
 			e := entry{
 				obj:   index.ObjectID(binary.LittleEndian.Uint64(data[off:])),
-				pt:    make(geom.Point, t.dim),
+				pt:    make(geom.Point, dim),
 				count: 1,
 			}
 			off += 8
-			for d := 0; d < t.dim; d++ {
+			for d := 0; d < dim; d++ {
 				e.pt[d] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
 				off += 8
 			}
@@ -110,19 +118,33 @@ func (t *Tree) readNode(pid storage.PageID) (*node, error) {
 			e := entry{
 				child: storage.PageID(binary.LittleEndian.Uint32(data[off:])),
 				count: binary.LittleEndian.Uint32(data[off+4:]),
-				mbr:   geom.Rect{Lo: make(geom.Point, t.dim), Hi: make(geom.Point, t.dim)},
+				mbr:   geom.Rect{Lo: make(geom.Point, dim), Hi: make(geom.Point, dim)},
 			}
 			off += 8
-			for d := 0; d < t.dim; d++ {
+			for d := 0; d < dim; d++ {
 				e.mbr.Lo[d] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
 				off += 8
 			}
-			for d := 0; d < t.dim; d++ {
+			for d := 0; d < dim; d++ {
 				e.mbr.Hi[d] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
 				off += 8
 			}
 			n.entries = append(n.entries, e)
 		}
+	}
+	return n, nil
+}
+
+// readNode loads the node at pid.
+func (t *Tree) readNode(pid storage.PageID) (*node, error) {
+	f, err := t.pool.Get(pid)
+	if err != nil {
+		return nil, fmt.Errorf("rstar: read node page %d: %w", pid, err)
+	}
+	defer f.Release()
+	n, err := decodeNode(f.Data(), t.dim)
+	if err != nil {
+		return nil, fmt.Errorf("rstar: page %d: %w", pid, err)
 	}
 	return n, nil
 }

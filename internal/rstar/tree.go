@@ -125,9 +125,12 @@ func Open(pool *storage.BufferPool, meta storage.PageID) (*Tree, error) {
 	defer f.Release()
 	data := f.Data()
 	if binary.LittleEndian.Uint32(data) != metaMagic {
-		return nil, fmt.Errorf("rstar: page %d is not an R*-tree header", meta)
+		return nil, fmt.Errorf("rstar: page %d is not an R*-tree header: %w", meta, storage.ErrCorruptPage)
 	}
 	t.dim = int(binary.LittleEndian.Uint32(data[4:]))
+	if t.dim < 1 || 44+16*t.dim > storage.PageSize {
+		return nil, fmt.Errorf("rstar: header dim %d out of range: %w", t.dim, storage.ErrCorruptPage)
+	}
 	t.root = storage.PageID(binary.LittleEndian.Uint32(data[8:]))
 	t.size = int(binary.LittleEndian.Uint64(data[12:]))
 	t.height = int(binary.LittleEndian.Uint32(data[20:]))

@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,11 @@ type Stats struct {
 	Reads     uint64 // pages read from the store (== Misses)
 	Writes    uint64 // dirty pages written back to the store
 	Evictions uint64 // frames recycled to make room
+	// Retries counts transient read failures that were retried (whether or
+	// not the retry eventually succeeded); CorruptPages counts reads that
+	// surfaced a verification failure (wrapped ErrCorruptPage).
+	Retries      uint64
+	CorruptPages uint64
 }
 
 // Add accumulates other into s.
@@ -29,30 +35,37 @@ func (s *Stats) Add(other Stats) {
 	s.Reads += other.Reads
 	s.Writes += other.Writes
 	s.Evictions += other.Evictions
+	s.Retries += other.Retries
+	s.CorruptPages += other.CorruptPages
 }
 
 // Delta returns s - prev, the activity between two snapshots (all
 // counters are monotonic).
 func (s Stats) Delta(prev Stats) Stats {
 	return Stats{
-		Hits:      s.Hits - prev.Hits,
-		Misses:    s.Misses - prev.Misses,
-		Reads:     s.Reads - prev.Reads,
-		Writes:    s.Writes - prev.Writes,
-		Evictions: s.Evictions - prev.Evictions,
+		Hits:         s.Hits - prev.Hits,
+		Misses:       s.Misses - prev.Misses,
+		Reads:        s.Reads - prev.Reads,
+		Writes:       s.Writes - prev.Writes,
+		Evictions:    s.Evictions - prev.Evictions,
+		Retries:      s.Retries - prev.Retries,
+		CorruptPages: s.CorruptPages - prev.CorruptPages,
 	}
 }
 
 // AddTo accumulates the snapshot into a metrics registry under the given
 // family prefix ("<prefix>.hits", ".misses", ".reads", ".writes",
-// ".evictions"). Used for publishing per-run deltas; for live wiring of a
-// long-lived pool prefer BufferPool.Register.
+// ".evictions", ".retries", ".corrupt_pages"). Used for publishing
+// per-run deltas; for live wiring of a long-lived pool prefer
+// BufferPool.Register.
 func (s Stats) AddTo(r *obs.Registry, prefix string) {
 	r.Counter(prefix + ".hits").Add(s.Hits)
 	r.Counter(prefix + ".misses").Add(s.Misses)
 	r.Counter(prefix + ".reads").Add(s.Reads)
 	r.Counter(prefix + ".writes").Add(s.Writes)
 	r.Counter(prefix + ".evictions").Add(s.Evictions)
+	r.Counter(prefix + ".retries").Add(s.Retries)
+	r.Counter(prefix + ".corrupt_pages").Add(s.CorruptPages)
 }
 
 // IOs returns the total number of page transfers (reads + writes).
@@ -132,9 +145,61 @@ type poolShard struct {
 type BufferPool struct {
 	store  Store
 	shards []poolShard
+	// Retry policy for transient read failures (see BufferPoolConfig).
+	retries     int
+	backoffBase time.Duration
+	backoffMax  time.Duration
 	// trace, when set, receives a "pool.read" span per miss (lane
 	// obs.TidPool). One atomic load per Get when unset.
 	trace atomic.Pointer[obs.Tracer]
+}
+
+// Retry policy defaults: three retries starting at 200µs roughly double
+// each time and stay under DefaultRetryBackoffMax, so a persistently
+// failing page costs a few milliseconds before the error surfaces.
+const (
+	DefaultReadRetries     = 3
+	DefaultRetryBackoff    = 200 * time.Microsecond
+	DefaultRetryBackoffMax = 5 * time.Millisecond
+)
+
+// BufferPoolConfig tunes a pool beyond its frame count. The zero value
+// selects the defaults (automatic sharding, DefaultReadRetries transient
+// read retries with jittered exponential backoff).
+type BufferPoolConfig struct {
+	// Shards splits the frames across this many independently-locked
+	// shards; 0 picks automatically (single shard below shardThreshold
+	// frames, preserving exact global LRU).
+	Shards int
+	// ReadRetries is the maximum number of times a transient read failure
+	// (an error wrapping ErrTransientIO) is retried before the error
+	// surfaces. 0 selects DefaultReadRetries; negative disables retries.
+	// Errors wrapping ErrCorruptPage are never retried — re-reading
+	// damaged bytes cannot heal them.
+	ReadRetries int
+	// RetryBackoff is the base delay before the first retry; each further
+	// retry doubles it. 0 selects DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the per-retry delay. 0 selects
+	// DefaultRetryBackoffMax. Delays are jittered uniformly in
+	// [d/2, d] to avoid retry convoys across concurrent readers.
+	RetryBackoffMax time.Duration
+}
+
+func (c BufferPoolConfig) withDefaults() BufferPoolConfig {
+	switch {
+	case c.ReadRetries == 0:
+		c.ReadRetries = DefaultReadRetries
+	case c.ReadRetries < 0:
+		c.ReadRetries = 0
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = DefaultRetryBackoff
+	}
+	if c.RetryBackoffMax == 0 {
+		c.RetryBackoffMax = DefaultRetryBackoffMax
+	}
+	return c
 }
 
 // shardThreshold is the pool size (in frames) below which the pool stays
@@ -174,17 +239,29 @@ func defaultShardCount(numFrames int) int {
 }
 
 // NewBufferPool creates a pool of numFrames frames over store, choosing a
-// shard count automatically (single shard below shardThreshold frames).
+// shard count automatically (single shard below shardThreshold frames)
+// and the default retry policy.
 func NewBufferPool(store Store, numFrames int) *BufferPool {
-	return NewShardedBufferPool(store, numFrames, defaultShardCount(numFrames))
+	return NewBufferPoolWithConfig(store, numFrames, BufferPoolConfig{})
 }
 
 // NewShardedBufferPool creates a pool of numFrames frames split across
 // numShards independently-locked shards. Pages map to shards by id, so a
 // given page always competes for the same shard's frames.
 func NewShardedBufferPool(store Store, numFrames, numShards int) *BufferPool {
+	return NewBufferPoolWithConfig(store, numFrames, BufferPoolConfig{Shards: numShards})
+}
+
+// NewBufferPoolWithConfig creates a pool of numFrames frames over store
+// with an explicit sharding and retry configuration.
+func NewBufferPoolWithConfig(store Store, numFrames int, cfg BufferPoolConfig) *BufferPool {
 	if numFrames < 1 {
 		panic(fmt.Sprintf("storage: buffer pool needs at least 1 frame, got %d", numFrames))
+	}
+	cfg = cfg.withDefaults()
+	numShards := cfg.Shards
+	if numShards == 0 {
+		numShards = defaultShardCount(numFrames)
 	}
 	if numShards < 1 {
 		numShards = 1
@@ -192,7 +269,13 @@ func NewShardedBufferPool(store Store, numFrames, numShards int) *BufferPool {
 	if numShards > numFrames {
 		numShards = numFrames
 	}
-	p := &BufferPool{store: store, shards: make([]poolShard, numShards)}
+	p := &BufferPool{
+		store:       store,
+		shards:      make([]poolShard, numShards),
+		retries:     cfg.ReadRetries,
+		backoffBase: cfg.RetryBackoff,
+		backoffMax:  cfg.RetryBackoffMax,
+	}
 	base, extra := numFrames/numShards, numFrames%numShards
 	for si := range p.shards {
 		n := base
@@ -283,7 +366,9 @@ func (p *BufferPool) Get(id PageID) (*Frame, error) {
 	if tr != nil {
 		readStart = time.Now()
 	}
-	if err := sh.store.ReadPage(id, f.data); err != nil {
+	if err := p.readWithRetry(sh, id, f.data); err != nil {
+		// The frame grabbed for this read holds no page yet; recycle it so
+		// a failed read never shrinks the pool.
 		sh.free = append(sh.free, idx)
 		return nil, err
 	}
@@ -355,7 +440,8 @@ func (p *BufferPool) SetTracer(t *obs.Tracer) { p.trace.Store(t) }
 
 // Register wires the pool into a metrics registry under the given family
 // prefix ("<prefix>.hits", ".misses", ".reads", ".writes", ".evictions",
-// plus gauge "<prefix>.pinned_frames"). Callback-backed, so snapshots
+// ".retries", ".corrupt_pages", plus gauge "<prefix>.pinned_frames").
+// Callback-backed, so snapshots
 // always reflect the live pool; re-registering is idempotent.
 func (p *BufferPool) Register(r *obs.Registry, prefix string) {
 	if r == nil {
@@ -366,6 +452,8 @@ func (p *BufferPool) Register(r *obs.Registry, prefix string) {
 	r.CounterFunc(prefix+".reads", func() uint64 { return p.Stats().Reads })
 	r.CounterFunc(prefix+".writes", func() uint64 { return p.Stats().Writes })
 	r.CounterFunc(prefix+".evictions", func() uint64 { return p.Stats().Evictions })
+	r.CounterFunc(prefix+".retries", func() uint64 { return p.Stats().Retries })
+	r.CounterFunc(prefix+".corrupt_pages", func() uint64 { return p.Stats().CorruptPages })
 	r.GaugeFunc(prefix+".pinned_frames", func() int64 { return int64(p.PinnedFrames()) })
 }
 
@@ -384,6 +472,32 @@ func (p *BufferPool) PinnedFrames() int {
 		sh.mu.Unlock()
 	}
 	return n
+}
+
+// readWithRetry reads page id into buf through the shard's store,
+// retrying transient failures (errors wrapping ErrTransientIO) with
+// capped, jittered exponential backoff. Corruption (ErrCorruptPage) is
+// never retried — re-reading damaged bytes cannot heal them — but is
+// counted. Called with the shard lock held, so a retry sequence stalls
+// this shard's other readers; the backoff cap keeps the stall to a few
+// milliseconds even when every retry fails.
+func (p *BufferPool) readWithRetry(sh *poolShard, id PageID, buf []byte) error {
+	err := sh.store.ReadPage(id, buf)
+	delay := p.backoffBase
+	for attempt := 0; err != nil && attempt < p.retries && errors.Is(err, ErrTransientIO); attempt++ {
+		sh.stats.Retries++
+		// Uniform jitter in [delay/2, delay] avoids retry convoys when
+		// several shards back off at once.
+		time.Sleep(delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1)))
+		if delay *= 2; delay > p.backoffMax {
+			delay = p.backoffMax
+		}
+		err = sh.store.ReadPage(id, buf)
+	}
+	if err != nil && errors.Is(err, ErrCorruptPage) {
+		sh.stats.CorruptPages++
+	}
+	return err
 }
 
 // grabFrame returns the index of a frame ready to be loaded: a free frame
@@ -406,6 +520,12 @@ func (sh *poolShard) grabFrame() (int, error) {
 	f := &sh.frames[idx]
 	if f.dirty {
 		if err := sh.store.WritePage(f.id, f.data); err != nil {
+			// The victim stays resident and dirty. Relink it into the LRU
+			// list — it was already unlinked above, and leaving it orphaned
+			// would both leak the frame (never evictable again) and corrupt
+			// the list when a later Get of its page unlinks it a second
+			// time.
+			sh.lruPush(idx)
 			return 0, err
 		}
 		sh.stats.Writes++

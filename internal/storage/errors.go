@@ -1,0 +1,33 @@
+package storage
+
+import "errors"
+
+// Error taxonomy of the storage layer. Every failure a Store or BufferPool
+// surfaces is classified against these sentinels (errors.Is), so callers
+// at any level of the stack can distinguish "the bytes are bad" from "the
+// device hiccuped" without parsing messages:
+//
+//   - ErrCorruptPage: the page content failed verification (bad magic,
+//     version, page-id echo, or CRC mismatch) or a node decoder found the
+//     payload structurally invalid. Retrying cannot help; the page (and
+//     whatever index lives on it) needs repair or rebuild.
+//   - ErrTransientIO: the operation failed in a way that may succeed if
+//     retried (injected faults, and the class a real device's EINTR/EAGAIN
+//     family maps to). The BufferPool retries these with capped,
+//     jittered exponential backoff before giving up.
+//
+// Both always travel wrapped with the page id (and usually the operation),
+// so a surfaced error reads like "storage: page 17: checksum mismatch ...:
+// corrupt page".
+var (
+	// ErrCorruptPage marks permanently damaged page content.
+	ErrCorruptPage = errors.New("corrupt page")
+	// ErrTransientIO marks failures worth retrying.
+	ErrTransientIO = errors.New("transient I/O failure")
+)
+
+// IsCorrupt reports whether err is classified as page corruption.
+func IsCorrupt(err error) bool { return errors.Is(err, ErrCorruptPage) }
+
+// IsTransient reports whether err is classified as retryable.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransientIO) }

@@ -1,0 +1,21 @@
+package storage
+
+// TB is the subset of testing.TB the leak-check helper needs. Declared
+// structurally so this file stays out of test-only builds without
+// importing the testing package into production code.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// RequireNoPinnedFrames fails the test if any frame of the pool is still
+// pinned. Call it (usually via defer) after exercising an error path:
+// every code path that pins a frame — including every failure exit — must
+// release it, and a nonzero count here is a pin leak that would eventually
+// starve the pool into ErrPoolFull.
+func RequireNoPinnedFrames(t TB, p *BufferPool) {
+	t.Helper()
+	if n := p.PinnedFrames(); n != 0 {
+		t.Errorf("buffer pool leak: %d frame(s) still pinned", n)
+	}
+}

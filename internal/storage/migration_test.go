@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// legacyPageByte reproduces the generator of testdata/legacy_pages.db:
+// three raw PageSize pages, no header, written by pre-header builds.
+func legacyPageByte(page, off int) byte { return byte(page*131 + off*7) }
+
+// TestOpenLegacyFixture is the migration regression test: a page file
+// written before the checksummed header existed must open in legacy mode
+// and serve its raw pages byte-for-byte.
+func TestOpenLegacyFixture(t *testing.T) {
+	// Work on a copy; the test also writes.
+	raw, err := os.ReadFile(filepath.Join("testdata", "legacy_pages.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 3*PageSize {
+		t.Fatalf("fixture is %d bytes, want %d", len(raw), 3*PageSize)
+	}
+	path := filepath.Join(t.TempDir(), "legacy.db")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("OpenFileStore(legacy fixture): %v", err)
+	}
+	defer s.Close()
+	if !s.Legacy() {
+		t.Fatal("pre-header file not detected as legacy")
+	}
+	if got := s.NumPages(); got != 3 {
+		t.Fatalf("NumPages = %d, want 3", got)
+	}
+	buf := make([]byte, PageSize)
+	for p := 0; p < 3; p++ {
+		if err := s.ReadPage(PageID(p), buf); err != nil {
+			t.Fatalf("ReadPage(%d): %v", p, err)
+		}
+		for j, b := range buf {
+			if b != legacyPageByte(p, j) {
+				t.Fatalf("page %d byte %d = %#x, want %#x", p, j, b, legacyPageByte(p, j))
+			}
+		}
+	}
+
+	// Legacy files stay writable and growable in the legacy layout, and a
+	// reopen still detects them as legacy.
+	for i := range buf {
+		buf[i] = 0x5A
+	}
+	if err := s.WritePage(1, buf); err != nil {
+		t.Fatalf("legacy WritePage: %v", err)
+	}
+	if id, err := s.Allocate(); err != nil || id != 3 {
+		t.Fatalf("legacy Allocate = (%d, %v), want (3, nil)", id, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("reopen legacy file: %v", err)
+	}
+	defer s2.Close()
+	if !s2.Legacy() || s2.NumPages() != 4 {
+		t.Fatalf("reopen: legacy=%v pages=%d, want legacy 4 pages", s2.Legacy(), s2.NumPages())
+	}
+	got := make([]byte, PageSize)
+	if err := s2.ReadPage(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("legacy write did not round-trip")
+	}
+
+	// The buffer pool works over a legacy store unchanged.
+	pool := NewBufferPool(s2, 2)
+	f, err := pool.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Data()[10] != legacyPageByte(0, 10) {
+		t.Fatal("pool read over legacy store returned wrong bytes")
+	}
+	f.Release()
+	RequireNoPinnedFrames(t, pool)
+}
+
+// TestCurrentFormatRoundTrip makes sure the reopen path detects the
+// checksummed layout and keeps verifying it.
+func TestCurrentFormatRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "current.db")
+	s, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, PageSize)
+	for i := range page {
+		page[i] = byte(i * 3)
+	}
+	if err := s.WritePage(id, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Legacy() {
+		t.Fatal("checksummed file misdetected as legacy")
+	}
+	buf := make([]byte, PageSize)
+	if err := s2.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, page) {
+		t.Fatal("payload did not round-trip through the header")
+	}
+
+	// Damage one payload byte on disk: the reopen store must refuse it.
+	fh, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.WriteAt([]byte{0xFF}, int64(PageHeaderSize+100)); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	if err := s2.ReadPage(id, buf); !IsCorrupt(err) {
+		t.Fatalf("ReadPage of damaged page = %v, want ErrCorruptPage", err)
+	}
+}
+
+// TestOpenFileStoreRejectsUnrecognized covers the "matches neither
+// layout" rejection.
+func TestOpenFileStoreRejectsUnrecognized(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.db")
+	if err := os.WriteFile(path, make([]byte, PageSize+17), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path); err == nil {
+		t.Fatal("OpenFileStore accepted a file matching neither layout")
+	}
+}
+
+// TestVerifyPageTaxonomy exercises each header check directly.
+func TestVerifyPageTaxonomy(t *testing.T) {
+	phys := make([]byte, physPageSize)
+	for i := range phys {
+		phys[i] = byte(i)
+	}
+	sealPage(phys, 7)
+	if err := verifyPage(phys, 7); err != nil {
+		t.Fatalf("freshly sealed page fails verification: %v", err)
+	}
+	// Misdirected I/O: valid page, wrong id.
+	if err := verifyPage(phys, 8); !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("verify with wrong id = %v, want ErrCorruptPage", err)
+	}
+	// Payload damage.
+	phys[PageHeaderSize+5] ^= 1
+	if err := verifyPage(phys, 7); !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("verify with flipped payload bit = %v, want ErrCorruptPage", err)
+	}
+	phys[PageHeaderSize+5] ^= 1
+	// Header damage: bad magic.
+	phys[0] ^= 1
+	if err := verifyPage(phys, 7); !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("verify with bad magic = %v, want ErrCorruptPage", err)
+	}
+}

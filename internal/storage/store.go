@@ -10,6 +10,13 @@
 // behaviour and exposes the miss counts so the benchmark harness can
 // derive I/O time.
 //
+// Unlike the original in-memory substitute, the stores here assume disks
+// fail: every page is stored with a small header (magic, format version,
+// page-id echo, CRC32-C over the payload) sealed on write and verified on
+// read, failures are classified as ErrCorruptPage or ErrTransientIO, the
+// buffer pool retries transient read errors with capped backoff, and
+// FaultStore injects deterministic faults for chaos testing.
+//
 // The buffer pool and both stores are safe for concurrent use: the pool
 // shards its frames by page id behind per-shard mutexes so that the
 // parallel ANN executor's subtree workers can read index pages through a
@@ -19,6 +26,7 @@
 package storage
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"sync"
@@ -37,9 +45,12 @@ const InvalidPage PageID = ^PageID(0)
 // reading any previously allocated page and writing any allocated page.
 type Store interface {
 	// ReadPage copies the content of page id into buf, which must be at
-	// least PageSize bytes long.
+	// least PageSize bytes long. Implementations verify the page header
+	// and return an error wrapping ErrCorruptPage when the stored bytes
+	// fail verification.
 	ReadPage(id PageID, buf []byte) error
-	// WritePage overwrites page id with the first PageSize bytes of buf.
+	// WritePage overwrites page id with the first PageSize bytes of buf,
+	// sealing the page header (checksum included) around the payload.
 	WritePage(id PageID, buf []byte) error
 	// Allocate appends a new zeroed page and returns its id.
 	Allocate() (PageID, error)
@@ -51,10 +62,13 @@ type Store interface {
 
 // MemStore is an in-memory Store. It is the default substrate for tests
 // and for experiments where only the buffer-miss counts (not real disk
-// latency) matter. All methods are safe for concurrent use.
+// latency) matter. Pages are held in their physical form (header +
+// payload) so that checksum verification — and FaultStore's corruption
+// injection — behave identically to the file-backed store. All methods
+// are safe for concurrent use.
 type MemStore struct {
 	mu    sync.RWMutex
-	pages [][]byte
+	pages [][]byte // physical pages: PageHeaderSize + PageSize bytes each
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -67,7 +81,11 @@ func (s *MemStore) ReadPage(id PageID, buf []byte) error {
 	if int(id) >= len(s.pages) {
 		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, len(s.pages))
 	}
-	copy(buf[:PageSize], s.pages[id])
+	phys := s.pages[id]
+	if err := verifyPage(phys, id); err != nil {
+		return err
+	}
+	copy(buf[:PageSize], phys[PageHeaderSize:])
 	return nil
 }
 
@@ -78,16 +96,22 @@ func (s *MemStore) WritePage(id PageID, buf []byte) error {
 	if int(id) >= len(s.pages) {
 		return fmt.Errorf("storage: write of unallocated page %d (have %d)", id, len(s.pages))
 	}
-	copy(s.pages[id], buf[:PageSize])
+	phys := s.pages[id]
+	copy(phys[PageHeaderSize:], buf[:PageSize])
+	sealPage(phys, id)
 	return nil
 }
 
-// Allocate implements Store.
+// Allocate implements Store. The fresh page is sealed around a zero
+// payload so that reading an allocated-but-never-written page verifies.
 func (s *MemStore) Allocate() (PageID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.pages = append(s.pages, make([]byte, PageSize))
-	return PageID(len(s.pages) - 1), nil
+	id := PageID(len(s.pages))
+	phys := make([]byte, physPageSize)
+	sealPage(phys, id)
+	s.pages = append(s.pages, phys)
+	return id, nil
 }
 
 // NumPages implements Store.
@@ -105,17 +129,41 @@ func (s *MemStore) Close() error {
 	return nil
 }
 
+// mutatePhysical implements physicalMutator for fault injection.
+func (s *MemStore) mutatePhysical(id PageID, mutate func(phys []byte)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.pages) {
+		return fmt.Errorf("storage: mutate of unallocated page %d (have %d)", id, len(s.pages))
+	}
+	mutate(s.pages[id])
+	return nil
+}
+
+// physBufPool recycles physical-page scratch buffers for the file store's
+// read/write paths, keeping the steady state allocation-free.
+var physBufPool = sync.Pool{New: func() any {
+	b := make([]byte, physPageSize)
+	return &b
+}}
+
 // FileStore is a Store backed by a single flat file of pages, the
 // disk-resident variant used when experiments should touch a real
-// filesystem. Page reads and writes go through ReadAt/WriteAt, which the
-// OS serialises per offset; the page count is guarded by a mutex, so all
+// filesystem. Each stored page is a PageHeaderSize header followed by the
+// PageSize payload; files written before the header existed (detected by
+// OpenFileStore via the magic) are served in legacy mode: raw PageSize
+// pages with no verification, so pre-header data stays readable.
+//
+// Page reads and writes go through ReadAt/WriteAt, which the OS
+// serialises per offset; the page count is guarded by a mutex, so all
 // methods are safe for concurrent use.
 type FileStore struct {
-	f     *os.File
-	mu    sync.RWMutex
-	pages int
-	path  string
-	temp  bool
+	f      *os.File
+	mu     sync.RWMutex
+	pages  int
+	path   string
+	temp   bool
+	legacy bool // pre-header file: raw pages, no checksums
 }
 
 // NewFileStore creates (truncating) a page file at path.
@@ -128,7 +176,17 @@ func NewFileStore(path string) (*FileStore, error) {
 }
 
 // OpenFileStore opens an existing page file at path for reading and
-// writing. The file length must be a multiple of PageSize.
+// writing, detecting its on-disk format:
+//
+//   - current format: pages carry the checksummed header; the file length
+//     is a multiple of PageHeaderSize+PageSize and the first page starts
+//     with the magic. Reads are verified.
+//   - legacy format (pre-header): the file length is a multiple of
+//     PageSize and the first bytes are not the magic. The store serves it
+//     in legacy mode — raw pages, no verification — so data written by
+//     older builds keeps working. Use Legacy to detect and re-write.
+//
+// A file matching neither layout is rejected with a clear error.
 func OpenFileStore(path string) (*FileStore, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
@@ -139,12 +197,27 @@ func OpenFileStore(path string) (*FileStore, error) {
 		f.Close()
 		return nil, err
 	}
-	if info.Size()%PageSize != 0 {
-		f.Close()
-		return nil, fmt.Errorf("storage: page file %s has size %d, not a multiple of %d",
-			path, info.Size(), PageSize)
+	size := info.Size()
+	if size == 0 {
+		return &FileStore{f: f, path: path}, nil
 	}
-	return &FileStore{f: f, path: path, pages: int(info.Size() / PageSize)}, nil
+	var head [4]byte
+	if _, err := f.ReadAt(head[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: read page file header: %w", err)
+	}
+	hasMagic := binary.LittleEndian.Uint32(head[:]) == pageMagic
+	switch {
+	case hasMagic && size%physPageSize == 0:
+		return &FileStore{f: f, path: path, pages: int(size / physPageSize)}, nil
+	case !hasMagic && size%PageSize == 0:
+		return &FileStore{f: f, path: path, pages: int(size / PageSize), legacy: true}, nil
+	default:
+		f.Close()
+		return nil, fmt.Errorf("storage: page file %s (size %d, magic %v) matches neither the "+
+			"checksummed layout (%d-byte pages) nor the legacy layout (%d-byte pages)",
+			path, size, hasMagic, physPageSize, PageSize)
+	}
 }
 
 // NewTempFileStore creates a page file in the default temp directory that
@@ -157,6 +230,10 @@ func NewTempFileStore() (*FileStore, error) {
 	return &FileStore{f: f, path: f.Name(), temp: true}, nil
 }
 
+// Legacy reports whether the file predates the page header and is served
+// without checksums.
+func (s *FileStore) Legacy() bool { return s.legacy }
+
 // ReadPage implements Store.
 func (s *FileStore) ReadPage(id PageID, buf []byte) error {
 	s.mu.RLock()
@@ -165,8 +242,21 @@ func (s *FileStore) ReadPage(id PageID, buf []byte) error {
 	if int(id) >= n {
 		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, n)
 	}
-	_, err := s.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
-	return err
+	if s.legacy {
+		_, err := s.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+		return err
+	}
+	physPtr := physBufPool.Get().(*[]byte)
+	phys := *physPtr
+	defer physBufPool.Put(physPtr)
+	if _, err := s.f.ReadAt(phys, int64(id)*physPageSize); err != nil {
+		return err
+	}
+	if err := verifyPage(phys, id); err != nil {
+		return err
+	}
+	copy(buf[:PageSize], phys[PageHeaderSize:])
+	return nil
 }
 
 // WritePage implements Store.
@@ -177,17 +267,44 @@ func (s *FileStore) WritePage(id PageID, buf []byte) error {
 	if int(id) >= n {
 		return fmt.Errorf("storage: write of unallocated page %d (have %d)", id, n)
 	}
-	_, err := s.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
+	if s.legacy {
+		_, err := s.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
+		return err
+	}
+	physPtr := physBufPool.Get().(*[]byte)
+	phys := *physPtr
+	defer physBufPool.Put(physPtr)
+	copy(phys[PageHeaderSize:], buf[:PageSize])
+	sealPage(phys, id)
+	_, err := s.f.WriteAt(phys, int64(id)*physPageSize)
 	return err
 }
 
-// Allocate implements Store.
+// Allocate implements Store. In the current format the fresh page is
+// sealed around a zero payload so that a read before any write verifies.
 func (s *FileStore) Allocate() (PageID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	id := PageID(s.pages)
-	if err := s.f.Truncate(int64(s.pages+1) * PageSize); err != nil {
+	stride := int64(physPageSize)
+	if s.legacy {
+		stride = PageSize
+	}
+	if err := s.f.Truncate(int64(s.pages+1) * stride); err != nil {
 		return InvalidPage, fmt.Errorf("storage: grow page file: %w", err)
+	}
+	if !s.legacy {
+		physPtr := physBufPool.Get().(*[]byte)
+		phys := *physPtr
+		for i := range phys {
+			phys[i] = 0
+		}
+		sealPage(phys, id)
+		_, err := s.f.WriteAt(phys, int64(id)*stride)
+		physBufPool.Put(physPtr)
+		if err != nil {
+			return InvalidPage, fmt.Errorf("storage: seal fresh page: %w", err)
+		}
 	}
 	s.pages++
 	return id, nil
@@ -212,5 +329,27 @@ func (s *FileStore) Close() error {
 			err = rmErr
 		}
 	}
+	return err
+}
+
+// mutatePhysical implements physicalMutator for fault injection. In
+// legacy mode the raw page doubles as the physical page.
+func (s *FileStore) mutatePhysical(id PageID, mutate func(phys []byte)) error {
+	s.mu.RLock()
+	n := s.pages
+	s.mu.RUnlock()
+	if int(id) >= n {
+		return fmt.Errorf("storage: mutate of unallocated page %d (have %d)", id, n)
+	}
+	stride := int64(physPageSize)
+	if s.legacy {
+		stride = PageSize
+	}
+	phys := make([]byte, stride)
+	if _, err := s.f.ReadAt(phys, int64(id)*stride); err != nil {
+		return err
+	}
+	mutate(phys)
+	_, err := s.f.WriteAt(phys, int64(id)*stride)
 	return err
 }
