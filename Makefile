@@ -33,6 +33,14 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeRecord -fuzztime=5s ./internal/mbrqt
 	$(GO) test -run=NONE -fuzz=FuzzRecordFromPage -fuzztime=5s ./internal/mbrqt
 	$(GO) test -run=NONE -fuzz=FuzzDecodeNode -fuzztime=5s ./internal/rstar
+	$(GO) test -run=NONE -fuzz=FuzzDecodeRequest -fuzztime=5s ./internal/wire
+	$(GO) test -run=NONE -fuzz=FuzzDecodeResponse -fuzztime=5s ./internal/wire
+
+# serve-smoke boots the real annserve daemon on a temp index, drives a
+# batched kNN and a streamed self-join through the client, and asserts
+# byte parity with direct library calls plus a clean SIGTERM drain.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/annserve
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -187,12 +187,17 @@ type Result struct {
 	Neighbors []Neighbor
 }
 
-// Index is a dataset indexed for ANN processing.
+// Index is a dataset indexed for ANN processing. The query methods and
+// the package-level query functions are safe for concurrent use on a
+// shared Index (the serving layer multiplexes many clients over one);
+// Close must not run concurrently with queries — see internal/server's
+// catalog for the lock pattern.
 type Index struct {
 	tree  index.Tree
 	pool  *storage.BufferPool
 	store storage.Store
 	size  int
+	kind  IndexKind
 }
 
 // BuildIndex bulk-loads an index over points. Object ids are the
@@ -241,7 +246,7 @@ func BuildIndex(points []Point, cfg IndexConfig) (*Index, error) {
 		store.Close()
 		return nil, err
 	}
-	return &Index{tree: tree, pool: pool, store: store, size: len(points)}, nil
+	return &Index{tree: tree, pool: pool, store: store, size: len(points), kind: cfg.Kind}, nil
 }
 
 // Close releases the index's storage (removing nothing unless the page
@@ -250,6 +255,9 @@ func (ix *Index) Close() error { return ix.store.Close() }
 
 // Len returns the number of indexed points.
 func (ix *Index) Len() int { return ix.size }
+
+// Kind returns the index structure backing this Index.
+func (ix *Index) Kind() IndexKind { return ix.kind }
 
 // Dim returns the dimensionality of the indexed points.
 func (ix *Index) Dim() int { return ix.tree.Dim() }
@@ -357,6 +365,14 @@ func StreamAllKNearestNeighborsContext(ctx context.Context, r, s *Index, k int, 
 	return run(ctx, r, s, k, cfg, false, emit)
 }
 
+// StreamSelfAllKNearestNeighborsContext is SelfAllKNearestNeighbors with
+// a streaming callback and cancellation — the form the serving layer
+// uses so self-join results flow to the client without materialising
+// server-side.
+func StreamSelfAllKNearestNeighborsContext(ctx context.Context, ix *Index, k int, cfg QueryConfig, emit func(Result) error) error {
+	return run(ctx, ix, ix, k, cfg, true, emit)
+}
+
 func run(ctx context.Context, r, s *Index, k int, cfg QueryConfig, excludeSelf bool, emit func(Result) error) error {
 	if k < 1 {
 		return fmt.Errorf("ann: k must be at least 1, got %d", k)
@@ -412,7 +428,15 @@ func run(ctx context.Context, r, s *Index, k int, cfg QueryConfig, excludeSelf b
 // whose Euclidean distance is at most d — the distance join operation.
 // For self-joins pass the same index twice and set excludeSelf.
 func WithinDistance(r, s *Index, d float64, excludeSelf bool, emit func(rID, sID ObjectID, dist float64) error) error {
-	_, err := core.DistanceJoin(r.tree, s.tree, d, excludeSelf, func(p core.Pair) error {
+	return WithinDistanceContext(context.Background(), r, s, d, excludeSelf, emit)
+}
+
+// WithinDistanceContext is WithinDistance with cancellation: when ctx is
+// cancelled or its deadline passes the join stops promptly and returns
+// ctx.Err(); emit is not called again after the cancellation is
+// observed.
+func WithinDistanceContext(ctx context.Context, r, s *Index, d float64, excludeSelf bool, emit func(rID, sID ObjectID, dist float64) error) error {
+	_, err := core.DistanceJoinContext(ctx, r.tree, s.tree, d, excludeSelf, func(p core.Pair) error {
 		return emit(uint64(p.R), uint64(p.S), p.Dist)
 	})
 	return err
@@ -428,7 +452,15 @@ type Pair struct {
 // ascending by distance. For self-joins pass the same index twice and set
 // excludeSelf (each unordered pair then appears in both directions).
 func ClosestPairs(r, s *Index, k int, excludeSelf bool) ([]Pair, error) {
-	pairs, _, err := core.KClosestPairs(r.tree, s.tree, k, excludeSelf)
+	return ClosestPairsContext(context.Background(), r, s, k, excludeSelf)
+}
+
+// ClosestPairsContext is ClosestPairs with cancellation: when ctx is
+// cancelled or its deadline passes the traversal stops promptly and
+// returns ctx.Err() with no pairs (a partial top-k would be
+// misleading).
+func ClosestPairsContext(ctx context.Context, r, s *Index, k int, excludeSelf bool) ([]Pair, error) {
+	pairs, _, err := core.KClosestPairsContext(ctx, r.tree, s.tree, k, excludeSelf)
 	if err != nil {
 		return nil, err
 	}

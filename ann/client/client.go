@@ -1,0 +1,463 @@
+// Package client is the typed Go client for annserve. One Client owns
+// one TCP connection, reused across requests; methods are safe for
+// concurrent use (requests serialise over the connection, matching the
+// server's sequential per-connection processing). Context deadlines
+// propagate to the server in the request header, so the server aborts
+// the query engine-side when the budget runs out — the client does not
+// just stop listening.
+package client
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"allnn/ann"
+	"allnn/internal/wire"
+)
+
+// ioGrace is added to socket deadlines beyond the request deadline, so
+// the server's own DEADLINE_EXCEEDED reply (the authoritative one) wins
+// the race against the client's socket timeout.
+const ioGrace = 2 * time.Second
+
+// IndexInfo describes one catalog index.
+type IndexInfo struct {
+	Name   string
+	Kind   ann.IndexKind
+	Points int
+	Dim    int
+}
+
+// Client is a connection to an annserve server.
+type Client struct {
+	conn net.Conn
+	// reqMu serialises whole requests (including streamed responses)
+	// over the connection.
+	reqMu  chanMutex
+	nextID uint64
+	encBuf []byte
+}
+
+// chanMutex is a mutex that can also be acquired with a context.
+type chanMutex chan struct{}
+
+func (m chanMutex) lock(ctx context.Context) error {
+	select {
+	case m <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (m chanMutex) unlock() { <-m }
+
+// Dial connects and performs the protocol handshake.
+func Dial(addr string) (*Client, error) {
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext is Dial bounded by a context.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetWriteDeadline(dl)
+	}
+	if err := wire.WriteHandshake(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetWriteDeadline(time.Time{})
+	return &Client{conn: conn, reqMu: make(chanMutex, 1)}, nil
+}
+
+// Close closes the connection. In-flight requests fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// --- error classification ---------------------------------------------------
+
+// IsBusy reports whether err is the server's SERVER_BUSY rejection.
+func IsBusy(err error) bool { return wire.IsCode(err, wire.CodeServerBusy) }
+
+// IsDeadlineExceeded reports whether err is the server's
+// DEADLINE_EXCEEDED rejection.
+func IsDeadlineExceeded(err error) bool { return wire.IsCode(err, wire.CodeDeadlineExceeded) }
+
+// IsNotFound reports whether err means a missing index (or file).
+func IsNotFound(err error) bool { return wire.IsCode(err, wire.CodeNotFound) }
+
+// IsShuttingDown reports whether err is the server's drain rejection.
+func IsShuttingDown(err error) bool { return wire.IsCode(err, wire.CodeShuttingDown) }
+
+// IsBadRequest reports whether the server rejected the request as
+// malformed or semantically invalid.
+func IsBadRequest(err error) bool { return wire.IsCode(err, wire.CodeBadRequest) }
+
+// IsCorruptIndex reports whether an index file failed verification.
+func IsCorruptIndex(err error) bool { return wire.IsCode(err, wire.CodeCorruptIndex) }
+
+// --- request plumbing -------------------------------------------------------
+
+// begin acquires the connection and writes the request, returning its
+// id. The caller must call c.reqMu.unlock() once done reading frames.
+func (c *Client) begin(ctx context.Context, op wire.Op, body wire.Message) (uint64, error) {
+	if err := c.reqMu.lock(ctx); err != nil {
+		return 0, err
+	}
+	c.nextID++
+	hdr := wire.RequestHeader{ID: c.nextID, Op: op}
+	if dl, ok := ctx.Deadline(); ok {
+		hdr.Timeout = time.Until(dl)
+		if hdr.Timeout <= 0 {
+			c.reqMu.unlock()
+			return 0, context.DeadlineExceeded
+		}
+		c.conn.SetDeadline(dl.Add(ioGrace))
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	payload, err := wire.EncodeRequest(hdr, body, c.encBuf)
+	if err != nil {
+		c.reqMu.unlock()
+		return 0, err
+	}
+	c.encBuf = payload
+	if err := wire.WriteFrame(c.conn, payload); err != nil {
+		c.reqMu.unlock()
+		return 0, fmt.Errorf("client: sending %s request: %w", op, err)
+	}
+	return hdr.ID, nil
+}
+
+// readReply reads one response frame for request id, mapping KindError
+// frames to *wire.Error.
+func (c *Client) readReply(id uint64) (wire.ResponseKind, wire.Message, error) {
+	payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return 0, nil, fmt.Errorf("client: reading response: %w", err)
+	}
+	gotID, kind, _, body, err := wire.DecodeResponse(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	if gotID != id {
+		return 0, nil, fmt.Errorf("client: response for request %d while awaiting %d", gotID, id)
+	}
+	if kind == wire.KindError {
+		er := body.(*wire.ErrorReply)
+		return kind, nil, &wire.Error{Code: er.Code, Msg: er.Msg}
+	}
+	return kind, body, nil
+}
+
+// roundTrip performs a non-streaming request and returns the single
+// KindResult body.
+func (c *Client) roundTrip(ctx context.Context, op wire.Op, body wire.Message) (wire.Message, error) {
+	id, err := c.begin(ctx, op, body)
+	if err != nil {
+		return nil, err
+	}
+	defer c.reqMu.unlock()
+	kind, reply, err := c.readReply(id)
+	if err != nil {
+		return nil, err
+	}
+	if kind != wire.KindResult {
+		return nil, fmt.Errorf("client: unexpected frame kind %d for %s", kind, op)
+	}
+	return reply, nil
+}
+
+// --- catalog ops ------------------------------------------------------------
+
+// Open loads the index file at path into the server's catalog as name.
+func (c *Client) Open(ctx context.Context, name, path string) (IndexInfo, error) {
+	reply, err := c.roundTrip(ctx, wire.OpOpen, &wire.OpenReq{Name: name, Path: path})
+	if err != nil {
+		return IndexInfo{}, err
+	}
+	return toIndexInfo(reply.(*wire.OpenReply).Info), nil
+}
+
+// CloseIndex removes name from the server's catalog and closes it.
+func (c *Client) CloseIndex(ctx context.Context, name string) error {
+	_, err := c.roundTrip(ctx, wire.OpClose, &wire.CloseReq{Name: name})
+	return err
+}
+
+// List enumerates the server's catalog.
+func (c *Client) List(ctx context.Context) ([]IndexInfo, error) {
+	reply, err := c.roundTrip(ctx, wire.OpList, &wire.ListReq{})
+	if err != nil {
+		return nil, err
+	}
+	infos := reply.(*wire.ListReply).Indexes
+	out := make([]IndexInfo, len(infos))
+	for i, info := range infos {
+		out[i] = toIndexInfo(info)
+	}
+	return out, nil
+}
+
+// Stats snapshots one catalog index's storage counters.
+func (c *Client) Stats(ctx context.Context, name string) (ann.IndexStats, error) {
+	reply, err := c.roundTrip(ctx, wire.OpStats, &wire.StatsReq{Name: name})
+	if err != nil {
+		return ann.IndexStats{}, err
+	}
+	st := reply.(*wire.StatsReply)
+	return ann.IndexStats{
+		Points: int(st.Info.Points),
+		Dim:    int(st.Info.Dim),
+		Kind:   ann.IndexKind(st.Info.Kind),
+
+		PoolHits:         st.PoolHits,
+		PoolMisses:       st.PoolMisses,
+		PoolReads:        st.PoolReads,
+		PoolWrites:       st.PoolWrites,
+		PoolEvictions:    st.PoolEvictions,
+		PoolRetries:      st.PoolRetries,
+		PoolCorruptPages: st.PoolCorruptPages,
+		PinnedFrames:     int(st.PinnedFrames),
+
+		CacheHits:          st.CacheHits,
+		CacheMisses:        st.CacheMisses,
+		CacheEvictions:     st.CacheEvictions,
+		CacheInvalidations: st.CacheInvalidations,
+		CacheEntries:       int(st.CacheEntries),
+		CacheBytes:         int64(st.CacheBytes),
+	}, nil
+}
+
+// --- queries ----------------------------------------------------------------
+
+// KNN returns the k nearest indexed points to q in the named index.
+func (c *Client) KNN(ctx context.Context, index string, q ann.Point, k int) ([]ann.Neighbor, error) {
+	reply, err := c.roundTrip(ctx, wire.OpKNN, &wire.KNNReq{Index: index, K: uint32(k), Point: q})
+	if err != nil {
+		return nil, err
+	}
+	return toNeighbors(reply.(*wire.KNNReply).Neighbors), nil
+}
+
+// BatchKNN answers one kNN probe per query point in a single request;
+// results come back in request order with IDs 0..len(qs)-1.
+func (c *Client) BatchKNN(ctx context.Context, index string, qs []ann.Point, k int) ([]ann.Result, error) {
+	pts := make([][]float64, len(qs))
+	for i, q := range qs {
+		pts[i] = q
+	}
+	reply, err := c.roundTrip(ctx, wire.OpBatchKNN, &wire.BatchKNNReq{Index: index, K: uint32(k), Points: pts})
+	if err != nil {
+		return nil, err
+	}
+	return toResults(reply.(*wire.BatchKNNReply).Results), nil
+}
+
+// Range returns the ids of the indexed points inside the box [lo, hi].
+func (c *Client) Range(ctx context.Context, index string, lo, hi ann.Point) ([]uint64, error) {
+	reply, err := c.roundTrip(ctx, wire.OpRange, &wire.RangeReq{Index: index, Lo: lo, Hi: hi})
+	if err != nil {
+		return nil, err
+	}
+	return reply.(*wire.RangeReply).IDs, nil
+}
+
+// ClosestPairs returns the k closest (r, s) pairs across two catalog
+// indexes (pass the same name twice with excludeSelf for a self-join).
+func (c *Client) ClosestPairs(ctx context.Context, r, s string, k int, excludeSelf bool) ([]ann.Pair, error) {
+	reply, err := c.roundTrip(ctx, wire.OpClosestPairs, &wire.PairsReq{R: r, S: s, K: uint32(k), ExcludeSelf: excludeSelf})
+	if err != nil {
+		return nil, err
+	}
+	pairs := reply.(*wire.PairsReply).Pairs
+	out := make([]ann.Pair, len(pairs))
+	for i, p := range pairs {
+		out[i] = ann.Pair{R: p.R, S: p.S, Dist: p.Dist}
+	}
+	return out, nil
+}
+
+// WithinDistance streams every (r, s) pair within dist to emit,
+// returning the total pair count. Pass the same name twice with
+// excludeSelf for a self-join.
+func (c *Client) WithinDistance(ctx context.Context, r, s string, dist float64, excludeSelf bool, emit func(rID, sID uint64, dist float64) error) (uint64, error) {
+	id, err := c.begin(ctx, wire.OpWithinDistance, &wire.WithinReq{R: r, S: s, Dist: dist, ExcludeSelf: excludeSelf})
+	if err != nil {
+		return 0, err
+	}
+	defer c.reqMu.unlock()
+	var total uint64
+	for {
+		kind, body, err := c.readReply(id)
+		if err != nil {
+			return total, err
+		}
+		switch kind {
+		case wire.KindStream:
+			for _, p := range body.(*wire.PairFrame).Pairs {
+				total++
+				if err := emit(p.R, p.S, p.Dist); err != nil {
+					// The caller aborted; the connection still carries
+					// the rest of the stream, so it must be drained
+					// before the next request can use it.
+					c.drain(id)
+					return total, err
+				}
+			}
+		case wire.KindEnd:
+			return total, nil
+		default:
+			return total, fmt.Errorf("client: unexpected frame kind %d in pair stream", kind)
+		}
+	}
+}
+
+// drain consumes frames for request id until its stream terminates,
+// keeping the connection usable after an abandoned stream.
+func (c *Client) drain(id uint64) {
+	for {
+		kind, _, err := c.readReply(id)
+		if err != nil || kind == wire.KindEnd {
+			return
+		}
+	}
+}
+
+// --- streaming joins --------------------------------------------------------
+
+// JoinStream iterates the results of a served ANN/AkNN join as they
+// arrive. The owning Client is busy until the stream is exhausted or
+// closed.
+type JoinStream struct {
+	c      *Client
+	id     uint64
+	buf    []wire.Result
+	pos    int
+	cur    ann.Result
+	count  uint64
+	err    error
+	done   bool
+	closed bool
+}
+
+// Join starts AllKNearestNeighbors(r, s, k) server-side and returns the
+// result stream.
+func (c *Client) Join(ctx context.Context, r, s string, k int) (*JoinStream, error) {
+	return c.startJoin(ctx, &wire.JoinReq{R: r, S: s, K: uint32(k)})
+}
+
+// SelfJoin starts SelfAllKNearestNeighbors(index, k) server-side and
+// returns the result stream.
+func (c *Client) SelfJoin(ctx context.Context, index string, k int) (*JoinStream, error) {
+	return c.startJoin(ctx, &wire.JoinReq{R: index, K: uint32(k), Self: true})
+}
+
+func (c *Client) startJoin(ctx context.Context, req *wire.JoinReq) (*JoinStream, error) {
+	id, err := c.begin(ctx, wire.OpJoin, req)
+	if err != nil {
+		return nil, err
+	}
+	return &JoinStream{c: c, id: id}, nil
+}
+
+// Next advances to the next result, reporting false at the end of the
+// stream or on error (check Err).
+func (st *JoinStream) Next() bool {
+	if st.done {
+		return false
+	}
+	for st.pos >= len(st.buf) {
+		kind, body, err := st.c.readReply(st.id)
+		if err != nil {
+			st.finish(err)
+			return false
+		}
+		switch kind {
+		case wire.KindStream:
+			st.buf = body.(*wire.JoinFrame).Results
+			st.pos = 0
+		case wire.KindEnd:
+			st.count = body.(*wire.StreamEnd).Count
+			st.finish(nil)
+			return false
+		default:
+			st.finish(fmt.Errorf("client: unexpected frame kind %d in join stream", kind))
+			return false
+		}
+	}
+	r := st.buf[st.pos]
+	st.pos++
+	st.cur = ann.Result{ID: r.ID, Point: r.Point, Neighbors: toNeighbors(r.Neighbors)}
+	return true
+}
+
+// Result returns the result Next advanced to.
+func (st *JoinStream) Result() ann.Result { return st.cur }
+
+// Err returns the terminal error, if any, once Next has returned false.
+func (st *JoinStream) Err() error { return st.err }
+
+// Count returns the server-reported total after a clean end of stream.
+func (st *JoinStream) Count() uint64 { return st.count }
+
+// Close releases the connection for the next request, draining any
+// remaining frames of an abandoned stream. It is safe to call twice.
+func (st *JoinStream) Close() error {
+	if st.closed {
+		return st.err
+	}
+	if !st.done {
+		st.c.drain(st.id)
+		st.done = true
+	}
+	st.closed = true
+	st.c.reqMu.unlock()
+	return st.err
+}
+
+// finish records the terminal state and releases the connection.
+func (st *JoinStream) finish(err error) {
+	st.err = err
+	st.done = true
+	if !st.closed {
+		st.closed = true
+		st.c.reqMu.unlock()
+	}
+}
+
+// --- conversions ------------------------------------------------------------
+
+func toIndexInfo(info wire.IndexInfo) IndexInfo {
+	return IndexInfo{
+		Name:   info.Name,
+		Kind:   ann.IndexKind(info.Kind),
+		Points: int(info.Points),
+		Dim:    int(info.Dim),
+	}
+}
+
+func toNeighbors(nbs []wire.Neighbor) []ann.Neighbor {
+	if nbs == nil {
+		return nil
+	}
+	out := make([]ann.Neighbor, len(nbs))
+	for i, n := range nbs {
+		out[i] = ann.Neighbor{ID: n.ID, Point: n.Point, Dist: n.Dist}
+	}
+	return out
+}
+
+func toResults(rs []wire.Result) []ann.Result {
+	out := make([]ann.Result, len(rs))
+	for i, r := range rs {
+		out[i] = ann.Result{ID: r.ID, Point: r.Point, Neighbors: toNeighbors(r.Neighbors)}
+	}
+	return out
+}

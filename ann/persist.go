@@ -1,0 +1,65 @@
+package ann
+
+import (
+	"errors"
+	"fmt"
+
+	"allnn/internal/mbrqt"
+	"allnn/internal/rstar"
+	"allnn/internal/storage"
+)
+
+// OpenIndex opens an index previously built with IndexConfig.PageFile
+// and persisted with Flush, skipping the bulk-load entirely — the way a
+// long-lived server brings a prebuilt index online. The file's physical
+// page framing is verified on open (and every page read re-verifies its
+// checksum), so a damaged or foreign file surfaces as a clean error
+// wrapping ErrCorruptPage instead of reaching the index decoders. The
+// index kind (MBRQT or R*-tree) is detected from the stored header;
+// cfg.Kind and cfg.PageFile are ignored.
+func OpenIndex(path string, cfg IndexConfig) (*Index, error) {
+	store, err := storage.OpenFileStore(path)
+	if err != nil {
+		return nil, err
+	}
+	poolBytes := cfg.BufferPoolBytes
+	if poolBytes <= 0 {
+		poolBytes = 64 << 20
+	}
+	pool := storage.NewBufferPoolWithConfig(store, storage.FramesForBytes(poolBytes), storage.BufferPoolConfig{
+		ReadRetries:     cfg.ReadRetries,
+		RetryBackoff:    cfg.RetryBackoff,
+		RetryBackoffMax: cfg.RetryBackoffMax,
+	})
+
+	// The meta page of a bulk-loaded tree is the first page of its store;
+	// the tree kind is detected by which header magic it carries.
+	if t, err := mbrqt.Open(pool, 0); err == nil {
+		return &Index{tree: t, pool: pool, store: store, size: t.Len(), kind: MBRQT}, nil
+	} else if !errors.Is(err, storage.ErrCorruptPage) {
+		store.Close()
+		return nil, err
+	}
+	t, err := rstar.Open(pool, 0)
+	if err != nil {
+		store.Close()
+		if errors.Is(err, storage.ErrCorruptPage) {
+			return nil, fmt.Errorf("ann: %s holds neither an MBRQT nor an R*-tree header: %w", path, err)
+		}
+		return nil, err
+	}
+	return &Index{tree: t, pool: pool, store: store, size: t.Len(), kind: RStar}, nil
+}
+
+// Flush persists the index — tree header and all dirty pages — to its
+// backing store. Only meaningful for an index built with
+// IndexConfig.PageFile (or opened with OpenIndex); for an in-memory
+// index it is a harmless no-op. After a Flush the page file can be
+// reopened with OpenIndex.
+func (ix *Index) Flush() error {
+	type flusher interface{ Flush() error }
+	if f, ok := ix.tree.(flusher); ok {
+		return f.Flush()
+	}
+	return ix.pool.FlushAll()
+}

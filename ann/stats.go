@@ -1,0 +1,73 @@
+package ann
+
+import (
+	"allnn/internal/index"
+	"allnn/internal/storage"
+)
+
+// IndexStats is a point-in-time snapshot of one index's shape and
+// storage activity — the per-index record behind the server's catalog
+// stats operation. Pool counters are cumulative since the index was
+// built or opened; cache counters cover the attached decoded-node cache
+// (zero when none is attached yet).
+type IndexStats struct {
+	Points int       `json:"points"`
+	Dim    int       `json:"dim"`
+	Kind   IndexKind `json:"kind"`
+
+	PoolHits         uint64 `json:"pool_hits"`
+	PoolMisses       uint64 `json:"pool_misses"`
+	PoolReads        uint64 `json:"pool_reads"`
+	PoolWrites       uint64 `json:"pool_writes"`
+	PoolEvictions    uint64 `json:"pool_evictions"`
+	PoolRetries      uint64 `json:"pool_retries"`
+	PoolCorruptPages uint64 `json:"pool_corrupt_pages"`
+	PinnedFrames     int    `json:"pinned_frames"`
+
+	CacheHits          uint64 `json:"cache_hits"`
+	CacheMisses        uint64 `json:"cache_misses"`
+	CacheEvictions     uint64 `json:"cache_evictions"`
+	CacheInvalidations uint64 `json:"cache_invalidations"`
+	CacheEntries       int    `json:"cache_entries"`
+	CacheBytes         int64  `json:"cache_bytes"`
+}
+
+// Stats snapshots the index. Safe to call concurrently with queries.
+func (ix *Index) Stats() IndexStats {
+	ps := ix.pool.Stats()
+	st := IndexStats{
+		Points: ix.size,
+		Dim:    ix.Dim(),
+		Kind:   ix.kind,
+
+		PoolHits:         ps.Hits,
+		PoolMisses:       ps.Misses,
+		PoolReads:        ps.Reads,
+		PoolWrites:       ps.Writes,
+		PoolEvictions:    ps.Evictions,
+		PoolRetries:      ps.Retries,
+		PoolCorruptPages: ps.CorruptPages,
+		PinnedFrames:     ix.pool.PinnedFrames(),
+	}
+	if nc, ok := ix.tree.(index.NodeCacher); ok {
+		if c := nc.NodeCacheRef(); c != nil {
+			ct := c.Counters()
+			st.CacheHits = ct.Hits
+			st.CacheMisses = ct.Misses
+			st.CacheEvictions = ct.Evictions
+			st.CacheInvalidations = ct.Invalidations
+			r := c.Residency()
+			st.CacheEntries = r.Entries
+			st.CacheBytes = r.Bytes
+		}
+	}
+	return st
+}
+
+// RequireNoPinnedFrames forwards to storage.RequireNoPinnedFrames for
+// the index's buffer pool: it fails the test when any frame is still
+// pinned after the exercised paths, the leak assertion concurrency and
+// chaos tests end with.
+func (ix *Index) RequireNoPinnedFrames(t storage.TB) {
+	storage.RequireNoPinnedFrames(t, ix.pool)
+}

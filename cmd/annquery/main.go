@@ -1,16 +1,22 @@
 // Command annquery runs an ANN or AkNN query over dataset files produced
-// by anngen, printing one line per query point.
+// by anngen — or, with -remote, against a running annserve daemon —
+// printing one line per query point.
 //
 // Examples:
 //
 //	annquery -r queries.pts -s targets.pts -k 1
 //	annquery -r catalog.pts -self -k 5 -index rstar -metric maxmax
 //	annquery -r catalog.pts -self -trace trace.json -report -quiet
+//	annquery -r catalog.pts -self -r-pagefile catalog.pages        # build and persist
+//	annquery -r-pagefile catalog.pages -self -k 2                  # reopen, no rebuild
+//	annquery -remote localhost:4321 -r pts -self -k 2              # served query
 //
-// -trace writes the query's execution trace as Chrome trace-event JSON
-// (open at https://ui.perfetto.dev); -report prints the unified
-// QueryReport (counters + stage timings) as JSON to stderr; -cpuprofile,
-// -memprofile and -pprof-addr enable the standard Go profiling hooks.
+// With -remote, -r and -s name indexes in the server's catalog rather
+// than dataset files. -trace writes the query's execution trace as
+// Chrome trace-event JSON (open at https://ui.perfetto.dev); -report
+// prints the unified QueryReport (counters + stage timings) as JSON to
+// stderr; -cpuprofile, -memprofile and -pprof-addr enable the standard
+// Go profiling hooks.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"time"
 
 	"allnn/ann"
+	"allnn/ann/client"
 	"allnn/internal/datagen"
 	"allnn/internal/obs"
 )
@@ -33,6 +40,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("annquery: ")
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		// log.Fatal: one clean line on stderr, exit code 1 — corrupt or
+		// missing files must not stack-trace.
 		log.Fatal(err)
 	}
 }
@@ -41,15 +50,19 @@ func main() {
 // testability.
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("annquery", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		rPath   = fs.String("r", "", "query dataset file (required)")
-		sPath   = fs.String("s", "", "target dataset file (defaults to -r with -self)")
+		rPath   = fs.String("r", "", "query dataset file (with -remote: catalog index name)")
+		sPath   = fs.String("s", "", "target dataset file (defaults to -r with -self; with -remote: catalog index name)")
+		rPage   = fs.String("r-pagefile", "", "query index page file: built and persisted here with -r, reopened without")
+		sPage   = fs.String("s-pagefile", "", "target index page file (see -r-pagefile)")
 		selfQ   = fs.Bool("self", false, "self-join: exclude each point's own pairing")
 		k       = fs.Int("k", 1, "neighbors per query point")
 		kindStr = fs.String("index", "mbrqt", "index structure: mbrqt | rstar")
 		metric  = fs.String("metric", "nxndist", "pruning metric: nxndist | maxmax")
 		quiet   = fs.Bool("quiet", false, "suppress per-point output; print only the summary")
 		timeout = fs.Duration("timeout", 0, "abort the query after this long (0 disables); exits with ctx deadline error")
+		remote  = fs.String("remote", "", "route the query to the annserve daemon at this address")
 
 		tracePath   = fs.String("trace", "", "write a Chrome trace-event JSON of the query here (open at ui.perfetto.dev)")
 		report      = fs.Bool("report", false, "print the unified QueryReport (counters + stage timings) as JSON to stderr")
@@ -60,14 +73,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *rPath == "" {
-		return fmt.Errorf("-r is required")
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	if *sPath == "" {
-		if !*selfQ {
-			return fmt.Errorf("either -s or -self is required")
-		}
-		*sPath = *rPath
+
+	if *remote != "" {
+		return runRemote(ctx, *remote, *rPath, *sPath, *selfQ, *k, *quiet, stdout, stderr)
+	}
+
+	if *rPath == "" && *rPage == "" {
+		return fmt.Errorf("-r or -r-pagefile is required")
+	}
+	if *sPath == "" && *sPage == "" && !*selfQ {
+		return fmt.Errorf("either -s, -s-pagefile or -self is required")
 	}
 
 	cfg := ann.IndexConfig{}
@@ -126,43 +148,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}()
 
-	rRaw, err := datagen.ReadFile(*rPath)
-	if err != nil {
-		return err
-	}
-	rPts := make([]ann.Point, len(rRaw))
-	for i, p := range rRaw {
-		rPts[i] = ann.Point(p)
-	}
-
 	buildStart := time.Now()
-	rIx, err := ann.BuildIndex(rPts, cfg)
+	rIx, err := loadIndex(*rPath, *rPage, cfg)
 	if err != nil {
 		return err
 	}
+	defer rIx.Close()
 	sIx := rIx
-	if *sPath != *rPath {
-		sRaw, err := datagen.ReadFile(*sPath)
+	sameSource := *selfQ && *sPath == "" && *sPage == "" ||
+		(*sPath != "" && *sPath == *rPath) || (*sPage != "" && *sPage == *rPage)
+	if !sameSource {
+		sIx, err = loadIndex(*sPath, *sPage, cfg)
 		if err != nil {
 			return err
 		}
-		sPts := make([]ann.Point, len(sRaw))
-		for i, p := range sRaw {
-			sPts[i] = ann.Point(p)
-		}
-		sIx, err = ann.BuildIndex(sPts, cfg)
-		if err != nil {
-			return err
-		}
+		defer sIx.Close()
 	}
 	buildTime := time.Since(buildStart)
-
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 
 	w := bufio.NewWriter(stdout)
 	defer w.Flush()
@@ -173,11 +175,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *quiet {
 			return nil
 		}
-		fmt.Fprintf(w, "%d", res.ID)
-		for _, nn := range res.Neighbors {
-			fmt.Fprintf(w, "\t%d:%.6g", nn.ID, nn.Dist)
-		}
-		fmt.Fprintln(w)
+		printResult(w, res)
 		return nil
 	}
 	if *selfQ && sIx == rIx {
@@ -200,4 +198,84 @@ func run(args []string, stdout, stderr io.Writer) error {
 		count, buildTime.Round(time.Millisecond), queryTime.Round(time.Millisecond),
 		*kindStr, *metric, *k)
 	return nil
+}
+
+// loadIndex resolves one side of the query: reopen a persisted page
+// file (pagePath only), build in memory (dataPath only), or build
+// file-backed and persist (both).
+func loadIndex(dataPath, pagePath string, cfg ann.IndexConfig) (*ann.Index, error) {
+	if dataPath == "" {
+		return ann.OpenIndex(pagePath, cfg)
+	}
+	raw, err := datagen.ReadFile(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]ann.Point, len(raw))
+	for i, p := range raw {
+		pts[i] = ann.Point(p)
+	}
+	cfg.PageFile = pagePath // empty means in-memory
+	ix, err := ann.BuildIndex(pts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if pagePath != "" {
+		if err := ix.Flush(); err != nil {
+			ix.Close()
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// runRemote routes the join through a served catalog via ann/client.
+func runRemote(ctx context.Context, addr, rName, sName string, selfQ bool, k int, quiet bool, stdout, stderr io.Writer) error {
+	if rName == "" {
+		return fmt.Errorf("-r (catalog index name) is required with -remote")
+	}
+	if sName == "" && !selfQ {
+		return fmt.Errorf("either -s or -self is required with -remote")
+	}
+	cl, err := client.DialContext(ctx, addr)
+	if err != nil {
+		return fmt.Errorf("connecting to %s: %w", addr, err)
+	}
+	defer cl.Close()
+
+	var st *client.JoinStream
+	queryStart := time.Now()
+	if selfQ {
+		st, err = cl.SelfJoin(ctx, rName, k)
+	} else {
+		st, err = cl.Join(ctx, rName, sName, k)
+	}
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(stdout)
+	defer w.Flush()
+	count := 0
+	for st.Next() {
+		count++
+		if !quiet {
+			printResult(w, st.Result())
+		}
+	}
+	if err := st.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "annquery: %d results, query %v (remote %s, k=%d)\n",
+		count, time.Since(queryStart).Round(time.Millisecond), addr, k)
+	return nil
+}
+
+// printResult writes one per-point output line: the query id, then one
+// "id:dist" column per neighbor.
+func printResult(w io.Writer, res ann.Result) {
+	fmt.Fprintf(w, "%d", res.ID)
+	for _, nn := range res.Neighbors {
+		fmt.Fprintf(w, "\t%d:%.6g", nn.ID, nn.Dist)
+	}
+	fmt.Fprintln(w)
 }

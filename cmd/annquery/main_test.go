@@ -2,12 +2,19 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/binary"
+	"net"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"allnn/ann"
 	"allnn/internal/datagen"
 	"allnn/internal/geom"
+	"allnn/internal/server"
 )
 
 func writeDataset(t *testing.T, name string, pts []geom.Point) string {
@@ -77,6 +84,151 @@ func TestRunQuiet(t *testing.T) {
 	}
 	if out.Len() != 0 {
 		t.Fatalf("quiet mode still printed: %q", out.String())
+	}
+}
+
+// TestRunPagefilePersistAndReopen builds an index through -r-pagefile,
+// then reruns from the page file alone and expects identical output.
+func TestRunPagefilePersistAndReopen(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {1, 1}, {5, 5}, {6, 6}, {2, 3}}
+	r := writeDataset(t, "r.pts", pts)
+	page := filepath.Join(t.TempDir(), "r.pages")
+
+	var built, errBuf bytes.Buffer
+	if err := run([]string{"-r", r, "-r-pagefile", page, "-self", "-k", "2"}, &built, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var reopened bytes.Buffer
+	if err := run([]string{"-r-pagefile", page, "-self", "-k", "2"}, &reopened, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if built.String() != reopened.String() {
+		t.Fatalf("reopened page file diverges from build:\nbuilt:    %q\nreopened: %q",
+			built.String(), reopened.String())
+	}
+	if built.Len() == 0 {
+		t.Fatal("no output produced")
+	}
+}
+
+// TestRunCleanErrors pins the one-line (no stack trace) failure mode
+// for missing files, garbage page files, and corrupt dataset headers.
+func TestRunCleanErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+
+	// Missing page file.
+	err := run([]string{"-r-pagefile", filepath.Join(t.TempDir(), "missing.pages"), "-self"}, &out, &errBuf)
+	if err == nil {
+		t.Fatal("missing page file accepted")
+	}
+	assertCleanError(t, err)
+
+	// Garbage page file: must fail the header check, not crash.
+	garbage := filepath.Join(t.TempDir(), "garbage.pages")
+	if werr := os.WriteFile(garbage, bytes.Repeat([]byte{0xAB}, 16384), 0o644); werr != nil {
+		t.Fatal(werr)
+	}
+	err = run([]string{"-r-pagefile", garbage, "-self"}, &out, &errBuf)
+	if err == nil {
+		t.Fatal("garbage page file accepted")
+	}
+	assertCleanError(t, err)
+
+	// Dataset with a corrupt count header (declares far more points than
+	// the file holds): clean error, not an allocation panic.
+	r := writeDataset(t, "r.pts", []geom.Point{{0, 0}, {1, 1}})
+	data, rerr := os.ReadFile(r)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	binary.LittleEndian.PutUint64(data[12:], 1<<40)
+	if werr := os.WriteFile(r, data, 0o644); werr != nil {
+		t.Fatal(werr)
+	}
+	err = run([]string{"-r", r, "-self"}, &out, &errBuf)
+	if err == nil {
+		t.Fatal("corrupt dataset header accepted")
+	}
+	assertCleanError(t, err)
+	if !strings.Contains(err.Error(), "declares") {
+		t.Fatalf("corrupt-header error should name the bad count: %v", err)
+	}
+}
+
+func assertCleanError(t *testing.T, err error) {
+	t.Helper()
+	msg := err.Error()
+	if strings.Contains(msg, "\n") || strings.Contains(msg, "goroutine") {
+		t.Fatalf("error is not a clean single line: %q", msg)
+	}
+}
+
+// TestRunRemote starts an in-process annserve and checks that
+// -remote produces byte-identical output to the local path.
+func TestRunRemote(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {1, 1}, {5, 5}, {6, 6}, {2, 3}, {7, 2}}
+	r := writeDataset(t, "r.pts", pts)
+
+	// Local baseline.
+	var localOut, errBuf bytes.Buffer
+	if err := run([]string{"-r", r, "-self", "-k", "2"}, &localOut, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Served copy of the same points.
+	annPts := make([]ann.Point, len(pts))
+	for i, p := range pts {
+		annPts[i] = ann.Point(p)
+	}
+	ix, err := ann.BuildIndex(annPts, ann.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{})
+	if err := srv.Catalog().Add("pts", ix); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveDone; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+		srv.Catalog().CloseAll()
+	})
+
+	var remoteOut bytes.Buffer
+	addr := ln.Addr().String()
+	if err := run([]string{"-remote", addr, "-r", "pts", "-self", "-k", "2"}, &remoteOut, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if remoteOut.String() != localOut.String() {
+		t.Fatalf("remote output diverges from local:\nlocal:  %q\nremote: %q",
+			localOut.String(), remoteOut.String())
+	}
+
+	// Unknown catalog name: clean one-line error.
+	err = run([]string{"-remote", addr, "-r", "nope", "-self"}, &remoteOut, &errBuf)
+	if err == nil {
+		t.Fatal("unknown catalog index accepted")
+	}
+	assertCleanError(t, err)
+
+	// Remote argument validation.
+	if err := run([]string{"-remote", addr, "-self"}, &remoteOut, &errBuf); err == nil {
+		t.Error("expected error without -r in remote mode")
+	}
+	if err := run([]string{"-remote", addr, "-r", "pts"}, &remoteOut, &errBuf); err == nil {
+		t.Error("expected error without -s or -self in remote mode")
 	}
 }
 

@@ -1,0 +1,166 @@
+// Command annserve is the ANN query daemon: it keeps a catalog of
+// disk-resident indexes hot behind one buffer pool each and serves
+// point kNN, batched kNN, range, within-distance, closest-pairs, and
+// streamed ANN/AkNN join queries over the annserve wire protocol.
+//
+// Examples:
+//
+//	annserve -addr :4321 -index pts=catalog.pages
+//	annserve -addr :4321 -index r=r.pages -index s=s.pages -pprof-addr :6060
+//
+// Indexes may also be opened and closed at runtime through the client
+// (or annquery -remote). SIGTERM or SIGINT drains gracefully: in-flight
+// queries finish, new ones are refused, then the process exits.
+//
+// -pprof-addr serves /metrics (the server's obs registry: in-flight
+// gauge, queue depth, per-op latency histograms, bytes in/out, engine
+// counters) alongside /debug/pprof/.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"allnn/ann"
+	"allnn/internal/obs"
+	"allnn/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("annserve: ")
+	if err := run(os.Args[1:], os.Stderr, nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// indexFlags collects repeated -index name=path mounts.
+type indexFlags []struct{ name, path string }
+
+func (f *indexFlags) String() string { return fmt.Sprintf("%d indexes", len(*f)) }
+
+func (f *indexFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*f = append(*f, struct{ name, path string }{name, path})
+	return nil
+}
+
+// run starts the daemon and blocks until a shutdown signal drains it;
+// separated from main for testability. If ready is non-nil it receives
+// the bound listen address once the server is accepting.
+func run(args []string, stderr io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("annserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":4321", "TCP listen address")
+		indexes      indexFlags
+		poolBytes    = fs.Int("pool-bytes", 64<<20, "buffer-pool bytes per opened index")
+		maxInFlight  = fs.Int("max-inflight", 0, "max concurrently executing queries (0: GOMAXPROCS)")
+		maxQueue     = fs.Int("max-queue", 0, "max queries queued for a slot (0: 4x max-inflight)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight queries before cancelling them")
+		tracePath    = fs.String("trace", "", "write request trace spans as Chrome trace-event JSON here on exit")
+	)
+	fs.Var(&indexes, "index", "mount an index file into the catalog as name=path (repeatable)")
+	var prof obs.ProfileFlags
+	prof.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	stopProf, err := prof.Start(reg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintf(stderr, "annserve: profile: %v\n", perr)
+		}
+	}()
+
+	srv := server.New(server.Config{
+		MaxInFlight:      *maxInFlight,
+		MaxQueue:         *maxQueue,
+		IndexBufferBytes: *poolBytes,
+		Metrics:          reg,
+		Tracer:           tracer,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stderr, format+"\n", a...)
+		},
+	})
+	defer srv.Catalog().CloseAll()
+	for _, m := range indexes {
+		ix, err := srv.Catalog().Open(m.name, m.path, ann.IndexConfig{BufferPoolBytes: *poolBytes})
+		if err != nil {
+			return fmt.Errorf("mounting %s: %v", m.name, err)
+		}
+		fmt.Fprintf(stderr, "annserve: mounted %s: %s, %d points, dim %d\n",
+			m.name, ix.Kind(), ix.Len(), ix.Dim())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "annserve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigc)
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stderr, "annserve: %v: draining (timeout %v)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(stderr, "annserve: drain: %v (in-flight queries were cancelled)\n", err)
+		} else {
+			fmt.Fprintf(stderr, "annserve: drained cleanly\n")
+		}
+		if err := <-serveDone; err != nil {
+			return err
+		}
+	case err := <-serveDone:
+		if err != nil {
+			return err
+		}
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

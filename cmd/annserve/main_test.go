@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"allnn/ann"
+	"allnn/ann/client"
+)
+
+// TestServeSmoke is the `make serve-smoke` CI check: start the daemon
+// on a temp index, run a batch kNN and a streamed self-AkNN through the
+// client, deliver a real SIGTERM, and assert a clean drain.
+func TestServeSmoke(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]ann.Point, 1500)
+	for i := range pts {
+		pts[i] = ann.Point{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	pageFile := filepath.Join(t.TempDir(), "pts.pages")
+	ix, err := ann.BuildIndex(pts, ann.IndexConfig{PageFile: pageFile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSelf, err := ann.SelfAllKNearestNeighbors(ix, 4, ann.QueryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKNN, err := ix.NearestNeighbors(pts[7], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var stderr bytes.Buffer
+	var stderrMu sync.Mutex
+	safeStderr := writerFunc(func(p []byte) (int, error) {
+		stderrMu.Lock()
+		defer stderrMu.Unlock()
+		return stderr.Write(p)
+	})
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-index", "pts=" + pageFile,
+			"-drain-timeout", "30s",
+		}, safeStderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	cl, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	// Batch kNN through the client.
+	got, err := cl.BatchKNN(ctx, "pts", []ann.Point{pts[7]}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0].Neighbors, wantKNN) {
+		t.Fatalf("served batch kNN diverges from direct call")
+	}
+
+	// Streamed self-AkNN through the client.
+	st, err := cl.SelfJoin(ctx, "pts", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotSelf []ann.Result
+	for st.Next() {
+		gotSelf = append(gotSelf, st.Result())
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSelf, wantSelf) {
+		t.Fatalf("served self-AkNN diverges from direct call (%d vs %d results)", len(gotSelf), len(wantSelf))
+	}
+
+	// SIGTERM → clean drain.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	stderrMu.Lock()
+	log := stderr.String()
+	stderrMu.Unlock()
+	if !strings.Contains(log, "drained cleanly") {
+		t.Fatalf("drain was not clean:\n%s", log)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestFlagValidation pins the daemon's argument errors.
+func TestFlagValidation(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run([]string{"-index", "nopath"}, &stderr, nil); err == nil {
+		t.Error("malformed -index accepted")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0", "-index", "x=" + filepath.Join(t.TempDir(), "missing.pages")}, &stderr, nil); err == nil {
+		t.Error("missing index file accepted")
+	}
+}

@@ -122,6 +122,68 @@ func TestCancelBeforeRun(t *testing.T) {
 	storage.RequireNoPinnedFrames(t, pool)
 }
 
+// TestCancelDistanceJoin cancels a slow distance self-join mid-flight
+// and checks that it stops promptly, surfaces the context error, and
+// releases every pinned frame.
+func TestCancelDistanceJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	pts := clusteredPoints(rng, 5000, 2, 100)
+	tree, pool := buildSlowTree(t, pts, 2*time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	emitted := 0
+	_, err := DistanceJoinContext(ctx, tree, tree, 5, true, func(Pair) error {
+		emitted++
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
+		t.Fatalf("join took %v after a 25ms deadline", elapsed)
+	}
+	storage.RequireNoPinnedFrames(t, pool)
+
+	// Pre-cancelled context: immediate error, no emission.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	emitted = 0
+	if _, err := DistanceJoinContext(pre, tree, tree, 5, true, func(Pair) error {
+		emitted++
+		return nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v, want context.Canceled", err)
+	}
+	if emitted != 0 {
+		t.Fatalf("pre-cancelled join emitted %d pairs", emitted)
+	}
+}
+
+// TestCancelClosestPairs cancels a slow k-closest-pairs traversal and
+// checks for a prompt, pair-free return with the context error.
+func TestCancelClosestPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	pts := clusteredPoints(rng, 5000, 2, 100)
+	tree, pool := buildSlowTree(t, pts, 2*time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	pairs, _, err := KClosestPairsContext(ctx, tree, tree, 8, true)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if len(pairs) != 0 {
+		t.Fatalf("cancelled traversal returned %d pairs, want none", len(pairs))
+	}
+	if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
+		t.Fatalf("traversal took %v after a 25ms deadline", elapsed)
+	}
+	storage.RequireNoPinnedFrames(t, pool)
+}
+
 // TestCancelReportCoversPartialWork checks RunReportContext under
 // cancellation: the error surfaces and the report reflects only the work
 // done before the abort (no negative or absurd counters, pins released).

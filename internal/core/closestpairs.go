@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -21,6 +22,16 @@ import (
 // for a self-join each unordered pair appears twice (once per direction),
 // matching the two-dataset semantics of the operation.
 func KClosestPairs(ir, is index.Tree, k int, excludeSelf bool) ([]Pair, Stats, error) {
+	return KClosestPairsContext(context.Background(), ir, is, k, excludeSelf)
+}
+
+// KClosestPairsContext is KClosestPairs with cancellation: when ctx is
+// cancelled or its deadline passes, the best-first traversal stops at
+// the next frontier pop and returns ctx.Err() with no results (partial
+// top-k output would be misleading — the pairs found so far need not be
+// the globally closest). A context that can never be cancelled costs
+// nothing — see RunContext.
+func KClosestPairsContext(ctx context.Context, ir, is index.Tree, k int, excludeSelf bool) ([]Pair, Stats, error) {
 	var stats Stats
 	if ir.Dim() != is.Dim() {
 		return nil, stats, fmt.Errorf("core: index dimensionality mismatch: %d vs %d", ir.Dim(), is.Dim())
@@ -28,6 +39,11 @@ func KClosestPairs(ir, is index.Tree, k int, excludeSelf bool) ([]Pair, Stats, e
 	if k < 1 {
 		return nil, stats, fmt.Errorf("core: k must be at least 1, got %d", k)
 	}
+	cancelled, disarm, err := armCancel(ctx)
+	if err != nil {
+		return nil, stats, err
+	}
+	defer disarm()
 	rootR, err := ir.Root()
 	if err != nil {
 		return nil, stats, err
@@ -43,7 +59,7 @@ func KClosestPairs(ir, is index.Tree, k int, excludeSelf bool) ([]Pair, Stats, e
 	type nodePair struct {
 		r, s *index.Entry
 	}
-	e := &engine{ir: ir, is: is, stats: &stats}
+	e := &engine{ir: ir, is: is, stats: &stats, ctx: ctx, cancelled: cancelled}
 
 	// frontier: subtree pairs by ascending MINMINDIST. best: the k
 	// closest object pairs so far (max-heap by distance).
@@ -61,6 +77,9 @@ func KClosestPairs(ir, is index.Tree, k int, excludeSelf bool) ([]Pair, Stats, e
 	push(&rootR, &rootS)
 
 	for frontier.Len() > 0 {
+		if err := e.checkCancel(); err != nil {
+			return nil, stats, err
+		}
 		item, _ := frontier.Pop()
 		if item.Key >= best.Worst() {
 			break // every remaining pair is at least this far apart

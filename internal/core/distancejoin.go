@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,6 +27,15 @@ type Pair struct {
 // When excludeSelf is set, pairs with equal ObjectIDs are skipped (use
 // for self-joins).
 func DistanceJoin(ir, is index.Tree, d float64, excludeSelf bool, emit func(Pair) error) (Stats, error) {
+	return DistanceJoinContext(context.Background(), ir, is, d, excludeSelf, emit)
+}
+
+// DistanceJoinContext is DistanceJoin with cancellation: when ctx is
+// cancelled or its deadline passes, the traversal stops at the next node
+// expansion and returns ctx.Err() alongside the stats gathered so far
+// (emit is not called again after the cancellation is observed). A
+// context that can never be cancelled costs nothing — see RunContext.
+func DistanceJoinContext(ctx context.Context, ir, is index.Tree, d float64, excludeSelf bool, emit func(Pair) error) (Stats, error) {
 	var stats Stats
 	if ir.Dim() != is.Dim() {
 		return stats, fmt.Errorf("core: index dimensionality mismatch: %d vs %d", ir.Dim(), is.Dim())
@@ -33,6 +43,11 @@ func DistanceJoin(ir, is index.Tree, d float64, excludeSelf bool, emit func(Pair
 	if d < 0 {
 		return stats, fmt.Errorf("core: negative join distance %g", d)
 	}
+	cancelled, disarm, err := armCancel(ctx)
+	if err != nil {
+		return stats, err
+	}
+	defer disarm()
 	rootR, err := ir.Root()
 	if err != nil {
 		return stats, err
@@ -44,7 +59,7 @@ func DistanceJoin(ir, is index.Tree, d float64, excludeSelf bool, emit func(Pair
 	if rootR.Count == 0 || rootS.Count == 0 {
 		return stats, nil
 	}
-	e := &engine{ir: ir, is: is, stats: &stats}
+	e := &engine{ir: ir, is: is, stats: &stats, ctx: ctx, cancelled: cancelled}
 	return stats, e.joinPair(&rootR, &rootS, d*d, excludeSelf, emit)
 }
 
@@ -72,7 +87,12 @@ func (e *engine) joinPair(r, s *index.Entry, distSq float64, excludeSelf bool, e
 			Dist: math.Sqrt(d),
 		})
 	}
-	// Expand the non-object side with the larger MBR margin.
+	// Expand the non-object side with the larger MBR margin. Each
+	// expansion polls the cancellation flag, so an abort surfaces within
+	// one node's worth of work.
+	if err := e.checkCancel(); err != nil {
+		return err
+	}
 	expandR := !r.IsObject() && (s.IsObject() || r.MBR.Margin() >= s.MBR.Margin())
 	if expandR {
 		children, err := e.ir.Expand(r)

@@ -25,6 +25,36 @@ func Run(ir, is index.Tree, opts Options, emit func(Result) error) (Stats, error
 	return RunContext(context.Background(), ir, is, opts, emit)
 }
 
+// armCancel wires a context to the polling-based cancellation machinery
+// shared by every traversal: a watcher goroutine flips the returned
+// atomic flag when ctx is cancelled, and the engine's loops poll it. The
+// flag is nil when ctx can never be cancelled (context.Background()), so
+// the paper-configuration hot path pays only a nil check. The returned
+// disarm function stops the watcher; call it (usually via defer) when
+// the traversal ends. A context that is already cancelled surfaces as an
+// immediate error with a nil disarm-safe pair.
+func armCancel(ctx context.Context) (cancelled *atomic.Bool, disarm func(), err error) {
+	disarm = func() {}
+	done := ctx.Done()
+	if done == nil {
+		return nil, disarm, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, disarm, err
+	}
+	cancelled = new(atomic.Bool)
+	stopWatch := make(chan struct{})
+	disarm = func() { close(stopWatch) }
+	go func() {
+		select {
+		case <-done:
+			cancelled.Store(true)
+		case <-stopWatch:
+		}
+	}()
+	return cancelled, disarm, nil
+}
+
 // RunContext is Run with cancellation: when ctx is cancelled (or its
 // deadline passes), the traversal — serial or parallel — stops at the
 // next loop boundary, releases its resources (no buffer-pool pin survives
@@ -34,22 +64,11 @@ func Run(ir, is index.Tree, opts Options, emit func(Result) error) (Stats, error
 // only armed when ctx.Done() is non-nil.
 func RunContext(ctx context.Context, ir, is index.Tree, opts Options, emit func(Result) error) (stats Stats, err error) {
 	opts = opts.withDefaults()
-	var cancelled *atomic.Bool
-	if done := ctx.Done(); done != nil {
-		if err := ctx.Err(); err != nil {
-			return stats, err
-		}
-		cancelled = new(atomic.Bool)
-		stopWatch := make(chan struct{})
-		defer close(stopWatch)
-		go func() {
-			select {
-			case <-done:
-				cancelled.Store(true)
-			case <-stopWatch:
-			}
-		}()
+	cancelled, disarm, err := armCancel(ctx)
+	if err != nil {
+		return stats, err
 	}
+	defer disarm()
 	if ir.Dim() != is.Dim() {
 		return stats, fmt.Errorf("core: index dimensionality mismatch: %d vs %d", ir.Dim(), is.Dim())
 	}

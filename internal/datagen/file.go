@@ -84,10 +84,22 @@ func ReadFile(path string) ([]geom.Point, error) {
 		return nil, fmt.Errorf("datagen: %s has unsupported version %d", path, v)
 	}
 	dim := int(binary.LittleEndian.Uint32(hdr[8:]))
-	count := int(binary.LittleEndian.Uint64(hdr[12:]))
+	count64 := binary.LittleEndian.Uint64(hdr[12:])
 	if dim < 1 || dim > 1024 {
 		return nil, fmt.Errorf("datagen: %s has implausible dimensionality %d", path, dim)
 	}
+	// Validate the declared count against the actual file size before
+	// allocating: a corrupt header must produce a clean error, not an
+	// out-of-memory panic on the slice allocation.
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if maxCount := (uint64(st.Size()) - uint64(len(hdr))) / (8 * uint64(dim)); count64 > maxCount {
+		return nil, fmt.Errorf("datagen: %s declares %d points but holds at most %d (truncated or corrupt header)",
+			path, count64, maxCount)
+	}
+	count := int(count64)
 	pts := make([]geom.Point, count)
 	coords := make([]byte, 8*dim)
 	for i := 0; i < count; i++ {

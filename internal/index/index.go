@@ -44,7 +44,12 @@ type Entry struct {
 func (e *Entry) IsObject() bool { return e.Kind == ObjectEntry }
 
 // Tree is the traversal interface shared by MBRQT and the R*-tree.
-// Implementations are not safe for concurrent use.
+// The read path — Dim, Len, Root, Expand, Bounds — is safe for
+// concurrent use by both implementations (the buffer pool and the
+// decoded-node cache are concurrency-safe, and the cache attachment is
+// an atomic pointer), which is what lets parallel workers and the
+// serving layer multiplex queries over one shared tree. Mutation
+// (Insert/Delete) must not run concurrently with anything else.
 type Tree interface {
 	// Dim returns the dimensionality of the indexed points.
 	Dim() int

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"allnn/internal/geom"
 	"allnn/internal/index"
@@ -52,8 +53,11 @@ type Tree struct {
 
 	// cache, when attached, serves Expand from decoded entry slices keyed
 	// by node ref. Mutation paths invalidate through it (see freeNode and
-	// updateNode).
-	cache *index.NodeCache
+	// updateNode). The pointer is atomic so concurrent readers (parallel
+	// workers, or independent queries multiplexed over one shared tree by
+	// the serving layer) can race with an idempotent re-attach without a
+	// data race; the cache itself is concurrency-safe.
+	cache atomic.Pointer[index.NodeCache]
 }
 
 const metaMagic = 0x4D515432 // "MQT2"
@@ -210,10 +214,10 @@ func (t *Tree) Root() (index.Entry, error) {
 // Entry.Child), so it must not be shared with another tree whose refs
 // could collide; the engine attaches one cache per tree (or one shared
 // cache for a self-join over the same tree).
-func (t *Tree) SetNodeCache(c *index.NodeCache) { t.cache = c }
+func (t *Tree) SetNodeCache(c *index.NodeCache) { t.cache.Store(c) }
 
 // NodeCacheRef implements index.NodeCacher.
-func (t *Tree) NodeCacheRef() *index.NodeCache { return t.cache }
+func (t *Tree) NodeCacheRef() *index.NodeCache { return t.cache.Load() }
 
 // Expand implements index.Tree. Entry.Child carries the node's record
 // ref (an opaque handle from the engine's point of view). With a node
@@ -224,14 +228,15 @@ func (t *Tree) Expand(e *index.Entry) ([]index.Entry, error) {
 	if e.IsObject() {
 		return nil, fmt.Errorf("mbrqt: Expand called on an object entry")
 	}
-	if out, ok := t.cache.Get(e.Child); ok {
+	cache := t.cache.Load()
+	if out, ok := cache.Get(e.Child); ok {
 		return out, nil
 	}
 	out, err := t.decodeEntries(nodeRef(e.Child))
 	if err != nil {
 		return nil, err
 	}
-	index.CachePut(t.cache, e.Child, out)
+	index.CachePut(cache, e.Child, out)
 	return out, nil
 }
 

@@ -153,7 +153,7 @@ func (t *Tree) readNode(pid storage.PageID) (*node, error) {
 // Every structural mutation funnels through here, so it also drops the
 // page's stale decoded form from the node cache.
 func (t *Tree) writeNode(pid storage.PageID, n *node) error {
-	t.cache.Invalidate(pid)
+	t.cache.Load().Invalidate(pid)
 	var max int
 	if n.leaf {
 		max = maxEntriesFor(leafEntrySize(t.dim))
@@ -209,7 +209,7 @@ func (t *Tree) writeNode(pid storage.PageID, n *node) error {
 // freePage returns a node page to the tree's free list, dropping any
 // cached decode so a recycled page can never serve stale entries.
 func (t *Tree) freePage(pid storage.PageID) {
-	t.cache.Invalidate(pid)
+	t.cache.Load().Invalidate(pid)
 	t.freePages = append(t.freePages, pid)
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"allnn/internal/geom"
 	"allnn/internal/index"
@@ -78,7 +79,9 @@ type Tree struct {
 
 	// cache, when attached, serves Expand from decoded entry slices keyed
 	// by page id. writeNode and the delete paths invalidate through it.
-	cache *index.NodeCache
+	// The pointer is atomic so concurrent readers can race with an
+	// idempotent re-attach without a data race (see mbrqt.Tree).
+	cache atomic.Pointer[index.NodeCache]
 
 	// reinserting tracks the levels where forced reinsertion already ran
 	// during the current top-level Insert (R* applies it once per level).
@@ -220,10 +223,10 @@ func (t *Tree) Root() (index.Entry, error) {
 // SetNodeCache implements index.NodeCacher. The cache is keyed by node
 // page id, so it must not be shared with a tree in a different store
 // (the engine attaches one cache per tree, shared only for self-joins).
-func (t *Tree) SetNodeCache(c *index.NodeCache) { t.cache = c }
+func (t *Tree) SetNodeCache(c *index.NodeCache) { t.cache.Store(c) }
 
 // NodeCacheRef implements index.NodeCacher.
-func (t *Tree) NodeCacheRef() *index.NodeCache { return t.cache }
+func (t *Tree) NodeCacheRef() *index.NodeCache { return t.cache.Load() }
 
 // Expand implements index.Tree. With a node cache attached, a warm
 // expansion is a single lookup returning the shared immutable slice.
@@ -231,14 +234,15 @@ func (t *Tree) Expand(e *index.Entry) ([]index.Entry, error) {
 	if e.IsObject() {
 		return nil, fmt.Errorf("rstar: Expand called on an object entry")
 	}
-	if out, ok := t.cache.Get(e.Child); ok {
+	cache := t.cache.Load()
+	if out, ok := cache.Get(e.Child); ok {
 		return out, nil
 	}
 	out, err := t.decodeEntries(e.Child)
 	if err != nil {
 		return nil, err
 	}
-	index.CachePut(t.cache, e.Child, out)
+	index.CachePut(cache, e.Child, out)
 	return out, nil
 }
 

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+
+	"allnn/internal/wire"
+)
+
+// admission is the server's two-stage admission controller: up to
+// maxInFlight requests execute concurrently, up to maxQueue more wait
+// for a slot (respecting their deadlines), and everything beyond that
+// is rejected immediately with SERVER_BUSY. The queue bound is exact —
+// an Add-then-revert on an atomic counter, not a racy read — so the
+// busy error fires at precisely the configured depth.
+type admission struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire blocks until a slot is free, the queue is full, or ctx ends.
+// It returns a typed *wire.Error on rejection.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return &wire.Error{Code: wire.CodeServerBusy, Msg: "admission queue full"}
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		if ctx.Err() == context.Canceled {
+			return &wire.Error{Code: wire.CodeShuttingDown, Msg: "request abandoned while queued"}
+		}
+		return &wire.Error{Code: wire.CodeDeadlineExceeded, Msg: "deadline expired while queued for admission"}
+	}
+}
+
+// release frees the slot taken by a successful acquire.
+func (a *admission) release() { <-a.slots }
+
+// inFlight returns the number of occupied slots.
+func (a *admission) inFlight() int64 { return int64(len(a.slots)) }
+
+// queueDepth returns the number of requests waiting for a slot.
+func (a *admission) queueDepth() int64 { return a.queued.Load() }

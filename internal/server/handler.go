@@ -1,0 +1,370 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+
+	"allnn/ann"
+	"allnn/internal/storage"
+	"allnn/internal/wire"
+)
+
+// joinFrameResults bounds how many join results one KindStream frame
+// carries: large enough to amortise framing, small enough that the
+// client sees results flowing while a million-row join runs.
+const joinFrameResults = 512
+
+// pairFrameCount is the same bound for within-distance pair streams
+// (pairs are much smaller than results).
+const pairFrameCount = 4096
+
+// dispatch executes one decoded request and writes its response
+// frame(s). A returned error means no terminal frame was written yet;
+// the caller turns it into KindError.
+func (s *Server) dispatch(ctx context.Context, hdr wire.RequestHeader, body wire.Message, w *connWriter) (err error) {
+	// A panicking handler must not take the whole connection down:
+	// report INTERNAL and keep serving.
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("server: request %d (%s): panic: %v", hdr.ID, hdr.Op, r)
+			err = &wire.Error{Code: wire.CodeInternal, Msg: "internal error (recovered panic)"}
+		}
+	}()
+
+	switch req := body.(type) {
+	case *wire.OpenReq:
+		return s.handleOpen(hdr, req, w)
+	case *wire.CloseReq:
+		return s.handleClose(hdr, req, w)
+	case *wire.ListReq:
+		return w.send(hdr.ID, wire.KindResult, hdr.Op, &wire.ListReply{Indexes: s.catalog.List()})
+	case *wire.StatsReq:
+		return s.handleStats(hdr, req, w)
+	case *wire.KNNReq:
+		return s.withSlot(ctx, func() error { return s.handleKNN(ctx, hdr, req, w) })
+	case *wire.BatchKNNReq:
+		return s.withSlot(ctx, func() error { return s.handleBatchKNN(ctx, hdr, req, w) })
+	case *wire.RangeReq:
+		return s.withSlot(ctx, func() error { return s.handleRange(ctx, hdr, req, w) })
+	case *wire.JoinReq:
+		return s.withSlot(ctx, func() error { return s.handleJoin(ctx, hdr, req, w) })
+	case *wire.WithinReq:
+		return s.withSlot(ctx, func() error { return s.handleWithin(ctx, hdr, req, w) })
+	case *wire.PairsReq:
+		return s.withSlot(ctx, func() error { return s.handlePairs(ctx, hdr, req, w) })
+	default:
+		return badRequest("unhandled request type %T", body)
+	}
+}
+
+// withSlot runs fn under the query admission controller. Catalog ops
+// bypass it — only engine work is bounded.
+func (s *Server) withSlot(ctx context.Context, fn func() error) error {
+	if err := s.admit.acquire(ctx); err != nil {
+		return err
+	}
+	defer s.admit.release()
+	// The deadline may have expired while queued.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fn()
+}
+
+// --- catalog ops ------------------------------------------------------------
+
+func (s *Server) handleOpen(hdr wire.RequestHeader, req *wire.OpenReq, w *connWriter) error {
+	ix, err := s.catalog.Open(req.Name, req.Path, ann.IndexConfig{
+		BufferPoolBytes: s.cfg.IndexBufferBytes,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, storage.ErrCorruptPage):
+			return &wire.Error{Code: wire.CodeCorruptIndex, Msg: err.Error()}
+		case errors.Is(err, fs.ErrNotExist):
+			return &wire.Error{Code: wire.CodeNotFound, Msg: err.Error()}
+		default:
+			return badRequest("%v", err)
+		}
+	}
+	return w.send(hdr.ID, wire.KindResult, hdr.Op, &wire.OpenReply{Info: wire.IndexInfo{
+		Name:   req.Name,
+		Kind:   uint8(ix.Kind()),
+		Points: uint64(ix.Len()),
+		Dim:    uint32(ix.Dim()),
+	}})
+}
+
+func (s *Server) handleClose(hdr wire.RequestHeader, req *wire.CloseReq, w *connWriter) error {
+	if err := s.catalog.Close(req.Name); err != nil {
+		return err
+	}
+	return w.send(hdr.ID, wire.KindResult, hdr.Op, &wire.CloseReply{})
+}
+
+func (s *Server) handleStats(hdr wire.RequestHeader, req *wire.StatsReq, w *connWriter) error {
+	e, ix, err := s.catalog.acquire(req.Name)
+	if err != nil {
+		return err
+	}
+	defer e.release()
+	st := ix.Stats()
+	return w.send(hdr.ID, wire.KindResult, hdr.Op, &wire.StatsReply{
+		Info: wire.IndexInfo{
+			Name:   req.Name,
+			Kind:   uint8(st.Kind),
+			Points: uint64(st.Points),
+			Dim:    uint32(st.Dim),
+		},
+		PoolHits:         st.PoolHits,
+		PoolMisses:       st.PoolMisses,
+		PoolReads:        st.PoolReads,
+		PoolWrites:       st.PoolWrites,
+		PoolEvictions:    st.PoolEvictions,
+		PoolRetries:      st.PoolRetries,
+		PoolCorruptPages: st.PoolCorruptPages,
+		PinnedFrames:     uint64(st.PinnedFrames),
+
+		CacheHits:          st.CacheHits,
+		CacheMisses:        st.CacheMisses,
+		CacheEvictions:     st.CacheEvictions,
+		CacheInvalidations: st.CacheInvalidations,
+		CacheEntries:       uint64(st.CacheEntries),
+		CacheBytes:         uint64(st.CacheBytes),
+	})
+}
+
+// --- point and box queries --------------------------------------------------
+
+func (s *Server) handleKNN(ctx context.Context, hdr wire.RequestHeader, req *wire.KNNReq, w *connWriter) error {
+	e, ix, err := s.catalog.acquire(req.Index)
+	if err != nil {
+		return err
+	}
+	defer e.release()
+	if req.K < 1 {
+		return badRequest("k must be at least 1, got %d", req.K)
+	}
+	if len(req.Point) != ix.Dim() {
+		return badRequest("query point has %d dims, index %q has %d", len(req.Point), req.Index, ix.Dim())
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	nbs, err := ix.NearestNeighbors(ann.Point(req.Point), int(req.K))
+	if err != nil {
+		return err
+	}
+	return w.send(hdr.ID, wire.KindResult, hdr.Op, &wire.KNNReply{Neighbors: toWireNeighbors(nbs)})
+}
+
+func (s *Server) handleBatchKNN(ctx context.Context, hdr wire.RequestHeader, req *wire.BatchKNNReq, w *connWriter) error {
+	e, ix, err := s.catalog.acquire(req.Index)
+	if err != nil {
+		return err
+	}
+	defer e.release()
+	if req.K < 1 {
+		return badRequest("k must be at least 1, got %d", req.K)
+	}
+	for i, p := range req.Points {
+		if len(p) != ix.Dim() {
+			return badRequest("query point %d has %d dims, index %q has %d", i, len(p), req.Index, ix.Dim())
+		}
+	}
+	results := make([]wire.Result, len(req.Points))
+	for i, p := range req.Points {
+		// Deadlines hold between probes: a huge batch cannot overstay.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		nbs, err := ix.NearestNeighbors(ann.Point(p), int(req.K))
+		if err != nil {
+			return err
+		}
+		results[i] = wire.Result{ID: uint64(i), Point: p, Neighbors: toWireNeighbors(nbs)}
+	}
+	return w.send(hdr.ID, wire.KindResult, hdr.Op, &wire.BatchKNNReply{Results: results})
+}
+
+func (s *Server) handleRange(ctx context.Context, hdr wire.RequestHeader, req *wire.RangeReq, w *connWriter) error {
+	e, ix, err := s.catalog.acquire(req.Index)
+	if err != nil {
+		return err
+	}
+	defer e.release()
+	if len(req.Lo) != ix.Dim() || len(req.Hi) != ix.Dim() {
+		return badRequest("box dims (%d, %d) do not match index %q dim %d", len(req.Lo), len(req.Hi), req.Index, ix.Dim())
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ids, err := ix.RangeSearch(ann.Point(req.Lo), ann.Point(req.Hi))
+	if err != nil {
+		return err
+	}
+	return w.send(hdr.ID, wire.KindResult, hdr.Op, &wire.RangeReply{IDs: ids})
+}
+
+// --- join ops ---------------------------------------------------------------
+
+// acquirePair read-locks the R and S indexes of a two-index op. When
+// both names are equal the entry is locked once — acquiring the same
+// RWMutex twice from one goroutine can deadlock against a pending
+// Close.
+func (s *Server) acquirePair(rName, sName string) (rix, six *ann.Index, release func(), err error) {
+	re, rix, err := s.catalog.acquire(rName)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if sName == rName {
+		return rix, rix, re.release, nil
+	}
+	se, six, err := s.catalog.acquire(sName)
+	if err != nil {
+		re.release()
+		return nil, nil, nil, err
+	}
+	return rix, six, func() { se.release(); re.release() }, nil
+}
+
+// queryConfig is the QueryConfig served joins run under: ordered emit
+// (so served results are byte-identical to direct library calls) and,
+// when the server has a registry, engine counters folded into it.
+func (s *Server) queryConfig() ann.QueryConfig {
+	var cfg ann.QueryConfig
+	if s.cfg.Metrics != nil {
+		cfg.OnReport = func(rep ann.QueryReport) {
+			rep.Engine.AddTo(s.cfg.Metrics)
+		}
+	}
+	return cfg
+}
+
+func (s *Server) handleJoin(ctx context.Context, hdr wire.RequestHeader, req *wire.JoinReq, w *connWriter) error {
+	if req.K < 1 {
+		return badRequest("k must be at least 1, got %d", req.K)
+	}
+	sName := req.S
+	if req.Self {
+		sName = req.R
+	}
+	rix, six, release, err := s.acquirePair(req.R, sName)
+	if err != nil {
+		return err
+	}
+	defer release()
+	if rix.Dim() != six.Dim() {
+		return badRequest("indexes %q (dim %d) and %q (dim %d) do not join", req.R, rix.Dim(), req.S, six.Dim())
+	}
+
+	frame := wire.JoinFrame{Results: make([]wire.Result, 0, joinFrameResults)}
+	var total uint64
+	flush := func() error {
+		if len(frame.Results) == 0 {
+			return nil
+		}
+		err := w.send(hdr.ID, wire.KindStream, hdr.Op, &frame)
+		frame.Results = frame.Results[:0]
+		return err
+	}
+	emit := func(res ann.Result) error {
+		total++
+		frame.Results = append(frame.Results, wire.Result{
+			ID:        res.ID,
+			Point:     res.Point,
+			Neighbors: toWireNeighbors(res.Neighbors),
+		})
+		if len(frame.Results) >= joinFrameResults {
+			return flush()
+		}
+		return nil
+	}
+
+	cfg := s.queryConfig()
+	if req.Self {
+		err = ann.StreamSelfAllKNearestNeighborsContext(ctx, rix, int(req.K), cfg, emit)
+	} else {
+		err = ann.StreamAllKNearestNeighborsContext(ctx, rix, six, int(req.K), cfg, emit)
+	}
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return w.send(hdr.ID, wire.KindEnd, hdr.Op, &wire.StreamEnd{Count: total})
+}
+
+func (s *Server) handleWithin(ctx context.Context, hdr wire.RequestHeader, req *wire.WithinReq, w *connWriter) error {
+	if !(req.Dist >= 0) {
+		return badRequest("distance must be non-negative, got %v", req.Dist)
+	}
+	rix, six, release, err := s.acquirePair(req.R, req.S)
+	if err != nil {
+		return err
+	}
+	defer release()
+	if rix.Dim() != six.Dim() {
+		return badRequest("indexes %q (dim %d) and %q (dim %d) do not join", req.R, rix.Dim(), req.S, six.Dim())
+	}
+
+	frame := wire.PairFrame{Pairs: make([]wire.Pair, 0, pairFrameCount)}
+	var total uint64
+	flush := func() error {
+		if len(frame.Pairs) == 0 {
+			return nil
+		}
+		err := w.send(hdr.ID, wire.KindStream, hdr.Op, &frame)
+		frame.Pairs = frame.Pairs[:0]
+		return err
+	}
+	err = ann.WithinDistanceContext(ctx, rix, six, req.Dist, req.ExcludeSelf, func(rID, sID uint64, dist float64) error {
+		total++
+		frame.Pairs = append(frame.Pairs, wire.Pair{R: rID, S: sID, Dist: dist})
+		if len(frame.Pairs) >= pairFrameCount {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return w.send(hdr.ID, wire.KindEnd, hdr.Op, &wire.StreamEnd{Count: total})
+}
+
+func (s *Server) handlePairs(ctx context.Context, hdr wire.RequestHeader, req *wire.PairsReq, w *connWriter) error {
+	if req.K < 1 {
+		return badRequest("k must be at least 1, got %d", req.K)
+	}
+	rix, six, release, err := s.acquirePair(req.R, req.S)
+	if err != nil {
+		return err
+	}
+	defer release()
+	if rix.Dim() != six.Dim() {
+		return badRequest("indexes %q (dim %d) and %q (dim %d) do not join", req.R, rix.Dim(), req.S, six.Dim())
+	}
+	pairs, err := ann.ClosestPairsContext(ctx, rix, six, int(req.K), req.ExcludeSelf)
+	if err != nil {
+		return err
+	}
+	out := make([]wire.Pair, len(pairs))
+	for i, p := range pairs {
+		out[i] = wire.Pair{R: p.R, S: p.S, Dist: p.Dist}
+	}
+	return w.send(hdr.ID, wire.KindResult, hdr.Op, &wire.PairsReply{Pairs: out})
+}
+
+// toWireNeighbors converts library neighbors to their wire form.
+func toWireNeighbors(nbs []ann.Neighbor) []wire.Neighbor {
+	out := make([]wire.Neighbor, len(nbs))
+	for i, n := range nbs {
+		out[i] = wire.Neighbor{ID: n.ID, Dist: n.Dist, Point: n.Point}
+	}
+	return out
+}

@@ -1,0 +1,400 @@
+// Package server implements annserve: a TCP query service over a
+// catalog of ann indexes. It speaks the internal/wire protocol and
+// reuses the engine's production plumbing end to end — per-request
+// context cancellation, obs metrics and trace spans, checksummed
+// storage — adding the serving-side concerns: admission control,
+// per-connection panic isolation, and graceful drain.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"allnn/internal/obs"
+	"allnn/internal/wire"
+)
+
+// tidServer is the trace lane for request spans, above the engine's
+// worker (1..) and storage (1000..) lanes.
+const tidServer = 2000
+
+// handshakeTimeout bounds how long a fresh connection may take to send
+// its preamble before the server gives up on it.
+const handshakeTimeout = 10 * time.Second
+
+// Config parameterises a Server. The zero value is usable.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries (not catalog
+	// ops). Zero selects GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for an execution slot; beyond it
+	// requests fail fast with SERVER_BUSY. Zero selects 4×MaxInFlight.
+	// Negative disables queueing entirely.
+	MaxQueue int
+	// IndexBufferBytes is the buffer-pool budget for indexes opened via
+	// the catalog OpOpen request (see ann.IndexConfig.BufferPoolBytes).
+	IndexBufferBytes int
+	// Metrics, when non-nil, receives the server.* metric families and
+	// the engine.* counters of served joins.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives one span per request on the
+	// server lane.
+	Tracer *obs.Tracer
+	// Logf, when non-nil, receives connection-level incidents
+	// (handshake failures, recovered panics).
+	Logf func(format string, args ...any)
+}
+
+// Server owns a catalog and serves the wire protocol over any number
+// of listeners (in practice one).
+type Server struct {
+	cfg     Config
+	catalog *Catalog
+	admit   *admission
+
+	// baseCtx is the parent of every request context; cancelling it
+	// (forced shutdown) aborts in-flight queries through the engine's
+	// cancellation machinery.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	mu            sync.Mutex
+	listeners     map[net.Listener]struct{}
+	conns         map[net.Conn]struct{}
+	activeReqs    int
+	draining      bool
+	drained       chan struct{}
+	drainedClosed bool
+
+	connWG sync.WaitGroup
+
+	// server.* metrics (nil-safe: a nil Registry hands out working
+	// no-op instruments).
+	requests  *obs.Counter
+	errors    *obs.Counter
+	rejected  *obs.Counter
+	bytesIn   *obs.Counter
+	bytesOut  *obs.Counter
+	latencies map[wire.Op]*obs.Histogram
+}
+
+// New creates a Server with an empty catalog.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInFlight
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	s := &Server{
+		cfg:       cfg,
+		catalog:   NewCatalog(),
+		admit:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		drained:   make(chan struct{}),
+	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+
+	reg := cfg.Metrics
+	s.requests = reg.Counter("server.requests")
+	s.errors = reg.Counter("server.errors")
+	s.rejected = reg.Counter("server.rejected")
+	s.bytesIn = reg.Counter("server.bytes_in")
+	s.bytesOut = reg.Counter("server.bytes_out")
+	reg.GaugeFunc("server.inflight", s.admit.inFlight)
+	reg.GaugeFunc("server.queue_depth", s.admit.queueDepth)
+	reg.GaugeFunc("server.connections", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.conns))
+	})
+	s.latencies = make(map[wire.Op]*obs.Histogram)
+	for _, op := range []wire.Op{
+		wire.OpOpen, wire.OpClose, wire.OpList, wire.OpStats,
+		wire.OpKNN, wire.OpBatchKNN, wire.OpRange,
+		wire.OpJoin, wire.OpWithinDistance, wire.OpClosestPairs,
+	} {
+		s.latencies[op] = reg.Histogram("server."+op.String()+".latency_ns", obs.LatencyBuckets())
+	}
+	return s
+}
+
+// Catalog returns the server's index catalog, for preloading indexes
+// in-process before (or while) serving.
+func (s *Server) Catalog() *Catalog { return s.catalog }
+
+// logf reports a connection-level incident.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on ln until the listener fails or the
+// server drains. It returns nil on a drain-initiated stop.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn owns one connection: handshake, then a sequential
+// request/response loop. A panic below it poisons only this
+// connection.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 4096)
+			buf = buf[:runtime.Stack(buf, false)]
+			s.logf("server: connection %s: panic: %v\n%s", conn.RemoteAddr(), r, buf)
+		}
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	if err := wire.ReadHandshake(conn); err != nil {
+		s.logf("server: connection %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	br := bufio.NewReader(conn)
+	w := &connWriter{bw: bufio.NewWriter(conn), out: s.bytesOut}
+	for {
+		payload, err := wire.ReadFrame(br)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("server: connection %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		s.bytesIn.Add(uint64(4 + len(payload)))
+		if !s.serveRequest(w, payload) {
+			return
+		}
+	}
+}
+
+// serveRequest decodes and dispatches one request, writing its
+// response frame(s). It reports whether the connection is still usable.
+func (s *Server) serveRequest(w *connWriter, payload []byte) bool {
+	hdr, body, err := wire.DecodeRequest(payload)
+	if err != nil {
+		// The header might not have parsed, but its fixed-width prefix
+		// decodes something for the id either way; echoing it back is
+		// best-effort before giving up on the stream's framing.
+		w.sendError(hdr.ID, hdr.Op, &wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+		return false
+	}
+
+	if !s.beginRequest() {
+		w.sendError(hdr.ID, hdr.Op, &wire.Error{Code: wire.CodeShuttingDown, Msg: "server is draining"})
+		return true
+	}
+	defer s.endRequest()
+
+	s.requests.Inc()
+	start := time.Now()
+	defer func() {
+		s.latencies[hdr.Op].Observe(float64(time.Since(start).Nanoseconds()))
+	}()
+	var span obs.Span
+	if s.cfg.Tracer != nil {
+		span = s.cfg.Tracer.Begin("server."+hdr.Op.String(), tidServer)
+		span.Arg("req", int64(hdr.ID))
+		defer span.End()
+	}
+
+	ctx := s.baseCtx
+	if hdr.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, hdr.Timeout)
+		defer cancel()
+	}
+
+	if err := s.dispatch(ctx, hdr, body, w); err != nil {
+		s.errors.Inc()
+		we := toWireError(err)
+		if we.Code == wire.CodeServerBusy {
+			s.rejected.Inc()
+		}
+		w.sendError(hdr.ID, hdr.Op, we)
+	}
+	return true
+}
+
+// beginRequest registers an executing request unless the server is
+// draining.
+func (s *Server) beginRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.activeReqs++
+	return true
+}
+
+func (s *Server) endRequest() {
+	s.mu.Lock()
+	s.activeReqs--
+	if s.draining && s.activeReqs == 0 && !s.drainedClosed {
+		s.drainedClosed = true
+		close(s.drained)
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown gracefully drains the server: listeners stop accepting, new
+// requests are refused with SHUTTING_DOWN, and in-flight requests run
+// to completion. If ctx expires first, the remaining queries are
+// cancelled through their request contexts and Shutdown returns
+// ctx.Err() once connections are torn down. The catalog stays open —
+// close it separately with Catalog().CloseAll().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: shutdown already in progress")
+	}
+	s.draining = true
+	if s.activeReqs == 0 && !s.drainedClosed {
+		s.drainedClosed = true
+		close(s.drained)
+	}
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	s.mu.Unlock()
+
+	var err error
+	select {
+	case <-s.drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelBase() // abort in-flight queries
+		<-s.drained    // cancellation unblocks them promptly
+	}
+
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	s.cancelBase()
+	return err
+}
+
+// connWriter serialises response frames for one connection, reusing
+// one encode buffer across frames.
+type connWriter struct {
+	bw  *bufio.Writer
+	out *obs.Counter
+	buf []byte
+}
+
+// send encodes and writes one response frame and flushes it to the
+// socket (streamed frames must reach the client as they are produced).
+func (w *connWriter) send(id uint64, kind wire.ResponseKind, op wire.Op, body wire.Message) error {
+	payload, err := wire.EncodeResponse(id, kind, op, body, w.buf)
+	if err != nil {
+		return err
+	}
+	w.buf = payload // keep the grown storage for the next frame
+	if err := wire.WriteFrame(w.bw, payload); err != nil {
+		return err
+	}
+	w.out.Add(uint64(4 + len(payload)))
+	return w.bw.Flush()
+}
+
+// sendError writes a KindError frame, best-effort.
+func (w *connWriter) sendError(id uint64, op wire.Op, we *wire.Error) {
+	body := &wire.ErrorReply{Code: we.Code, Msg: we.Msg}
+	payload, err := wire.EncodeResponse(id, wire.KindError, op, body, w.buf)
+	if err != nil {
+		// The op may be unknown (undecodable request); force a generic
+		// envelope the client can still map by request id.
+		payload, err = wire.EncodeResponse(id, wire.KindError, wire.OpList, body, w.buf)
+		if err != nil {
+			return
+		}
+	}
+	w.buf = payload
+	if wire.WriteFrame(w.bw, payload) == nil {
+		w.out.Add(uint64(4 + len(payload)))
+		w.bw.Flush()
+	}
+}
+
+// toWireError maps an internal failure to its protocol error class.
+func toWireError(err error) *wire.Error {
+	var we *wire.Error
+	switch {
+	case errors.As(err, &we):
+		return we
+	case errors.Is(err, ErrIndexNotFound):
+		return &wire.Error{Code: wire.CodeNotFound, Msg: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &wire.Error{Code: wire.CodeDeadlineExceeded, Msg: "request deadline exceeded"}
+	case errors.Is(err, context.Canceled):
+		return &wire.Error{Code: wire.CodeShuttingDown, Msg: "request cancelled by server shutdown"}
+	default:
+		return &wire.Error{Code: wire.CodeInternal, Msg: err.Error()}
+	}
+}
+
+// badRequest builds a BAD_REQUEST error.
+func badRequest(format string, args ...any) *wire.Error {
+	return &wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf(format, args...)}
+}

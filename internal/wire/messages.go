@@ -1,0 +1,647 @@
+package wire
+
+import (
+	"fmt"
+	"time"
+)
+
+// Message is one encodable protocol body (request or response). The
+// concrete type is selected by the frame's header — op for requests,
+// (kind, op) for responses — so bodies carry no type tag of their own.
+type Message interface {
+	encode(*Encoder)
+	decode(*Decoder)
+}
+
+// --- shared value types -----------------------------------------------------
+
+// Neighbor mirrors ann.Neighbor on the wire.
+type Neighbor struct {
+	ID    uint64
+	Dist  float64
+	Point []float64
+}
+
+func (n *Neighbor) encode(e *Encoder) {
+	e.U64(n.ID)
+	e.F64(n.Dist)
+	e.F64s(n.Point)
+}
+
+func (n *Neighbor) decode(d *Decoder) {
+	n.ID = d.U64("neighbor id")
+	n.Dist = d.F64("neighbor dist")
+	n.Point = d.F64s("neighbor point")
+}
+
+// Result mirrors ann.Result on the wire.
+type Result struct {
+	ID        uint64
+	Point     []float64
+	Neighbors []Neighbor
+}
+
+// minResultBytes is the smallest encoding of a Result (empty point and
+// neighbor list), used to validate counts before allocating.
+const minResultBytes = 8 + 1 + 1
+
+func (r *Result) encode(e *Encoder) {
+	e.U64(r.ID)
+	e.F64s(r.Point)
+	e.Uvarint(uint64(len(r.Neighbors)))
+	for i := range r.Neighbors {
+		r.Neighbors[i].encode(e)
+	}
+}
+
+func (r *Result) decode(d *Decoder) {
+	r.ID = d.U64("result id")
+	r.Point = d.F64s("result point")
+	n := d.Count(8+8+1, "result neighbors")
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	r.Neighbors = make([]Neighbor, n)
+	for i := range r.Neighbors {
+		r.Neighbors[i].decode(d)
+	}
+}
+
+// Pair mirrors ann.Pair on the wire.
+type Pair struct {
+	R, S uint64
+	Dist float64
+}
+
+func (p *Pair) encode(e *Encoder) {
+	e.U64(p.R)
+	e.U64(p.S)
+	e.F64(p.Dist)
+}
+
+func (p *Pair) decode(d *Decoder) {
+	p.R = d.U64("pair r")
+	p.S = d.U64("pair s")
+	p.Dist = d.F64("pair dist")
+}
+
+// IndexInfo is one catalog entry as reported by list/open/stats.
+type IndexInfo struct {
+	Name   string
+	Kind   uint8 // ann.IndexKind
+	Points uint64
+	Dim    uint32
+}
+
+func (ii *IndexInfo) encode(e *Encoder) {
+	e.String(ii.Name)
+	e.U8(ii.Kind)
+	e.U64(ii.Points)
+	e.U32(ii.Dim)
+}
+
+func (ii *IndexInfo) decode(d *Decoder) {
+	ii.Name = d.String("index name")
+	ii.Kind = d.U8("index kind")
+	ii.Points = d.U64("index points")
+	ii.Dim = d.U32("index dim")
+}
+
+// --- requests ---------------------------------------------------------------
+
+// OpenReq (OpOpen) loads the index file at Path into the catalog as Name.
+type OpenReq struct {
+	Name string
+	Path string
+}
+
+func (m *OpenReq) encode(e *Encoder) { e.String(m.Name); e.String(m.Path) }
+func (m *OpenReq) decode(d *Decoder) { m.Name = d.String("open name"); m.Path = d.String("open path") }
+
+// CloseReq (OpClose) drops the named index from the catalog.
+type CloseReq struct {
+	Name string
+}
+
+func (m *CloseReq) encode(e *Encoder) { e.String(m.Name) }
+func (m *CloseReq) decode(d *Decoder) { m.Name = d.String("close name") }
+
+// ListReq (OpList) has no body.
+type ListReq struct{}
+
+func (m *ListReq) encode(*Encoder) {}
+func (m *ListReq) decode(*Decoder) {}
+
+// StatsReq (OpStats) snapshots the named index.
+type StatsReq struct {
+	Name string
+}
+
+func (m *StatsReq) encode(e *Encoder) { e.String(m.Name) }
+func (m *StatsReq) decode(d *Decoder) { m.Name = d.String("stats name") }
+
+// KNNReq (OpKNN) is a single point probe against a catalog index.
+type KNNReq struct {
+	Index string
+	K     uint32
+	Point []float64
+}
+
+func (m *KNNReq) encode(e *Encoder) {
+	e.String(m.Index)
+	e.U32(m.K)
+	e.F64s(m.Point)
+}
+
+func (m *KNNReq) decode(d *Decoder) {
+	m.Index = d.String("knn index")
+	m.K = d.U32("knn k")
+	m.Point = d.F64s("knn point")
+}
+
+// BatchKNNReq (OpBatchKNN) carries many probe points in one request.
+type BatchKNNReq struct {
+	Index  string
+	K      uint32
+	Points [][]float64
+}
+
+func (m *BatchKNNReq) encode(e *Encoder) {
+	e.String(m.Index)
+	e.U32(m.K)
+	e.Uvarint(uint64(len(m.Points)))
+	for _, p := range m.Points {
+		e.F64s(p)
+	}
+}
+
+func (m *BatchKNNReq) decode(d *Decoder) {
+	m.Index = d.String("batch index")
+	m.K = d.U32("batch k")
+	n := d.Count(1, "batch points")
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Points = make([][]float64, n)
+	for i := range m.Points {
+		m.Points[i] = d.F64s("batch point")
+	}
+}
+
+// RangeReq (OpRange) asks for the ids inside the box [Lo, Hi].
+type RangeReq struct {
+	Index  string
+	Lo, Hi []float64
+}
+
+func (m *RangeReq) encode(e *Encoder) {
+	e.String(m.Index)
+	e.F64s(m.Lo)
+	e.F64s(m.Hi)
+}
+
+func (m *RangeReq) decode(d *Decoder) {
+	m.Index = d.String("range index")
+	m.Lo = d.F64s("range lo")
+	m.Hi = d.F64s("range hi")
+}
+
+// JoinReq (OpJoin) runs AllKNearestNeighbors(R, S, K) — or, with Self
+// set, SelfAllKNearestNeighbors(R, K) — streaming results back in
+// KindStream frames closed by KindEnd.
+type JoinReq struct {
+	R, S string
+	K    uint32
+	Self bool
+}
+
+func (m *JoinReq) encode(e *Encoder) {
+	e.String(m.R)
+	e.String(m.S)
+	e.U32(m.K)
+	e.Bool(m.Self)
+}
+
+func (m *JoinReq) decode(d *Decoder) {
+	m.R = d.String("join r")
+	m.S = d.String("join s")
+	m.K = d.U32("join k")
+	m.Self = d.Bool("join self")
+}
+
+// WithinReq (OpWithinDistance) streams every cross-index pair within
+// Dist as KindStream frames closed by KindEnd. Pass the same name for R
+// and S with ExcludeSelf for a self-join.
+type WithinReq struct {
+	R, S        string
+	Dist        float64
+	ExcludeSelf bool
+}
+
+func (m *WithinReq) encode(e *Encoder) {
+	e.String(m.R)
+	e.String(m.S)
+	e.F64(m.Dist)
+	e.Bool(m.ExcludeSelf)
+}
+
+func (m *WithinReq) decode(d *Decoder) {
+	m.R = d.String("within r")
+	m.S = d.String("within s")
+	m.Dist = d.F64("within dist")
+	m.ExcludeSelf = d.Bool("within exclude-self")
+}
+
+// PairsReq (OpClosestPairs) returns the K closest cross-index pairs.
+type PairsReq struct {
+	R, S        string
+	K           uint32
+	ExcludeSelf bool
+}
+
+func (m *PairsReq) encode(e *Encoder) {
+	e.String(m.R)
+	e.String(m.S)
+	e.U32(m.K)
+	e.Bool(m.ExcludeSelf)
+}
+
+func (m *PairsReq) decode(d *Decoder) {
+	m.R = d.String("pairs r")
+	m.S = d.String("pairs s")
+	m.K = d.U32("pairs k")
+	m.ExcludeSelf = d.Bool("pairs exclude-self")
+}
+
+// --- responses --------------------------------------------------------------
+
+// ErrorReply (KindError) carries a typed failure.
+type ErrorReply struct {
+	Code ErrorCode
+	Msg  string
+}
+
+func (m *ErrorReply) encode(e *Encoder) { e.U16(uint16(m.Code)); e.String(m.Msg) }
+func (m *ErrorReply) decode(d *Decoder) {
+	m.Code = ErrorCode(d.U16("error code"))
+	m.Msg = d.String("error msg")
+}
+
+// OpenReply answers OpOpen with the opened index's shape.
+type OpenReply struct {
+	Info IndexInfo
+}
+
+func (m *OpenReply) encode(e *Encoder) { m.Info.encode(e) }
+func (m *OpenReply) decode(d *Decoder) { m.Info.decode(d) }
+
+// CloseReply answers OpClose.
+type CloseReply struct{}
+
+func (m *CloseReply) encode(*Encoder) {}
+func (m *CloseReply) decode(*Decoder) {}
+
+// ListReply answers OpList with every catalog entry.
+type ListReply struct {
+	Indexes []IndexInfo
+}
+
+func (m *ListReply) encode(e *Encoder) {
+	e.Uvarint(uint64(len(m.Indexes)))
+	for i := range m.Indexes {
+		m.Indexes[i].encode(e)
+	}
+}
+
+func (m *ListReply) decode(d *Decoder) {
+	n := d.Count(1+1+8+4, "list entries")
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Indexes = make([]IndexInfo, n)
+	for i := range m.Indexes {
+		m.Indexes[i].decode(d)
+	}
+}
+
+// StatsReply answers OpStats; the counter fields mirror ann.IndexStats.
+type StatsReply struct {
+	Info IndexInfo
+
+	PoolHits         uint64
+	PoolMisses       uint64
+	PoolReads        uint64
+	PoolWrites       uint64
+	PoolEvictions    uint64
+	PoolRetries      uint64
+	PoolCorruptPages uint64
+	PinnedFrames     uint64
+
+	CacheHits          uint64
+	CacheMisses        uint64
+	CacheEvictions     uint64
+	CacheInvalidations uint64
+	CacheEntries       uint64
+	CacheBytes         uint64
+}
+
+func (m *StatsReply) encode(e *Encoder) {
+	m.Info.encode(e)
+	for _, v := range []uint64{
+		m.PoolHits, m.PoolMisses, m.PoolReads, m.PoolWrites,
+		m.PoolEvictions, m.PoolRetries, m.PoolCorruptPages, m.PinnedFrames,
+		m.CacheHits, m.CacheMisses, m.CacheEvictions, m.CacheInvalidations,
+		m.CacheEntries, m.CacheBytes,
+	} {
+		e.U64(v)
+	}
+}
+
+func (m *StatsReply) decode(d *Decoder) {
+	m.Info.decode(d)
+	for _, p := range []*uint64{
+		&m.PoolHits, &m.PoolMisses, &m.PoolReads, &m.PoolWrites,
+		&m.PoolEvictions, &m.PoolRetries, &m.PoolCorruptPages, &m.PinnedFrames,
+		&m.CacheHits, &m.CacheMisses, &m.CacheEvictions, &m.CacheInvalidations,
+		&m.CacheEntries, &m.CacheBytes,
+	} {
+		*p = d.U64("stats counter")
+	}
+}
+
+// KNNReply answers OpKNN.
+type KNNReply struct {
+	Neighbors []Neighbor
+}
+
+func (m *KNNReply) encode(e *Encoder) {
+	e.Uvarint(uint64(len(m.Neighbors)))
+	for i := range m.Neighbors {
+		m.Neighbors[i].encode(e)
+	}
+}
+
+func (m *KNNReply) decode(d *Decoder) {
+	n := d.Count(8+8+1, "knn neighbors")
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Neighbors = make([]Neighbor, n)
+	for i := range m.Neighbors {
+		m.Neighbors[i].decode(d)
+	}
+}
+
+// BatchKNNReply answers OpBatchKNN, one Result per query point in
+// request order.
+type BatchKNNReply struct {
+	Results []Result
+}
+
+func (m *BatchKNNReply) encode(e *Encoder) {
+	e.Uvarint(uint64(len(m.Results)))
+	for i := range m.Results {
+		m.Results[i].encode(e)
+	}
+}
+
+func (m *BatchKNNReply) decode(d *Decoder) {
+	n := d.Count(minResultBytes, "batch results")
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Results = make([]Result, n)
+	for i := range m.Results {
+		m.Results[i].decode(d)
+	}
+}
+
+// RangeReply answers OpRange.
+type RangeReply struct {
+	IDs []uint64
+}
+
+func (m *RangeReply) encode(e *Encoder) { e.U64s(m.IDs) }
+func (m *RangeReply) decode(d *Decoder) { m.IDs = d.U64s("range ids") }
+
+// JoinFrame is one KindStream chunk of an OpJoin result stream.
+type JoinFrame struct {
+	Results []Result
+}
+
+func (m *JoinFrame) encode(e *Encoder) {
+	e.Uvarint(uint64(len(m.Results)))
+	for i := range m.Results {
+		m.Results[i].encode(e)
+	}
+}
+
+func (m *JoinFrame) decode(d *Decoder) {
+	n := d.Count(minResultBytes, "join results")
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Results = make([]Result, n)
+	for i := range m.Results {
+		m.Results[i].decode(d)
+	}
+}
+
+// PairFrame is one KindStream chunk of an OpWithinDistance pair stream.
+type PairFrame struct {
+	Pairs []Pair
+}
+
+func (m *PairFrame) encode(e *Encoder) {
+	e.Uvarint(uint64(len(m.Pairs)))
+	for i := range m.Pairs {
+		m.Pairs[i].encode(e)
+	}
+}
+
+func (m *PairFrame) decode(d *Decoder) {
+	n := d.Count(8+8+8, "pair frame")
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Pairs = make([]Pair, n)
+	for i := range m.Pairs {
+		m.Pairs[i].decode(d)
+	}
+}
+
+// PairsReply answers OpClosestPairs.
+type PairsReply struct {
+	Pairs []Pair
+}
+
+func (m *PairsReply) encode(e *Encoder) {
+	e.Uvarint(uint64(len(m.Pairs)))
+	for i := range m.Pairs {
+		m.Pairs[i].encode(e)
+	}
+}
+
+func (m *PairsReply) decode(d *Decoder) {
+	n := d.Count(8+8+8, "pairs reply")
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Pairs = make([]Pair, n)
+	for i := range m.Pairs {
+		m.Pairs[i].decode(d)
+	}
+}
+
+// StreamEnd (KindEnd) closes a result stream with the total count the
+// client should have accumulated — a cheap end-to-end integrity check.
+type StreamEnd struct {
+	Count uint64
+}
+
+func (m *StreamEnd) encode(e *Encoder) { e.U64(m.Count) }
+func (m *StreamEnd) decode(d *Decoder) { m.Count = d.U64("stream end count") }
+
+// --- envelopes --------------------------------------------------------------
+
+// requestBody returns a fresh body value for op.
+func requestBody(op Op) (Message, error) {
+	switch op {
+	case OpOpen:
+		return &OpenReq{}, nil
+	case OpClose:
+		return &CloseReq{}, nil
+	case OpList:
+		return &ListReq{}, nil
+	case OpStats:
+		return &StatsReq{}, nil
+	case OpKNN:
+		return &KNNReq{}, nil
+	case OpBatchKNN:
+		return &BatchKNNReq{}, nil
+	case OpRange:
+		return &RangeReq{}, nil
+	case OpJoin:
+		return &JoinReq{}, nil
+	case OpWithinDistance:
+		return &WithinReq{}, nil
+	case OpClosestPairs:
+		return &PairsReq{}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown request op %d", uint8(op))
+	}
+}
+
+// responseBody returns a fresh body value for a (kind, op) pair.
+func responseBody(kind ResponseKind, op Op) (Message, error) {
+	switch kind {
+	case KindError:
+		return &ErrorReply{}, nil
+	case KindEnd:
+		return &StreamEnd{}, nil
+	case KindStream:
+		switch op {
+		case OpJoin:
+			return &JoinFrame{}, nil
+		case OpWithinDistance:
+			return &PairFrame{}, nil
+		}
+		return nil, fmt.Errorf("wire: op %s does not stream", op)
+	case KindResult:
+		switch op {
+		case OpOpen:
+			return &OpenReply{}, nil
+		case OpClose:
+			return &CloseReply{}, nil
+		case OpList:
+			return &ListReply{}, nil
+		case OpStats:
+			return &StatsReply{}, nil
+		case OpKNN:
+			return &KNNReply{}, nil
+		case OpBatchKNN:
+			return &BatchKNNReply{}, nil
+		case OpRange:
+			return &RangeReply{}, nil
+		case OpClosestPairs:
+			return &PairsReply{}, nil
+		}
+		return nil, fmt.Errorf("wire: op %s has no single-frame result", op)
+	default:
+		return nil, fmt.Errorf("wire: unknown response kind %d", uint8(kind))
+	}
+}
+
+// EncodeRequest encodes a request payload (header + body) into buf's
+// storage, returning the payload. The body type must match hdr.Op —
+// the peer's decoder holds callers to it.
+func EncodeRequest(hdr RequestHeader, body Message, buf []byte) ([]byte, error) {
+	if _, err := requestBody(hdr.Op); err != nil {
+		return nil, err
+	}
+	e := NewEncoder(buf)
+	e.U64(hdr.ID)
+	e.U8(uint8(hdr.Op))
+	e.I64(int64(hdr.Timeout))
+	body.encode(e)
+	return e.Bytes(), nil
+}
+
+// DecodeRequest decodes a request payload into its header and body.
+func DecodeRequest(payload []byte) (RequestHeader, Message, error) {
+	d := NewDecoder(payload)
+	var hdr RequestHeader
+	hdr.ID = d.U64("request id")
+	hdr.Op = Op(d.U8("request op"))
+	hdr.Timeout = time.Duration(d.I64("request timeout"))
+	if err := d.Err(); err != nil {
+		return hdr, nil, err
+	}
+	if hdr.Timeout < 0 {
+		return hdr, nil, fmt.Errorf("wire: negative request timeout %d", hdr.Timeout)
+	}
+	body, err := requestBody(hdr.Op)
+	if err != nil {
+		return hdr, nil, err
+	}
+	body.decode(d)
+	if err := d.Finish(); err != nil {
+		return hdr, nil, err
+	}
+	return hdr, body, nil
+}
+
+// EncodeResponse encodes a response payload (id + kind + op + body)
+// into buf's storage, returning the payload.
+func EncodeResponse(id uint64, kind ResponseKind, op Op, body Message, buf []byte) ([]byte, error) {
+	if _, err := responseBody(kind, op); err != nil {
+		return nil, err
+	}
+	e := NewEncoder(buf)
+	e.U64(id)
+	e.U8(uint8(kind))
+	e.U8(uint8(op))
+	body.encode(e)
+	return e.Bytes(), nil
+}
+
+// DecodeResponse decodes a response payload into its request id,
+// kind, op, and body.
+func DecodeResponse(payload []byte) (uint64, ResponseKind, Op, Message, error) {
+	d := NewDecoder(payload)
+	id := d.U64("response id")
+	kind := ResponseKind(d.U8("response kind"))
+	op := Op(d.U8("response op"))
+	if err := d.Err(); err != nil {
+		return id, kind, op, nil, err
+	}
+	body, err := responseBody(kind, op)
+	if err != nil {
+		return id, kind, op, nil, err
+	}
+	body.decode(d)
+	if err := d.Finish(); err != nil {
+		return id, kind, op, nil, err
+	}
+	return id, kind, op, body, nil
+}

@@ -1,0 +1,242 @@
+// Package wire defines the annserve binary protocol: a version-checked
+// handshake followed by length-prefixed frames carrying one encoded
+// message each. Both internal/server and ann/client speak through this
+// package, so the encoding of every message has exactly one definition.
+//
+// Stream layout (all integers big-endian):
+//
+//	handshake: "ANNS" magic, uint8 protocol version  (client → server)
+//	frame:     uint32 payload length, payload bytes  (both directions)
+//
+// Every request payload begins with a RequestHeader (id, op, timeout);
+// every response payload with the echoed request id and a ResponseKind.
+// Responses to one request are either a single KindResult frame, or a
+// sequence of KindStream frames closed by KindEnd (streaming joins), or
+// a single KindError frame carrying a typed error code.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic opens every connection; a server reading anything else closes
+// immediately (it is probably being probed by a non-annserve client).
+const Magic = "ANNS"
+
+// Version is the protocol version this build speaks. The handshake
+// rejects mismatches outright — there are no negotiated downgrades.
+const Version = 1
+
+// MaxFrame bounds a single frame's payload. Requests are small; join
+// result streams chunk themselves well below this. A peer announcing a
+// larger frame is malformed and the connection is dropped.
+const MaxFrame = 16 << 20
+
+// Op identifies a request type.
+type Op uint8
+
+const (
+	// OpOpen loads an index file into the catalog under a name.
+	OpOpen Op = 1
+	// OpClose removes a catalog index and closes its page file.
+	OpClose Op = 2
+	// OpList enumerates the catalog.
+	OpList Op = 3
+	// OpStats snapshots one catalog index's storage counters.
+	OpStats Op = 4
+	// OpKNN answers a point k-nearest-neighbor probe.
+	OpKNN Op = 5
+	// OpBatchKNN answers many kNN probes in one request.
+	OpBatchKNN Op = 6
+	// OpRange returns the ids inside an axis-aligned box.
+	OpRange Op = 7
+	// OpJoin runs an ANN/AkNN join, streaming result frames.
+	OpJoin Op = 8
+	// OpWithinDistance runs a distance join, streaming pair frames.
+	OpWithinDistance Op = 9
+	// OpClosestPairs returns the k closest cross-index pairs.
+	OpClosestPairs Op = 10
+)
+
+// String implements fmt.Stringer; it is also the server's per-op
+// metric label.
+func (op Op) String() string {
+	switch op {
+	case OpOpen:
+		return "open"
+	case OpClose:
+		return "close"
+	case OpList:
+		return "list"
+	case OpStats:
+		return "stats"
+	case OpKNN:
+		return "knn"
+	case OpBatchKNN:
+		return "batch_knn"
+	case OpRange:
+		return "range"
+	case OpJoin:
+		return "join"
+	case OpWithinDistance:
+		return "within_distance"
+	case OpClosestPairs:
+		return "closest_pairs"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// ResponseKind distinguishes the frames a request can receive back.
+type ResponseKind uint8
+
+const (
+	// KindResult is the single, final reply of a non-streaming op.
+	KindResult ResponseKind = 1
+	// KindStream is one chunk of a streaming op's results.
+	KindStream ResponseKind = 2
+	// KindEnd closes a stream, carrying the total result count.
+	KindEnd ResponseKind = 3
+	// KindError is a terminal typed error (for streams it may arrive
+	// after KindStream frames: results emitted so far remain valid).
+	KindError ResponseKind = 4
+)
+
+// ErrorCode is the typed failure class carried by a KindError frame.
+type ErrorCode uint16
+
+const (
+	// CodeServerBusy: the admission queue is full; retry later.
+	CodeServerBusy ErrorCode = 1
+	// CodeDeadlineExceeded: the request's deadline passed (queued or
+	// mid-query).
+	CodeDeadlineExceeded ErrorCode = 2
+	// CodeNotFound: no catalog index with that name.
+	CodeNotFound ErrorCode = 3
+	// CodeBadRequest: the request was malformed or semantically invalid
+	// (dimension mismatch, k < 1, unknown op...).
+	CodeBadRequest ErrorCode = 4
+	// CodeShuttingDown: the server is draining; no new work accepted.
+	CodeShuttingDown ErrorCode = 5
+	// CodeCorruptIndex: the index file failed its header or checksum
+	// verification.
+	CodeCorruptIndex ErrorCode = 6
+	// CodeInternal: anything else, including recovered panics.
+	CodeInternal ErrorCode = 7
+)
+
+// String implements fmt.Stringer with the protocol's canonical names.
+func (c ErrorCode) String() string {
+	switch c {
+	case CodeServerBusy:
+		return "SERVER_BUSY"
+	case CodeDeadlineExceeded:
+		return "DEADLINE_EXCEEDED"
+	case CodeNotFound:
+		return "NOT_FOUND"
+	case CodeBadRequest:
+		return "BAD_REQUEST"
+	case CodeShuttingDown:
+		return "SHUTTING_DOWN"
+	case CodeCorruptIndex:
+		return "CORRUPT_INDEX"
+	case CodeInternal:
+		return "INTERNAL"
+	default:
+		return fmt.Sprintf("CODE(%d)", uint16(c))
+	}
+}
+
+// Error is a typed protocol error as surfaced to client callers.
+type Error struct {
+	Code ErrorCode
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Msg) }
+
+// IsCode reports whether err is (or wraps) a protocol error with the
+// given code.
+func IsCode(err error, code ErrorCode) bool {
+	var we *Error
+	return errors.As(err, &we) && we.Code == code
+}
+
+// RequestHeader opens every request payload.
+type RequestHeader struct {
+	// ID is chosen by the client and echoed on every response frame,
+	// tying frames back to requests.
+	ID uint64
+	// Op selects the message type that follows.
+	Op Op
+	// Timeout, when positive, is the client's remaining deadline budget
+	// at send time; the server enforces it from arrival.
+	Timeout time.Duration
+}
+
+// --- handshake --------------------------------------------------------------
+
+// WriteHandshake sends the connection preamble.
+func WriteHandshake(w io.Writer) error {
+	var b [5]byte
+	copy(b[:], Magic)
+	b[4] = Version
+	_, err := w.Write(b[:])
+	return err
+}
+
+// ReadHandshake consumes and verifies the connection preamble.
+func ReadHandshake(r io.Reader) error {
+	var b [5]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return fmt.Errorf("wire: reading handshake: %w", err)
+	}
+	if string(b[:4]) != Magic {
+		return fmt.Errorf("wire: bad handshake magic %q", b[:4])
+	}
+	if b[4] != Version {
+		return fmt.Errorf("wire: protocol version %d, want %d", b[4], Version)
+	}
+	return nil
+}
+
+// --- frames -----------------------------------------------------------------
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	hdr[0] = byte(len(payload) >> 24)
+	hdr[1] = byte(len(payload) >> 16)
+	hdr[2] = byte(len(payload) >> 8)
+	hdr[3] = byte(len(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, rejecting frames beyond
+// MaxFrame before allocating.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: peer announced %d-byte frame, limit %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: truncated %d-byte frame: %w", n, err)
+	}
+	return payload, nil
+}

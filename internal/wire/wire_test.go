@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// requestSamples covers every request op with representative field
+// values, including empty-slice edge cases.
+func requestSamples() []struct {
+	hdr  RequestHeader
+	body Message
+} {
+	return []struct {
+		hdr  RequestHeader
+		body Message
+	}{
+		{RequestHeader{ID: 1, Op: OpOpen, Timeout: 2 * time.Second}, &OpenReq{Name: "pts", Path: "/tmp/pts.pages"}},
+		{RequestHeader{ID: 2, Op: OpClose}, &CloseReq{Name: "pts"}},
+		{RequestHeader{ID: 3, Op: OpList}, &ListReq{}},
+		{RequestHeader{ID: 4, Op: OpStats, Timeout: time.Millisecond}, &StatsReq{Name: "pts"}},
+		{RequestHeader{ID: 5, Op: OpKNN}, &KNNReq{Index: "pts", K: 4, Point: []float64{1.5, -2.25}}},
+		{RequestHeader{ID: 6, Op: OpBatchKNN}, &BatchKNNReq{Index: "pts", K: 1, Points: [][]float64{{0, 0}, {9, 9}}}},
+		{RequestHeader{ID: 7, Op: OpRange}, &RangeReq{Index: "pts", Lo: []float64{0, 0}, Hi: []float64{10, 10}}},
+		{RequestHeader{ID: 8, Op: OpJoin}, &JoinReq{R: "r", S: "s", K: 4}},
+		{RequestHeader{ID: 9, Op: OpJoin}, &JoinReq{R: "r", K: 1, Self: true}},
+		{RequestHeader{ID: 10, Op: OpWithinDistance}, &WithinReq{R: "r", S: "r", Dist: 3.5, ExcludeSelf: true}},
+		{RequestHeader{ID: 11, Op: OpClosestPairs}, &PairsReq{R: "r", S: "s", K: 8}},
+		{RequestHeader{ID: 12, Op: OpKNN}, &KNNReq{Index: "", K: 0, Point: nil}},
+	}
+}
+
+// responseSamples covers every (kind, op) response shape.
+func responseSamples() []struct {
+	id   uint64
+	kind ResponseKind
+	op   Op
+	body Message
+} {
+	nb := []Neighbor{{ID: 7, Dist: 1.25, Point: []float64{3, 4}}}
+	res := []Result{{ID: 0, Point: []float64{1, 2}, Neighbors: nb}, {ID: 1}}
+	prs := []Pair{{R: 1, S: 2, Dist: 0.5}}
+	return []struct {
+		id   uint64
+		kind ResponseKind
+		op   Op
+		body Message
+	}{
+		{1, KindResult, OpOpen, &OpenReply{Info: IndexInfo{Name: "pts", Kind: 1, Points: 100, Dim: 2}}},
+		{2, KindResult, OpClose, &CloseReply{}},
+		{3, KindResult, OpList, &ListReply{Indexes: []IndexInfo{{Name: "a", Points: 1, Dim: 3}, {Name: "b"}}}},
+		{4, KindResult, OpStats, &StatsReply{Info: IndexInfo{Name: "pts"}, PoolHits: 10, CacheBytes: 1 << 20}},
+		{5, KindResult, OpKNN, &KNNReply{Neighbors: nb}},
+		{6, KindResult, OpBatchKNN, &BatchKNNReply{Results: res}},
+		{7, KindResult, OpRange, &RangeReply{IDs: []uint64{3, 1, 4}}},
+		{8, KindStream, OpJoin, &JoinFrame{Results: res}},
+		{9, KindStream, OpWithinDistance, &PairFrame{Pairs: prs}},
+		{10, KindResult, OpClosestPairs, &PairsReply{Pairs: prs}},
+		{11, KindEnd, OpJoin, &StreamEnd{Count: 42}},
+		{12, KindError, OpKNN, &ErrorReply{Code: CodeServerBusy, Msg: "queue full"}},
+		{13, KindResult, OpKNN, &KNNReply{}},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, s := range requestSamples() {
+		payload, err := EncodeRequest(s.hdr, s.body, nil)
+		if err != nil {
+			t.Fatalf("encode %s: %v", s.hdr.Op, err)
+		}
+		hdr, body, err := DecodeRequest(payload)
+		if err != nil {
+			t.Fatalf("decode %s: %v", s.hdr.Op, err)
+		}
+		if hdr != s.hdr {
+			t.Errorf("%s: header %+v, want %+v", s.hdr.Op, hdr, s.hdr)
+		}
+		if !reflect.DeepEqual(body, s.body) {
+			t.Errorf("%s: body %+v, want %+v", s.hdr.Op, body, s.body)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, s := range responseSamples() {
+		payload, err := EncodeResponse(s.id, s.kind, s.op, s.body, nil)
+		if err != nil {
+			t.Fatalf("encode (%d,%s): %v", s.kind, s.op, err)
+		}
+		id, kind, op, body, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatalf("decode (%d,%s): %v", s.kind, s.op, err)
+		}
+		if id != s.id || kind != s.kind || op != s.op {
+			t.Errorf("envelope (%d,%d,%s), want (%d,%d,%s)", id, kind, op, s.id, s.kind, s.op)
+		}
+		if !reflect.DeepEqual(body, s.body) {
+			t.Errorf("(%d,%s): body %+v, want %+v", s.kind, s.op, body, s.body)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	// Unknown op.
+	if _, _, err := DecodeRequest([]byte{0, 0, 0, 0, 0, 0, 0, 1, 99, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	// Truncated header.
+	if _, _, err := DecodeRequest([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Trailing garbage after a valid message.
+	payload, _ := EncodeRequest(RequestHeader{ID: 1, Op: OpList}, &ListReq{}, nil)
+	if _, _, err := DecodeRequest(append(payload, 0xFF)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// A huge announced count with no backing bytes must fail cleanly,
+	// not allocate.
+	e := NewEncoder(nil)
+	e.U64(1)
+	e.U8(uint8(OpKNN))
+	e.I64(0)
+	e.String("pts")
+	e.U32(1)
+	e.Uvarint(1 << 40) // count of a point that isn't there
+	if _, _, err := DecodeRequest(e.Bytes()); err == nil {
+		t.Error("absurd count accepted")
+	}
+	// Streaming kinds are invalid for non-streaming ops.
+	if _, err := EncodeResponse(1, KindStream, OpKNN, &JoinFrame{}, nil); err == nil {
+		t.Error("KindStream for OpKNN accepted")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {1}, bytes.Repeat([]byte{0xAB}, 100_000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d bytes, want %d", len(got), len(p))
+		}
+	}
+	// An announced length beyond MaxFrame is rejected before allocation.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(huge)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHandshake(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadHandshake(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadHandshake(bytes.NewReader([]byte("HTTP1"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if err := ReadHandshake(bytes.NewReader([]byte{'A', 'N', 'N', 'S', 99})); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestErrorHelpers(t *testing.T) {
+	err := error(&Error{Code: CodeServerBusy, Msg: "queue full"})
+	if !IsCode(err, CodeServerBusy) || IsCode(err, CodeNotFound) {
+		t.Error("IsCode misclassified")
+	}
+	wrapped := errors.Join(errors.New("outer"), err)
+	if !IsCode(wrapped, CodeServerBusy) {
+		t.Error("IsCode missed wrapped error")
+	}
+	if got := err.Error(); got != "SERVER_BUSY: queue full" {
+		t.Errorf("Error() = %q", got)
+	}
+}
