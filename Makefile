@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench-smoke trace-smoke bench-parallel bench-nodecache chaos fuzz-smoke
+.PHONY: build test race vet check bench-smoke trace-smoke bench-parallel bench-parallel-smoke bench-nodecache chaos fuzz-smoke race-sched
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,21 @@ trace-smoke:
 
 bench-parallel:
 	$(GO) run ./cmd/annbench -exp parallel -scale 0.2 -json BENCH_parallel.json
+
+# bench-parallel-smoke is the CI scaling gate: a small run pinned to
+# GOMAXPROCS=4 that fails unless 4 workers beat serial by 1.5x. The gate
+# auto-skips (with a loud warning) when min(NumCPU, GOMAXPROCS) < 4, so it
+# is safe on starved runners while still catching scaling regressions on
+# real ones.
+bench-parallel-smoke:
+	GOMAXPROCS=4 $(GO) run ./cmd/annbench -exp parallel -scale 0.05 -parallelism 4 -min-speedup4 1.5
+
+# race-sched runs the scheduler and batch-kernel suites under the race
+# detector — the fast, targeted version of `make race` for iterating on
+# internal/core/parallel.go and mba.go.
+race-sched:
+	$(GO) vet ./internal/core ./internal/geom
+	$(GO) test -race -run 'Scheduler|EmitTree|Parallel|BatchLeafJoin|DistSqBlock' -count=1 ./internal/core ./internal/geom
 
 bench-nodecache:
 	$(GO) run ./cmd/annbench -exp nodecache -json BENCH_nodecache.json

@@ -40,6 +40,7 @@ func main() {
 		pool        = flag.Int("pool", 512*1024, "buffer pool size in bytes (experiments that vary it ignore this)")
 		seed        = flag.Int64("seed", 1, "dataset generator seed")
 		par         = flag.Int("parallelism", 0, "max workers for the parallel scaling experiment (0 = GOMAXPROCS)")
+		minSpeedup4 = flag.Float64("min-speedup4", 0, "fail the parallel experiment unless 4 workers reach this speedup over serial (0 = no gate; skipped when the host has fewer than 4 usable CPUs)")
 		jsonOut     = flag.String("json", "", "write a machine-readable summary here (parallel, nodecache and mba experiments)")
 		ncBytes     = flag.Int64("nodecache-bytes", 0, "decoded-node cache budget for the nodecache experiment (0 = default, <0 = disabled)")
 		quiet       = flag.Bool("quiet", false, "suppress the per-measurement progress heartbeat on stderr")
@@ -87,6 +88,7 @@ func main() {
 		NodeCacheBytes: *ncBytes,
 		TracePath:      *tracePath,
 		Metrics:        reg,
+		MinSpeedup4:    *minSpeedup4,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr

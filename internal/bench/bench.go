@@ -72,6 +72,33 @@ type Config struct {
 	// publish them (currently "mba"); annbench serves it at
 	// -metrics-addr.
 	Metrics *obs.Registry
+	// MinSpeedup4, when positive, makes the parallel scaling experiment
+	// fail unless the run at parallelism 4 reaches this speedup over
+	// serial. CI smoke uses it as a scaling regression gate. The gate is
+	// skipped (with a loud warning) when min(NumCPU, GOMAXPROCS) < 4 — a
+	// machine that
+	// cannot run 4 workers cannot fail a 4-worker scaling bar.
+	MinSpeedup4 float64
+}
+
+// Provenance records the runtime context a bench artifact was collected
+// under. Committed artifacts carry it so a single-core collection can
+// never be mistaken for a real scaling result (the repo once shipped a
+// BENCH_parallel.json collected at GOMAXPROCS=1 that made parallelism
+// look like a slowdown).
+type Provenance struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// CollectProvenance samples the current runtime.
+func CollectProvenance() Provenance {
+	return Provenance{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -209,7 +236,15 @@ func buildTree(kind IndexKind, pool *storage.BufferPool, pts []geom.Point) (stor
 
 // open re-opens the prepared indexes through a fresh pool of poolBytes.
 func (p *prepared) open(poolBytes int) (ir, is index.Tree, pool *storage.BufferPool, err error) {
-	pool = storage.NewBufferPool(p.store, storage.FramesForBytes(poolBytes))
+	return p.openHinted(poolBytes, 0)
+}
+
+// openHinted is open with an expected-concurrent-readers hint, so the
+// pool's shard count covers the parallel workers that will pin pages
+// through it (see storage.BufferPoolConfig.ShardHint).
+func (p *prepared) openHinted(poolBytes, readers int) (ir, is index.Tree, pool *storage.BufferPool, err error) {
+	pool = storage.NewBufferPoolWithConfig(p.store, storage.FramesForBytes(poolBytes),
+		storage.BufferPoolConfig{ShardHint: readers})
 	ir, err = p.openTree(pool, p.metaR)
 	if err != nil {
 		return nil, nil, nil, err

@@ -63,7 +63,7 @@ func RunNodeCache(cfg Config) error {
 			return err
 		}
 		off := core.Options{ExcludeSelf: true, NodeCacheBytes: core.NodeCacheDisabled}
-		offWall, offStats, offHash, err := timedRun(ir, is, off)
+		offWall, offStats, _, offHash, err := timedRun(ir, is, off)
 		if err != nil {
 			return err
 		}
@@ -72,7 +72,7 @@ func RunNodeCache(cfg Config) error {
 
 		on := core.Options{ExcludeSelf: true, NodeCacheBytes: budget}
 		for _, mode := range []string{"cold", "warm"} {
-			wall, stats, hash, err := timedRun(ir, is, on)
+			wall, stats, _, hash, err := timedRun(ir, is, on)
 			if err != nil {
 				return err
 			}
@@ -103,20 +103,22 @@ func RunNodeCache(cfg Config) error {
 			Stats           core.Stats `json:"stats"`
 		}
 		doc := struct {
-			Experiment  string    `json:"experiment"`
-			Dataset     string    `json:"dataset"`
-			Points      int       `json:"points"`
-			Dim         int       `json:"dim"`
-			K           int       `json:"k"`
-			PoolBytes   int       `json:"pool_bytes"`
-			CacheBudget string    `json:"cache_budget"`
-			Runs        []runJSON `json:"runs"`
+			Experiment  string     `json:"experiment"`
+			Dataset     string     `json:"dataset"`
+			Points      int        `json:"points"`
+			Dim         int        `json:"dim"`
+			K           int        `json:"k"`
+			Provenance  Provenance `json:"provenance"`
+			PoolBytes   int        `json:"pool_bytes"`
+			CacheBudget string     `json:"cache_budget"`
+			Runs        []runJSON  `json:"runs"`
 		}{
 			Experiment:  "nodecache",
 			Dataset:     "TAC-surrogate",
 			Points:      len(pts),
 			Dim:         dim,
 			K:           1,
+			Provenance:  CollectProvenance(),
 			PoolBytes:   parallelPoolBytes,
 			CacheBudget: cacheBudgetLabel(budget),
 		}

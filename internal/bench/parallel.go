@@ -27,8 +27,13 @@ const parallelPoolBytes = 64 << 20
 // Every parallel run uses ordered emit and its output stream is hashed
 // and compared against the serial run, so the table doubles as an
 // end-to-end equivalence check. With Config.JSONPath set, a machine-
-// readable summary (wall times, speedups, engine counters) is written
-// there, suitable for committing as BENCH_parallel.json.
+// readable summary (wall times, speedups, engine and scheduler counters,
+// and the collection host's provenance) is written there, suitable for
+// committing as BENCH_parallel.json. With Config.MinSpeedup4 set, the
+// run fails unless parallelism 4 reaches that speedup over serial —
+// unless the host's effective parallel capacity (min of NumCPU and
+// GOMAXPROCS) is below 4, where scaling numbers are meaningless and the
+// gate is skipped with a warning.
 func RunParallel(cfg Config) error {
 	cfg = cfg.withDefaults()
 	w := cfg.Out
@@ -36,23 +41,38 @@ func RunParallel(cfg Config) error {
 	if maxWorkers <= 0 {
 		maxWorkers = runtime.GOMAXPROCS(0)
 	}
+	prov := CollectProvenance()
+	// Effective parallel capacity: GOMAXPROCS can be raised above the CPU
+	// count (e.g. GOMAXPROCS=4 on a 1-core runner), but the extra workers
+	// only time-slice — for honesty both bounds apply.
+	effective := prov.GOMAXPROCS
+	if prov.NumCPU < effective {
+		effective = prov.NumCPU
+	}
+	degraded := effective < maxWorkers
 	pts := tacData(cfg)
 	dim := len(pts[0])
 	fmt.Fprintf(w, "\nParallel scaling: self-ANN on TAC surrogate (%d points, %d-D, MBRQT, k=1)\n", len(pts), dim)
-	fmt.Fprintf(w, "GOMAXPROCS=%d, %d MB pool (resident working set; CPU scaling, not the paper's I/O model)\n",
-		runtime.GOMAXPROCS(0), parallelPoolBytes>>20)
+	fmt.Fprintf(w, "host: %d CPUs, GOMAXPROCS=%d, %s; %d MB pool (resident working set; CPU scaling, not the paper's I/O model)\n",
+		prov.NumCPU, prov.GOMAXPROCS, prov.GoVersion, parallelPoolBytes>>20)
+	if degraded {
+		fmt.Fprintf(w, "\n*** WARNING: effective parallel capacity %d (NumCPU=%d, GOMAXPROCS=%d) < requested parallelism %d. ***\n",
+			effective, prov.NumCPU, prov.GOMAXPROCS, maxWorkers)
+		fmt.Fprintf(w, "*** Workers will time-slice a single run queue; speedups below are NOT scaling data. ***\n")
+		fmt.Fprintf(w, "*** The JSON summary is marked \"degraded\": true — do not commit it as a scaling result. ***\n\n")
+	}
 
 	p, err := prepareSelf(KindMBRQT, pts)
 	if err != nil {
 		return err
 	}
-	ir, is, _, err := p.open(parallelPoolBytes)
+	ir, is, _, err := p.openHinted(parallelPoolBytes, maxWorkers)
 	if err != nil {
 		return err
 	}
 
 	base := core.Options{ExcludeSelf: true}
-	serialWall, serialStats, serialHash, err := timedRun(ir, is, base)
+	serialWall, serialStats, _, serialHash, err := timedRun(ir, is, base)
 	if err != nil {
 		return err
 	}
@@ -62,27 +82,31 @@ func RunParallel(cfg Config) error {
 		parallelism int
 		wall        time.Duration
 		stats       core.Stats
+		sched       core.SchedStats
 		identical   bool
 	}
-	rows := []row{{1, serialWall, serialStats, true}}
+	rows := []row{{parallelism: 1, wall: serialWall, stats: serialStats, identical: true}}
 	for _, workers := range workerLadder(maxWorkers) {
 		opts := base
 		opts.Parallelism = workers
 		opts.OrderedEmit = true
-		wall, stats, hash, err := timedRun(ir, is, opts)
+		wall, stats, sched, hash, err := timedRun(ir, is, opts)
 		if err != nil {
 			return err
 		}
 		heartbeat(cfg, fmt.Sprintf("parallel: %d workers", workers), wall, stats.Results)
-		rows = append(rows, row{workers, wall, stats, hash == serialHash})
+		rows = append(rows, row{workers, wall, stats, sched, hash == serialHash})
 	}
 
-	fmt.Fprintf(w, "\n%-12s %12s %10s %10s %14s %12s\n",
-		"parallelism", "wall", "speedup", "results", "dist-calcs", "identical")
+	fmt.Fprintf(w, "\n%-12s %12s %10s %10s %14s %8s %8s %12s\n",
+		"parallelism", "wall", "speedup", "results", "dist-calcs", "steals", "splits", "identical")
+	speedupAt := map[int]float64{}
 	for _, r := range rows {
 		sp := float64(serialWall) / float64(r.wall)
-		fmt.Fprintf(w, "%-12d %12s %9.2fx %10d %14d %12v\n",
-			r.parallelism, fmtDur(r.wall), sp, r.stats.Results, r.stats.DistanceCalcs, r.identical)
+		speedupAt[r.parallelism] = sp
+		fmt.Fprintf(w, "%-12d %12s %9.2fx %10d %14d %8d %8d %12v\n",
+			r.parallelism, fmtDur(r.wall), sp, r.stats.Results, r.stats.DistanceCalcs,
+			r.sched.Steals, r.sched.Splits, r.identical)
 		if !r.identical {
 			return fmt.Errorf("parallel run at %d workers produced output differing from serial", r.parallelism)
 		}
@@ -90,23 +114,26 @@ func RunParallel(cfg Config) error {
 
 	if cfg.JSONPath != "" {
 		type runJSON struct {
-			Parallelism     int        `json:"parallelism"`
-			WallNS          int64      `json:"wall_ns"`
-			Wall            string     `json:"wall"`
-			SpeedupVsSerial float64    `json:"speedup_vs_serial"`
-			IdenticalOutput bool       `json:"identical_output"`
-			Stats           core.Stats `json:"stats"`
+			Parallelism     int             `json:"parallelism"`
+			WallNS          int64           `json:"wall_ns"`
+			Wall            string          `json:"wall"`
+			SpeedupVsSerial float64         `json:"speedup_vs_serial"`
+			IdenticalOutput bool            `json:"identical_output"`
+			Degraded        bool            `json:"degraded"`
+			Stats           core.Stats      `json:"stats"`
+			Sched           core.SchedStats `json:"sched"`
 		}
 		doc := struct {
-			Experiment string    `json:"experiment"`
-			Dataset    string    `json:"dataset"`
-			Points     int       `json:"points"`
-			Dim        int       `json:"dim"`
-			Index      string    `json:"index"`
-			K          int       `json:"k"`
-			GOMAXPROCS int       `json:"gomaxprocs"`
-			PoolBytes  int       `json:"pool_bytes"`
-			Runs       []runJSON `json:"runs"`
+			Experiment string     `json:"experiment"`
+			Dataset    string     `json:"dataset"`
+			Points     int        `json:"points"`
+			Dim        int        `json:"dim"`
+			Index      string     `json:"index"`
+			K          int        `json:"k"`
+			Provenance Provenance `json:"provenance"`
+			Degraded   bool       `json:"degraded"`
+			PoolBytes  int        `json:"pool_bytes"`
+			Runs       []runJSON  `json:"runs"`
 		}{
 			Experiment: "parallel",
 			Dataset:    "TAC-surrogate",
@@ -114,7 +141,8 @@ func RunParallel(cfg Config) error {
 			Dim:        dim,
 			Index:      "MBRQT",
 			K:          1,
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Provenance: prov,
+			Degraded:   degraded,
 			PoolBytes:  parallelPoolBytes,
 		}
 		for _, r := range rows {
@@ -124,7 +152,9 @@ func RunParallel(cfg Config) error {
 				Wall:            r.wall.Round(time.Microsecond).String(),
 				SpeedupVsSerial: float64(serialWall) / float64(r.wall),
 				IdenticalOutput: r.identical,
+				Degraded:        degraded && r.parallelism > effective,
 				Stats:           r.stats,
+				Sched:           r.sched,
 			})
 		}
 		data, err := json.MarshalIndent(doc, "", "  ")
@@ -136,6 +166,20 @@ func RunParallel(cfg Config) error {
 			return err
 		}
 		fmt.Fprintf(w, "\nJSON summary written to %s\n", cfg.JSONPath)
+	}
+
+	if cfg.MinSpeedup4 > 0 {
+		switch sp, ok := speedupAt[4]; {
+		case effective < 4:
+			fmt.Fprintf(w, "\nmin-speedup gate skipped: effective parallel capacity %d < 4 (degraded host cannot produce scaling data)\n",
+				effective)
+		case !ok:
+			return fmt.Errorf("min-speedup gate: no run at parallelism 4 (parallelism ladder topped out at %d)", maxWorkers)
+		case sp < cfg.MinSpeedup4:
+			return fmt.Errorf("min-speedup gate: speedup at 4 workers is %.2fx, below the required %.2fx", sp, cfg.MinSpeedup4)
+		default:
+			fmt.Fprintf(w, "\nmin-speedup gate passed: %.2fx at 4 workers (required %.2fx)\n", sp, cfg.MinSpeedup4)
+		}
 	}
 	return nil
 }
@@ -155,14 +199,17 @@ func workerLadder(max int) []int {
 
 // timedRun executes the engine, hashing the emitted stream (ids,
 // neighbor ids, exact distance bits, in emission order) so that two runs
-// can be compared for byte-identical output.
-func timedRun(ir, is index.Tree, opts core.Options) (time.Duration, core.Stats, uint64, error) {
+// can be compared for byte-identical output, and collecting the
+// scheduler/kernel counters alongside the engine Stats.
+func timedRun(ir, is index.Tree, opts core.Options) (time.Duration, core.Stats, core.SchedStats, uint64, error) {
 	h := fnv.New64a()
 	var word [8]byte
 	write := func(v uint64) {
 		binary.LittleEndian.PutUint64(word[:], v)
 		h.Write(word[:])
 	}
+	var sched core.SchedStats
+	opts.Sched = &sched
 	start := time.Now()
 	stats, err := core.Run(ir, is, opts, func(r core.Result) error {
 		write(uint64(r.Object))
@@ -174,7 +221,7 @@ func timedRun(ir, is index.Tree, opts core.Options) (time.Duration, core.Stats, 
 	})
 	wall := time.Since(start)
 	if err != nil {
-		return 0, core.Stats{}, 0, err
+		return 0, core.Stats{}, core.SchedStats{}, 0, err
 	}
-	return wall, stats, h.Sum64(), nil
+	return wall, stats, sched, h.Sum64(), nil
 }

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"allnn/internal/geom"
+	"allnn/internal/index"
+)
+
+// joinOutcome captures everything observable about a leaf join run: the
+// work counters, every owner's surviving queue contents (object ids and
+// exact distance bits), and the final per-owner bounds.
+type joinOutcome struct {
+	stats  Stats
+	queues [][]lpqItem
+	bounds []float64
+}
+
+// runLeafJoin replays one leaf-join scenario — a fixed owner set and a
+// fixed sequence of candidate batches — through either the batch kernel
+// path (add/probeAll + flush) or the scalar reference path (probeOne per
+// candidate). The batch path deliberately defers its final flush to the
+// end, maximising prefilter staleness; the commit pass must still
+// reproduce the scalar decisions exactly.
+func runLeafJoin(owners []index.Entry, leafOwner *index.Entry, inherited []float64,
+	k int, batches [][]index.Entry, asLeaf []bool, batch bool) joinOutcome {
+
+	var stats Stats
+	lpqcs := make([]*lpq, len(owners))
+	for i := range owners {
+		lpqcs[i] = newLPQ(&owners[i], inherited[i], k, KBoundKth, true, &stats)
+	}
+	q := newLPQ(leafOwner, math.Inf(1), k, KBoundKth, true, &stats)
+
+	dim := len(owners[0].Point)
+	j := &leafJoin{}
+	j.reset(dim, q, lpqcs, &stats, nil)
+	for bi, cands := range batches {
+		switch {
+		case !batch:
+			for ci := range cands {
+				j.probeOne(&cands[ci])
+			}
+		case asLeaf[bi]:
+			j.probeAll(cands)
+		default:
+			for ci := range cands {
+				j.add(&cands[ci])
+			}
+		}
+	}
+	if batch {
+		j.flush()
+	}
+
+	out := joinOutcome{stats: stats, bounds: append([]float64(nil), j.bounds...)}
+	for _, c := range lpqcs {
+		out.queues = append(out.queues, append([]lpqItem(nil), c.items[c.head:]...))
+	}
+	j.finish()
+	return out
+}
+
+// TestBatchLeafJoinMatchesScalar is the property test for the batch
+// kernel path: on random leaves (random owner counts, bounds, dimensions
+// and candidate streams, including streams long enough to force mid-batch
+// tile flushes) the batch path must produce bit-identical distances,
+// identical queue contents, identical bounds and identical Stats to the
+// scalar probeOne path.
+func TestBatchLeafJoinMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for _, dim := range []int{2, 3, 7} {
+		for _, k := range []int{1, 3} {
+			for trial := 0; trial < 25; trial++ {
+				m := 1 + rng.Intn(70)
+				owners := make([]index.Entry, m)
+				lo := make(geom.Point, dim)
+				hi := make(geom.Point, dim)
+				for d := 0; d < dim; d++ {
+					lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+				}
+				for i := range owners {
+					p := make(geom.Point, dim)
+					for d := 0; d < dim; d++ {
+						p[d] = rng.Float64()
+						if p[d] < lo[d] {
+							lo[d] = p[d]
+						}
+						if p[d] > hi[d] {
+							hi[d] = p[d]
+						}
+					}
+					owners[i] = index.Entry{Kind: index.ObjectEntry, Object: index.ObjectID(i),
+						Point: p, MBR: geom.Rect{Lo: p, Hi: p}, Count: 1}
+				}
+				leafOwner := &index.Entry{Kind: index.NodeEntry, MBR: geom.Rect{Lo: lo, Hi: hi},
+					Count: uint32(m)}
+				inherited := make([]float64, m)
+				for i := range inherited {
+					switch rng.Intn(3) {
+					case 0:
+						inherited[i] = math.Inf(1)
+					case 1:
+						inherited[i] = 0.05 + 0.1*rng.Float64()
+					default:
+						inherited[i] = 0.5 + rng.Float64()
+					}
+				}
+
+				nBatches := 1 + rng.Intn(4)
+				batches := make([][]index.Entry, nBatches)
+				asLeaf := make([]bool, nBatches)
+				id := 1000
+				for bi := range batches {
+					n := 1 + rng.Intn(2*geom.BlockCandTile)
+					cands := make([]index.Entry, n)
+					for ci := range cands {
+						p := make(geom.Point, dim)
+						for d := 0; d < dim; d++ {
+							if rng.Intn(4) == 0 {
+								p[d] = rng.Float64() * 10 // far: exercises the prefilter
+							} else {
+								p[d] = rng.Float64()
+							}
+						}
+						cands[ci] = index.Entry{Kind: index.ObjectEntry, Object: index.ObjectID(id),
+							Point: p, MBR: geom.Rect{Lo: p, Hi: p}, Count: 1}
+						id++
+					}
+					batches[bi] = cands
+					asLeaf[bi] = rng.Intn(2) == 0
+				}
+
+				scalar := runLeafJoin(owners, leafOwner, inherited, k, batches, asLeaf, false)
+				batched := runLeafJoin(owners, leafOwner, inherited, k, batches, asLeaf, true)
+
+				if scalar.stats != batched.stats {
+					t.Fatalf("dim=%d k=%d trial=%d: stats differ:\nscalar: %+v\nbatch:  %+v",
+						dim, k, trial, scalar.stats, batched.stats)
+				}
+				if !reflect.DeepEqual(scalar.bounds, batched.bounds) {
+					t.Fatalf("dim=%d k=%d trial=%d: bounds differ", dim, k, trial)
+				}
+				for i := range scalar.queues {
+					sq, bq := scalar.queues[i], batched.queues[i]
+					if len(sq) != len(bq) {
+						t.Fatalf("dim=%d k=%d trial=%d owner=%d: queue lengths %d vs %d",
+							dim, k, trial, i, len(sq), len(bq))
+					}
+					for x := range sq {
+						if sq[x].e.Object != bq[x].e.Object || sq[x].mind != bq[x].mind || sq[x].maxd != bq[x].maxd {
+							t.Fatalf("dim=%d k=%d trial=%d owner=%d item=%d: %v/%v vs %v/%v",
+								dim, k, trial, i, x, sq[x].e.Object, sq[x].mind, bq[x].e.Object, bq[x].mind)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -10,10 +10,13 @@ import (
 // caches in use, so Run can report per-execution hit/miss deltas. A
 // self-join passes the same tree twice and therefore yields one cache.
 //
-// Attachment is idempotent: a tree keeps its cache (and its warm
-// contents) across runs as long as the budget does not change, which is
-// what makes steady-state Collect calls allocation-free.
-func setupNodeCaches(ir, is index.Tree, budget int64) []*index.NodeCache {
+// readers is the expected number of concurrent readers (the run's
+// Parallelism); a parallel run sizes the cache's shard count so workers
+// do not serialise on one shard lock. Attachment is idempotent: a tree
+// keeps its cache (and its warm contents) across runs as long as the
+// budget does not change and the shard count still covers the readers,
+// which is what makes steady-state Collect calls allocation-free.
+func setupNodeCaches(ir, is index.Tree, budget int64, readers int) []*index.NodeCache {
 	var caches []*index.NodeCache
 	seen := map[*index.NodeCache]bool{}
 	for _, t := range []index.Tree{ir, is} {
@@ -29,9 +32,10 @@ func setupNodeCaches(ir, is index.Tree, budget int64) []*index.NodeCache {
 		if want == 0 {
 			want = index.DefaultNodeCacheBytes
 		}
+		shards := nodecache.ShardsFor(want, readers)
 		c := nc.NodeCacheRef()
-		if c == nil || c.Cap() != want {
-			c = index.NewNodeCache(want)
+		if c == nil || c.Cap() != want || c.NumShards() < shards {
+			c = index.NewNodeCacheHinted(want, readers)
 			nc.SetNodeCache(c)
 		}
 		if !seen[c] {

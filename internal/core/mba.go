@@ -11,6 +11,7 @@ import (
 	"allnn/internal/index"
 	"allnn/internal/obs"
 	"allnn/internal/pq"
+	"allnn/internal/storage"
 )
 
 // Run executes an ANN/AkNN query: for every point in the query index ir,
@@ -93,7 +94,7 @@ func RunContext(ctx context.Context, ir, is index.Tree, opts Options, emit func(
 		}()
 	}
 
-	caches := setupNodeCaches(ir, is, opts.NodeCacheBytes)
+	caches := setupNodeCaches(ir, is, opts.NodeCacheBytes, opts.Parallelism)
 	cachesBefore := cacheSnapshot(caches)
 	defer func() { addCacheDelta(&stats, cachesBefore, cacheSnapshot(caches)) }()
 	if tr != nil {
@@ -131,12 +132,21 @@ func RunContext(ctx context.Context, ir, is index.Tree, opts Options, emit func(
 	e := &engine{ir: ir, is: is, opts: opts, emit: emit, stats: &stats,
 		ctx: ctx, cancelled: cancelled,
 		tr: tr, tid: obs.TidMain, tm: opts.timings}
+	if nc, ok := is.(index.NodeCacher); ok && nc.NodeCacheRef() != nil {
+		// The shared decoded-node cache is attached: front it with a
+		// small engine-local lookaside so the hottest I_S nodes skip the
+		// shard locks entirely (each parallel worker gets its own).
+		e.memoS = new(nodeMemo)
+	}
+	if opts.Sched != nil {
+		defer func() { opts.Sched.Add(e.sched) }()
+	}
 	if rootS.Count == 0 {
 		// No targets: every query object gets an empty neighbor list.
 		return stats, e.emitEmpty(&rootR)
 	}
 
-	root := newLPQ(&rootR, infinity, opts.effectiveK(), opts.KBound, !opts.VolatileBounds, &stats)
+	root := e.getLPQ(&rootR, infinity, opts.effectiveK(), opts.KBound, !opts.VolatileBounds)
 	mind, maxd := e.distances(&rootR, &rootS)
 	root.enqueue(lpqItem{e: &rootS, mind: mind, maxd: maxd})
 	if obsOn {
@@ -160,7 +170,7 @@ func RunContext(ctx context.Context, ir, is index.Tree, opts Options, emit func(
 			var children []*lpq
 			children, err = e.expandAndPrune(q)
 			if err == nil {
-				releaseLPQ(q)
+				e.putLPQ(q)
 				queue = append(queue, children...)
 			}
 		}
@@ -225,6 +235,67 @@ type engine struct {
 	join       leafJoin
 	gatherBest *pq.KBest[*index.Entry]
 	gatherTop  []pq.Item[*index.Entry]
+
+	// lpqFree is the engine-private LPQ freelist (see getLPQ); memoS is
+	// the engine-local decoded-node lookaside for I_S (nil unless the
+	// target index has a node cache attached); sched accumulates the
+	// scheduler and batch-kernel counters, merged into Options.Sched at
+	// the end of the run.
+	lpqFree []*lpq
+	memoS   *nodeMemo
+	sched   SchedStats
+}
+
+// memoSlots sizes the engine-local decoded-node lookaside: a
+// direct-mapped table of the last expansion per page-id slot. Power of
+// two; 128 slots cover the I_S working set of a leaf join (the same few
+// nodes are re-expanded once per owning LPQ) at ~4 KB per worker.
+const memoSlots = 128
+
+// nodeMemo is a direct-mapped lookaside over the shared decoded-node
+// cache. The shared cache is sharded and lock-guarded; during the leaf
+// join every worker hammers the same few hot pages, so a private table
+// turns those lookups into two loads with no coherence traffic. Entries
+// are immutable shared slices (the Tree.Expand contract), and a memo
+// lives only for one run, so staleness cannot arise (index mutation never
+// runs concurrently with queries).
+type nodeMemo struct {
+	ids  [memoSlots]storage.PageID
+	ok   [memoSlots]bool
+	vals [memoSlots][]index.Entry
+}
+
+func (m *nodeMemo) get(id storage.PageID) ([]index.Entry, bool) {
+	s := uint32(id) & (memoSlots - 1)
+	if m.ok[s] && m.ids[s] == id {
+		return m.vals[s], true
+	}
+	return nil, false
+}
+
+func (m *nodeMemo) put(id storage.PageID, v []index.Entry) {
+	s := uint32(id) & (memoSlots - 1)
+	m.ids[s], m.vals[s], m.ok[s] = id, v, true
+}
+
+// expandS expands a candidate entry of I_S through the engine-local
+// lookaside. A memo hit is counted as a node-cache hit so that the
+// hits+misses total stays a pure function of the traversal — the
+// invariant the serial/parallel parity tests rely on; the memo only
+// changes which tier serves the lookup. Callers count NodesExpandedS
+// themselves (the memo does not change expansion counts either).
+func (e *engine) expandS(ent *index.Entry) ([]index.Entry, error) {
+	if e.memoS != nil {
+		if v, ok := e.memoS.get(ent.Child); ok {
+			e.stats.NodeCacheHits++
+			return v, nil
+		}
+	}
+	v, err := e.is.Expand(ent)
+	if err == nil && e.memoS != nil {
+		e.memoS.put(ent.Child, v)
+	}
+	return v, err
 }
 
 // obsOn reports whether the engine records spans or stage timings.
@@ -253,7 +324,7 @@ func (e *engine) dfbi(q *lpq) error {
 	if err != nil {
 		return err
 	}
-	releaseLPQ(q)
+	e.putLPQ(q)
 	for _, c := range children {
 		if err := e.dfbi(c); err != nil {
 			return err
@@ -366,7 +437,7 @@ func (e *engine) expandAndPrune(q *lpq) ([]*lpq, error) {
 	e.stats.NodesExpandedR++
 	lpqcs := make([]*lpq, len(children))
 	for i := range children {
-		lpqcs[i] = newLPQ(&children[i], q.bound(), q.k, q.kb, q.monotone, e.stats)
+		lpqcs[i] = e.getLPQ(&children[i], q.bound(), q.k, q.kb, q.monotone)
 	}
 
 	var tDrain time.Time
@@ -401,7 +472,7 @@ func (e *engine) expandAndPrune(q *lpq) ([]*lpq, error) {
 			// impossible while S is non-empty. Guard anyway.
 			return nil, fmt.Errorf("core: child LPQ starved for owner %v", c.owner.MBR)
 		} else {
-			releaseLPQ(c)
+			e.putLPQ(c)
 		}
 	}
 	if obsOn {
@@ -447,7 +518,7 @@ func (e *engine) drainToChildren(q *lpq, lpqcs []*lpq) error {
 			}
 			continue
 		}
-		cands, err := e.is.Expand(it.e)
+		cands, err := e.expandS(it.e)
 		if err != nil {
 			return err
 		}
@@ -462,10 +533,24 @@ func (e *engine) drainToChildren(q *lpq, lpqcs []*lpq) error {
 }
 
 // leafJoin is the engine's scratch state for drainToObjects: the packed
-// owner coordinates and cached bounds of the leaf-level object join, plus
-// the candidate-node work heap. One instance lives per engine (one per
-// parallel worker) and is reset for each I_R leaf, so the join performs
-// no steady-state allocations beyond growth of the retained buffers.
+// owner coordinates and cached bounds of the leaf-level object join, the
+// candidate-node work heap, and the batch-kernel gather buffers. One
+// instance lives per engine (one per parallel worker) and is reset for
+// each I_R leaf, so the join performs no steady-state allocations beyond
+// growth of the retained buffers.
+//
+// The join runs in two interchangeable forms. probeOne is the scalar
+// reference: one candidate against every owner, bounds updated live. The
+// batch form (add/flush) gathers prefilter survivors into contiguous
+// arrays and pushes whole candidate tiles through geom.DistSqBlock, then
+// commits the results in candidate order against the live bounds. The
+// commit pass reproduces the scalar path's decisions and counters
+// exactly: during a leaf join bounds only tighten (the phase is
+// enqueue-only), so a snapshot bound taken at gather or kernel time is
+// always >= the live bound at commit time — a kernel early-out therefore
+// implies the scalar path would have pruned too, and every committed
+// distance is the full sum, accumulated in the same dimension order as
+// the scalar loop, hence bit-identical.
 type leafJoin struct {
 	dim     int
 	lpqcs   []*lpq
@@ -473,16 +558,28 @@ type leafJoin struct {
 	// The object/object probes of the leaf-level join dominate the whole
 	// ANN computation. The owners' coordinates are packed into one flat
 	// row-major matrix and their bounds cached in a parallel slice, so the
-	// inner loop runs over contiguous memory with an early-abort distance.
-	flat          []float64
-	bounds        []float64
+	// kernel runs over contiguous memory with an early-out distance.
+	flat   []float64
+	bounds []float64
+	// maxOwnerBound caches max(bounds); maxOwnerIdx is its argmax, so a
+	// tightening of any other owner skips the O(owners) rescan.
 	maxOwnerBound float64
+	maxOwnerIdx   int
 	work          pq.Heap[*index.Entry]
 	stats         *Stats
+	sched         *SchedStats
+
+	// Batch gather buffers: candidates surviving the snapshot prefilter,
+	// their packed coordinates, and their precomputed leaf-MBR distances
+	// (re-checked against the live bound at commit).
+	candEnts []*index.Entry
+	candFlat []float64
+	candPre  []float64
+	block    []float64
 }
 
 // reset points the scratch at a new leaf owner and its object LPQs.
-func (j *leafJoin) reset(dim int, q *lpq, lpqcs []*lpq, stats *Stats) {
+func (j *leafJoin) reset(dim int, q *lpq, lpqcs []*lpq, stats *Stats, sched *SchedStats) {
 	j.dim = dim
 	j.lpqcs = lpqcs
 	j.leafMBR = q.owner.MBR
@@ -495,6 +592,8 @@ func (j *leafJoin) reset(dim int, q *lpq, lpqcs []*lpq, stats *Stats) {
 	j.refreshMaxOwnerBound()
 	j.work.Reset()
 	j.stats = stats
+	j.sched = sched
+	j.clearBatch()
 }
 
 // finish drops the references held by the scratch so recycled LPQs and
@@ -504,18 +603,42 @@ func (j *leafJoin) finish() {
 	j.leafMBR = geom.Rect{}
 	j.work.Reset()
 	j.stats = nil
+	j.sched = nil
+	j.clearBatch()
+}
+
+func (j *leafJoin) clearBatch() {
+	for i := range j.candEnts {
+		j.candEnts[i] = nil
+	}
+	j.candEnts = j.candEnts[:0]
+	j.candFlat = j.candFlat[:0]
+	j.candPre = j.candPre[:0]
 }
 
 func (j *leafJoin) refreshMaxOwnerBound() {
 	j.maxOwnerBound = math.Inf(-1)
-	for _, b := range j.bounds {
+	j.maxOwnerIdx = -1
+	for i, b := range j.bounds {
 		if b > j.maxOwnerBound {
 			j.maxOwnerBound = b
+			j.maxOwnerIdx = i
 		}
 	}
 }
 
-// probeOne offers one candidate object to every owner of the leaf.
+// tighten records owner i's new bound after an enqueue. Bounds never grow
+// during a leaf join, so the cached max only needs a rescan when the
+// argmax owner itself tightened.
+func (j *leafJoin) tighten(i int, b float64) {
+	j.bounds[i] = b
+	if i == j.maxOwnerIdx {
+		j.refreshMaxOwnerBound()
+	}
+}
+
+// probeOne offers one candidate object to every owner of the leaf — the
+// scalar reference path the batch form is tested against.
 func (j *leafJoin) probeOne(cand *index.Entry) {
 	cp := cand.Point
 	// Pre-filter against the leaf MBR: a candidate farther from the whole
@@ -528,7 +651,6 @@ func (j *leafJoin) probeOne(cand *index.Entry) {
 		return
 	}
 	j.stats.DistanceCalcs += uint64(len(j.lpqcs))
-	changed := false
 	for i := range j.lpqcs {
 		base := j.flat[i*j.dim : (i+1)*j.dim]
 		limit := j.bounds[i]
@@ -548,19 +670,100 @@ func (j *leafJoin) probeOne(cand *index.Entry) {
 		}
 		c := j.lpqcs[i]
 		c.enqueueChecked(lpqItem{e: cand, mind: s, maxd: s})
-		j.bounds[i] = c.slackBound()
-		changed = true
-	}
-	if changed {
-		j.refreshMaxOwnerBound()
+		j.tighten(i, c.slackBound())
 	}
 }
 
-// probeAll offers every candidate of a fully expanded leaf node.
-func (j *leafJoin) probeAll(cands []index.Entry) {
-	for ci := range cands {
-		j.probeOne(&cands[ci])
+// add runs the snapshot prefilter on one candidate and gathers survivors
+// into the batch buffers, flushing a full tile through the kernel. The
+// prefilter bound may be stale by up to one tile (looser than live), so a
+// reject here is always also a live reject; survivors are re-checked
+// against the live bound when their tile commits.
+func (j *leafJoin) add(cand *index.Entry) {
+	cp := cand.Point
+	j.stats.DistanceCalcs++
+	pre := geom.MinDistPointRectSq(cp, j.leafMBR)
+	if pre > j.maxOwnerBound {
+		j.stats.PrunedOnProbe += uint64(len(j.lpqcs))
+		return
 	}
+	j.gatherCand(cand, cp, pre)
+}
+
+func (j *leafJoin) gatherCand(cand *index.Entry, cp geom.Point, pre float64) {
+	j.candEnts = append(j.candEnts, cand)
+	j.candFlat = append(j.candFlat, cp...)
+	j.candPre = append(j.candPre, pre)
+	if len(j.candEnts) >= geom.BlockCandTile {
+		j.flush()
+	}
+}
+
+// flush pushes the gathered candidate tile through the blocked distance
+// kernel and commits the results in candidate order. Owner bounds used as
+// kernel early-out limits are a snapshot taken here; the commit loop
+// re-reads the live bounds, which by the tightening-only argument above
+// can only prune more — and a pair the kernel aborted stored a partial
+// sum already above its snapshot limit, hence above the live one too.
+func (j *leafJoin) flush() {
+	n := len(j.candEnts)
+	if n == 0 {
+		return
+	}
+	m := len(j.lpqcs)
+	need := n * m
+	if cap(j.block) < need {
+		j.block = make([]float64, need)
+	}
+	blk := j.block[:need]
+	geom.DistSqBlock(j.flat, m, j.candFlat, n, j.dim, j.bounds, blk)
+	if j.sched != nil {
+		j.sched.KernelBlocks++
+		j.sched.KernelPairs += uint64(need)
+	}
+	for k := 0; k < n; k++ {
+		// Re-run the prefilter against the now-live max bound: identical
+		// to the scalar path's live decision for this candidate.
+		if j.candPre[k] > j.maxOwnerBound {
+			j.stats.PrunedOnProbe += uint64(m)
+			j.candEnts[k] = nil
+			continue
+		}
+		j.stats.DistanceCalcs += uint64(m)
+		row := blk[k*m : k*m+m]
+		cand := j.candEnts[k]
+		for i := 0; i < m; i++ {
+			if row[i] > j.bounds[i] {
+				j.stats.PrunedOnProbe++
+				continue
+			}
+			c := j.lpqcs[i]
+			c.enqueueChecked(lpqItem{e: cand, mind: row[i], maxd: row[i]})
+			j.tighten(i, c.slackBound())
+		}
+		j.candEnts[k] = nil
+	}
+	j.candEnts = j.candEnts[:0]
+	j.candFlat = j.candFlat[:0]
+	j.candPre = j.candPre[:0]
+}
+
+// probeAll offers every candidate of a fully expanded leaf node through
+// the batch path. Candidates are read by index over the shared slice; an
+// entry pointer is materialised only for prefilter survivors.
+func (j *leafJoin) probeAll(cands []index.Entry) {
+	m := uint64(len(j.lpqcs))
+	for ci := range cands {
+		cp := cands[ci].Point
+		j.stats.DistanceCalcs++
+		pre := geom.MinDistPointRectSq(cp, j.leafMBR)
+		if pre > j.maxOwnerBound {
+			j.stats.PrunedOnProbe += m
+			continue
+		}
+		j.gatherCand(&cands[ci], cp, pre)
+	}
+	j.flush()
 }
 
 // drainToObjects distributes the candidates of a leaf owner's LPQ over
@@ -570,7 +773,7 @@ func (j *leafJoin) probeAll(cands []index.Entry) {
 // farther.
 func (e *engine) drainToObjects(q *lpq, lpqcs []*lpq) error {
 	j := &e.join
-	j.reset(e.ir.Dim(), q, lpqcs, e.stats)
+	j.reset(e.ir.Dim(), q, lpqcs, e.stats, &e.sched)
 	defer j.finish()
 	for {
 		it, ok := q.dequeue()
@@ -578,26 +781,26 @@ func (e *engine) drainToObjects(q *lpq, lpqcs []*lpq) error {
 			break
 		}
 		if it.e.Kind == index.ObjectEntry {
-			j.probeOne(it.e)
+			j.add(it.e)
 		} else {
 			j.work.Push(it.mind, it.e)
 		}
 	}
+	// Every bound-dependent decision below (the heap cut-off and the
+	// node-push pruning) must see bounds that reflect all earlier probes,
+	// exactly as the scalar path would — so the gathered tile is flushed
+	// before each work-heap pop.
+	j.flush()
 	for j.work.Len() > 0 {
 		if err := e.checkCancel(); err != nil {
 			return err
 		}
 		item, _ := j.work.Pop()
-		maxBound := math.Inf(-1)
-		for _, b := range j.bounds {
-			if b > maxBound {
-				maxBound = b
-			}
-		}
+		maxBound := j.maxOwnerBound
 		if item.Key > maxBound {
 			break
 		}
-		cands, err := e.is.Expand(item.Value)
+		cands, err := e.expandS(item.Value)
 		if err != nil {
 			return err
 		}
@@ -616,7 +819,7 @@ func (e *engine) drainToObjects(q *lpq, lpqcs []*lpq) error {
 		for ci := range cands {
 			cand := &cands[ci]
 			if cand.Kind == index.ObjectEntry {
-				j.probeOne(cand)
+				j.add(cand)
 			} else {
 				e.stats.DistanceCalcs++
 				mind := e.minDistUncounted(q.owner, cand)
@@ -627,6 +830,7 @@ func (e *engine) drainToObjects(q *lpq, lpqcs []*lpq) error {
 				}
 			}
 		}
+		j.flush()
 	}
 	return nil
 }
@@ -657,7 +861,7 @@ func (e *engine) gather(q *lpq) error {
 			best.Add(it.mind, it.e) // mind == exact squared distance
 			continue
 		}
-		cands, err := e.is.Expand(it.e)
+		cands, err := e.expandS(it.e)
 		if err != nil {
 			return err
 		}

@@ -159,6 +159,13 @@ type Options struct {
 	// the parallel executor, "engine.subtree_nanos"). Final counters are
 	// published by RunReport, not Run.
 	Registry *obs.Registry
+	// Sched, when non-nil, accumulates the execution's scheduling and
+	// batch-kernel activity (see SchedStats). Unlike Stats these numbers
+	// are not invariant across serial and parallel execution — steal and
+	// split counts depend on timing — which is why they live outside
+	// Stats and its parity guarantees. RunReport sets this to collect
+	// QueryReport.Sched.
+	Sched *SchedStats
 
 	// timings, when non-nil, receives the per-stage wall-time breakdown.
 	// Set by RunReport; stage clocks cost two time.Now() calls per LPQ
@@ -243,6 +250,49 @@ func (s *Stats) Add(other Stats) {
 	s.Results += other.Results
 	s.NodeCacheHits += other.NodeCacheHits
 	s.NodeCacheMisses += other.NodeCacheMisses
+}
+
+// SchedStats counts the parallel executor's scheduling decisions and the
+// leaf join's batch-kernel throughput. It is diagnostic, not semantic:
+// Tasks/Steals/Splits vary run to run with goroutine timing, and the
+// kernel counters depend on batching boundaries — so none of this
+// belongs in Stats, whose serial/parallel parity is tested. A serial run
+// reports zero Tasks/Steals/Splits and whatever kernel batching the leaf
+// join performed.
+type SchedStats struct {
+	// Tasks counts subtree tasks drained to completion by workers
+	// (frontier subtrees plus split-produced children; splits themselves
+	// are counted separately).
+	Tasks uint64 `json:"tasks"`
+	// Steals counts tasks a worker took from another worker's deque.
+	Steals uint64 `json:"steals"`
+	// Splits counts oversized subtree tasks re-expanded into child tasks
+	// instead of being drained in place.
+	Splits uint64 `json:"splits"`
+	// KernelBlocks / KernelPairs count batch distance-kernel invocations
+	// and the owner x candidate pairs they evaluated.
+	KernelBlocks uint64 `json:"kernel_blocks"`
+	KernelPairs  uint64 `json:"kernel_pairs"`
+}
+
+// Add accumulates other into s (workers keep private SchedStats, merged
+// like Stats).
+func (s *SchedStats) Add(other SchedStats) {
+	s.Tasks += other.Tasks
+	s.Steals += other.Steals
+	s.Splits += other.Splits
+	s.KernelBlocks += other.KernelBlocks
+	s.KernelPairs += other.KernelPairs
+}
+
+// AddTo accumulates the scheduling counters into a metrics registry
+// under the "engine" family (see DESIGN.md §10).
+func (s SchedStats) AddTo(r *obs.Registry) {
+	r.Counter("engine.sched_tasks").Add(s.Tasks)
+	r.Counter("engine.sched_steals").Add(s.Steals)
+	r.Counter("engine.sched_splits").Add(s.Splits)
+	r.Counter("engine.kernel_blocks").Add(s.KernelBlocks)
+	r.Counter("engine.kernel_pairs").Add(s.KernelPairs)
 }
 
 // AddTo accumulates the execution's counters into a metrics registry

@@ -60,6 +60,10 @@ type QueryReport struct {
 	Cache          nodecache.Counters  `json:"cache"`
 	CacheResidency nodecache.Residency `json:"cache_residency"`
 	Timings        Timings             `json:"timings"`
+	// Sched is the scheduling/batch-kernel activity of the run. Like
+	// Timings (and unlike Engine) it is timing-dependent and carries no
+	// serial/parallel parity guarantee.
+	Sched SchedStats `json:"sched"`
 }
 
 // pooled is implemented by indexes whose pages live in a buffer pool
@@ -121,10 +125,11 @@ func RunReportContext(ctx context.Context, ir, is index.Tree, opts Options, emit
 	}
 	// Attach the caches up-front so their counters can be snapshotted;
 	// Run's own setupNodeCaches call is idempotent and reuses them.
-	caches := setupNodeCaches(ir, is, opts.NodeCacheBytes)
+	caches := setupNodeCaches(ir, is, opts.NodeCacheBytes, opts.Parallelism)
 	cachesBefore := cacheSnapshot(caches)
 
 	opts.timings = &rep.Timings
+	opts.Sched = &rep.Sched
 	stats, err := RunContext(ctx, ir, is, opts, emit)
 	rep.Engine = stats
 	for i, p := range pools {
@@ -139,6 +144,7 @@ func RunReportContext(ctx context.Context, ir, is index.Tree, opts Options, emit
 
 	if r := opts.Registry; r != nil {
 		rep.Engine.AddTo(r)
+		rep.Sched.AddTo(r)
 		registerPools(r, pools)
 		registerCaches(r, caches)
 		r.Histogram("engine.query_nanos", obs.LatencyBuckets()).

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"allnn/internal/geom"
+	"allnn/internal/index"
+)
+
+// skewedPoints builds the scheduler's adversary: one dense cluster that
+// becomes a single giant quadtree subtree, plus a thin scatter that
+// becomes many trivial ones. A static frontier claimed from a cursor
+// leaves one worker draining the cluster while the rest finish the
+// scatter and idle; the work-stealing scheduler must split the cluster
+// task instead.
+func skewedPoints(rng *rand.Rand, clustered, scattered int) []geom.Point {
+	pts := make([]geom.Point, 0, clustered+scattered)
+	for i := 0; i < clustered; i++ {
+		pts = append(pts, geom.Point{1 + rng.Float64(), 1 + rng.Float64()})
+	}
+	for i := 0; i < scattered; i++ {
+		pts = append(pts, geom.Point{rng.Float64() * 1000, rng.Float64() * 1000})
+	}
+	return pts
+}
+
+// TestSchedulerTortureSkewedFrontier runs the self-join over the skewed
+// dataset at several worker counts and demands exactly the serial
+// engine's behaviour: byte-identical ordered output, set-identical
+// unordered output, and full Stats parity (the split path re-expands
+// subtrees with the same expandAndPrune call the serial traversal makes,
+// so no counter may drift).
+func TestSchedulerTortureSkewedFrontier(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	pts := skewedPoints(rng, 6000, 200)
+	tree := buildMBRQT(t, pts)
+
+	base := Options{ExcludeSelf: true}
+	serial, serialStats := collectWith(t, tree, tree, base)
+
+	for _, par := range []int{2, 4, 8} {
+		opts := base
+		opts.Parallelism = par
+		opts.OrderedEmit = true
+		got, stats := collectWith(t, tree, tree, opts)
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("par=%d ordered: results differ from serial", par)
+		}
+		if ns, np := normalizeCacheCounters(serialStats), normalizeCacheCounters(stats); ns != np {
+			t.Fatalf("par=%d ordered: stats differ:\nserial:   %+v\nparallel: %+v", par, ns, np)
+		}
+
+		opts.OrderedEmit = false
+		got, stats = collectWith(t, tree, tree, opts)
+		sortByObject(got)
+		sorted := append([]Result(nil), serial...)
+		sortByObject(sorted)
+		if !reflect.DeepEqual(got, sorted) {
+			t.Fatalf("par=%d unordered: result set differs from serial", par)
+		}
+		if ns, np := normalizeCacheCounters(serialStats), normalizeCacheCounters(stats); ns != np {
+			t.Fatalf("par=%d unordered: stats differ:\nserial:   %+v\nparallel: %+v", par, ns, np)
+		}
+	}
+}
+
+// TestSchedulerSplitsStragglers pins the dynamic-split behaviour itself:
+// on the skewed dataset the cluster subtree exceeds the split threshold,
+// so a parallel run must report splits (and at least as many tasks as
+// the frontier it started from) through QueryReport.Sched.
+func TestSchedulerSplitsStragglers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	pts := skewedPoints(rng, 6000, 200)
+	tree := buildMBRQT(t, pts)
+
+	opts := Options{ExcludeSelf: true, Parallelism: 4, OrderedEmit: true}
+	rep, err := RunReport(tree, tree, opts, func(Result) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sched.Splits == 0 {
+		t.Fatalf("skewed frontier produced no splits: %+v", rep.Sched)
+	}
+	if rep.Sched.Tasks == 0 {
+		t.Fatalf("no tasks recorded: %+v", rep.Sched)
+	}
+	if rep.Sched.KernelBlocks == 0 || rep.Sched.KernelPairs == 0 {
+		t.Fatalf("leaf join reported no kernel batches: %+v", rep.Sched)
+	}
+
+	// A serial run of the same query reports no scheduling activity but
+	// still batches its leaf joins.
+	rep, err = RunReport(tree, tree, Options{ExcludeSelf: true}, func(Result) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sched.Tasks != 0 || rep.Sched.Steals != 0 || rep.Sched.Splits != 0 {
+		t.Fatalf("serial run reported scheduler activity: %+v", rep.Sched)
+	}
+	if rep.Sched.KernelBlocks == 0 {
+		t.Fatalf("serial run reported no kernel batches: %+v", rep.Sched)
+	}
+}
+
+// TestEmitTreeOrderUnderSplit drives the emit tree directly through a
+// split-while-pending scenario: subtree 1 splits twice and its pieces
+// finish in scrambled order, while subtree 0 finishes last — the flush
+// must still be the depth-first leaf order.
+func TestEmitTreeOrderUnderSplit(t *testing.T) {
+	var got []index.ObjectID
+	tree, slots := newEmitTree(func(r Result) error {
+		got = append(got, r.Object)
+		return nil
+	}, 3)
+
+	res := func(id int) []Result { return []Result{{Object: index.ObjectID(id)}} }
+
+	// Split slot 1 into two, then its second child again into two.
+	kids := tree.split(slots[1], 2)
+	grand := tree.split(kids[1], 2)
+
+	// Finish in adversarial order: deepest leaves first, slot 0 last.
+	if err := tree.finish(grand[1], res(13)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.finish(grand[0], res(12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.finish(slots[2], res(20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.finish(kids[0], res(11)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("flushed %v before the first subtree finished", got)
+	}
+	if err := tree.finish(slots[0], res(0)); err != nil {
+		t.Fatal(err)
+	}
+	want := []index.ObjectID{0, 11, 12, 13, 20}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("emit order = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,95 @@
+package geom
+
+// Cache-blocked batch distance kernel for the leaf-level object join.
+//
+// The engine's leaf join offers every surviving candidate object to every
+// owner object of an I_R leaf. Computed one candidate at a time, each probe
+// re-streams the owners' coordinates and bounds through the cache; computed
+// as an owner-tile x candidate-tile block, every coordinate loaded into L1
+// is reused across the whole opposite tile. The kernel works on packed
+// row-major coordinate matrices the caller gathers once per leaf, so the
+// inner loops see only contiguous float64 slabs.
+
+const (
+	// BlockOwnerTile is the kernel's owner-axis tile. 64 owners x 8 bytes
+	// x dim stays within L1 alongside one candidate tile for the paper's
+	// 2-3 dimensional datasets.
+	BlockOwnerTile = 64
+	// BlockCandTile is the candidate-axis tile, and the natural flush
+	// granularity for callers batching candidates incrementally.
+	BlockCandTile = 128
+)
+
+// DistSqBlock computes squared Euclidean distances between m owner points
+// and n candidate points, both given as packed row-major matrices
+// (owners[oi*dim:(oi+1)*dim] is owner oi), writing out[ci*m+oi] for every
+// pair. limits[oi] is an early-out threshold per owner: once a pair's
+// partial sum exceeds it, the remaining dimensions are skipped and the
+// partial sum is stored. The contract callers rely on:
+//
+//   - out[ci*m+oi] <= limits[oi] implies out holds the exact squared
+//     distance, accumulated dimension-by-dimension in ascending order with
+//     a single accumulator — bit-for-bit the value the scalar probe path
+//     computes (Go does not reassociate floating-point expressions).
+//   - out[ci*m+oi] > limits[oi] implies the exact distance also exceeds
+//     limits[oi] (partial sums of squares only grow), so the caller may
+//     treat the pair as pruned against any bound >= the stored value...
+//     and must not read it as a distance.
+//
+// The two-dimensional case — the paper's datasets — skips the early-out
+// branch entirely: both terms are cheaper than the comparison.
+func DistSqBlock(owners []float64, m int, cands []float64, n, dim int, limits, out []float64) {
+	if len(owners) != m*dim || len(cands) != n*dim {
+		panic("geom: DistSqBlock matrix length mismatch")
+	}
+	if len(limits) < m || len(out) < n*m {
+		panic("geom: DistSqBlock limits/out too short")
+	}
+	for c0 := 0; c0 < n; c0 += BlockCandTile {
+		c1 := min(c0+BlockCandTile, n)
+		for o0 := 0; o0 < m; o0 += BlockOwnerTile {
+			o1 := min(o0+BlockOwnerTile, m)
+			if dim == 2 {
+				distSqBlock2D(owners, cands, o0, o1, c0, c1, m, out)
+			} else {
+				distSqBlockGeneric(owners, cands, o0, o1, c0, c1, m, dim, limits, out)
+			}
+		}
+	}
+}
+
+// distSqBlock2D is the dim==2 tile body: dx*dx + dy*dy matches the scalar
+// loop's ascending-dimension accumulation exactly.
+func distSqBlock2D(owners, cands []float64, o0, o1, c0, c1, m int, out []float64) {
+	for ci := c0; ci < c1; ci++ {
+		cx, cy := cands[2*ci], cands[2*ci+1]
+		row := out[ci*m : ci*m+m]
+		for oi := o0; oi < o1; oi++ {
+			dx := owners[2*oi] - cx
+			dy := owners[2*oi+1] - cy
+			row[oi] = dx*dx + dy*dy
+		}
+	}
+}
+
+// distSqBlockGeneric is the any-dimension tile body with the per-owner
+// early-out.
+func distSqBlockGeneric(owners, cands []float64, o0, o1, c0, c1, m, dim int, limits, out []float64) {
+	for ci := c0; ci < c1; ci++ {
+		cp := cands[ci*dim : (ci+1)*dim]
+		row := out[ci*m : ci*m+m]
+		for oi := o0; oi < o1; oi++ {
+			op := owners[oi*dim : (oi+1)*dim]
+			limit := limits[oi]
+			var s float64
+			for d := range cp {
+				diff := op[d] - cp[d]
+				s += diff * diff
+				if s > limit {
+					break
+				}
+			}
+			row[oi] = s
+		}
+	}
+}

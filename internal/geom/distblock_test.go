@@ -1,0 +1,109 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDistSqBlockMatchesScalar checks the kernel contract on random
+// matrices: every pair at or below its owner's limit holds the exact
+// squared distance bit-for-bit, and every pair above it is a true reject
+// (the exact distance exceeds the limit too).
+func TestDistSqBlockMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dim := range []int{1, 2, 3, 5, 8} {
+		for trial := 0; trial < 20; trial++ {
+			m := 1 + rng.Intn(2*BlockOwnerTile+5)
+			n := 1 + rng.Intn(2*BlockCandTile+5)
+			owners := randMatrix(rng, m, dim)
+			cands := randMatrix(rng, n, dim)
+			limits := make([]float64, m)
+			for i := range limits {
+				switch rng.Intn(3) {
+				case 0:
+					limits[i] = math.Inf(1)
+				case 1:
+					limits[i] = 0.1 * rng.Float64()
+				default:
+					limits[i] = 2 * rng.Float64()
+				}
+			}
+			out := make([]float64, n*m)
+			DistSqBlock(owners, m, cands, n, dim, limits, out)
+			for ci := 0; ci < n; ci++ {
+				cp := Point(cands[ci*dim : (ci+1)*dim])
+				for oi := 0; oi < m; oi++ {
+					op := Point(owners[oi*dim : (oi+1)*dim])
+					exact := DistSq(op, cp)
+					got := out[ci*m+oi]
+					if got <= limits[oi] {
+						if got != exact {
+							t.Fatalf("dim=%d pair(%d,%d): kernel %v != exact %v (limit %v)",
+								dim, oi, ci, got, exact, limits[oi])
+						}
+					} else if exact <= limits[oi] {
+						t.Fatalf("dim=%d pair(%d,%d): kernel rejected %v but exact %v <= limit %v",
+							dim, oi, ci, got, exact, limits[oi])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDistSqBlockAccumulationOrder pins the bit-identity guarantee the
+// engine's byte-identical parallel output depends on: the kernel's value
+// must equal a single-accumulator ascending-dimension scalar loop, not
+// merely be close to it.
+func TestDistSqBlockAccumulationOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dim := range []int{2, 7} {
+		m, n := 9, 13
+		owners := randMatrix(rng, m, dim)
+		cands := randMatrix(rng, n, dim)
+		limits := make([]float64, m)
+		for i := range limits {
+			limits[i] = math.Inf(1)
+		}
+		out := make([]float64, n*m)
+		DistSqBlock(owners, m, cands, n, dim, limits, out)
+		for ci := 0; ci < n; ci++ {
+			for oi := 0; oi < m; oi++ {
+				var s float64
+				for d := 0; d < dim; d++ {
+					diff := owners[oi*dim+d] - cands[ci*dim+d]
+					s += diff * diff
+				}
+				if out[ci*m+oi] != s {
+					t.Fatalf("dim=%d pair(%d,%d): kernel bits differ from scalar accumulation", dim, oi, ci)
+				}
+			}
+		}
+	}
+}
+
+func randMatrix(rng *rand.Rand, rows, dim int) []float64 {
+	out := make([]float64, rows*dim)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func BenchmarkDistSqBlock2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m, n := BlockOwnerTile, BlockCandTile
+	owners := randMatrix(rng, m, 2)
+	cands := randMatrix(rng, n, 2)
+	limits := make([]float64, m)
+	for i := range limits {
+		limits[i] = math.Inf(1)
+	}
+	out := make([]float64, n*m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DistSqBlock(owners, m, cands, n, 2, limits, out)
+	}
+}

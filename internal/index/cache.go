@@ -32,6 +32,17 @@ func NewNodeCache(maxBytes int64) *NodeCache {
 	return nodecache.New[[]Entry](maxBytes)
 }
 
+// NewNodeCacheHinted is NewNodeCache with an expected-concurrent-readers
+// hint: the cache's shard count is sized to cover that many parallel
+// workers (see nodecache.ShardsFor). The engine uses this when attaching
+// caches for a parallel run.
+func NewNodeCacheHinted(maxBytes int64, readers int) *NodeCache {
+	if maxBytes == 0 {
+		maxBytes = DefaultNodeCacheBytes
+	}
+	return nodecache.NewWithHint[[]Entry](maxBytes, readers)
+}
+
 // NodeCacher is implemented by index trees that can expand through a
 // decoded-node cache. The engine attaches a cache before a run (sharing one
 // cache between trees over the same store) and reads its stats after.

@@ -148,10 +148,45 @@ func defaultShardCount(maxBytes int64) int {
 	return s
 }
 
+// ShardsFor picks the shard count for a cache that expects the given
+// number of concurrent readers (e.g. the engine's parallel workers). The
+// single-shard exactness rule for small caches always wins; above the
+// threshold the count is raised — beyond what defaultShardCount picks
+// for the machine — to the next power of two covering readers*2, so a
+// burst of workers hitting the same hot level does not serialise on a
+// handful of shard locks. readers <= 1 defers to defaultShardCount.
+func ShardsFor(maxBytes int64, readers int) int {
+	s := defaultShardCount(maxBytes)
+	if readers <= 1 {
+		return s
+	}
+	pages := maxBytes / storage.PageSize
+	if pages < shardThresholdPages {
+		return s
+	}
+	want := 1
+	for want < readers*2 && want < 64 {
+		want *= 2
+	}
+	if want > s {
+		s = want
+	}
+	for s > 1 && pages/int64(s) < minPagesPerShard {
+		s /= 2
+	}
+	return s
+}
+
 // New creates a cache bounded to maxBytes of decoded values, choosing a
 // shard count automatically. maxBytes must be positive.
 func New[V any](maxBytes int64) *Cache[V] {
 	return NewSharded[V](maxBytes, defaultShardCount(maxBytes))
+}
+
+// NewWithHint is New with an expected-concurrent-readers hint (see
+// ShardsFor).
+func NewWithHint[V any](maxBytes int64, readers int) *Cache[V] {
+	return NewSharded[V](maxBytes, ShardsFor(maxBytes, readers))
 }
 
 // NewSharded creates a cache with an explicit shard count; the byte
