@@ -118,6 +118,12 @@ var (
 	ErrTransientIO = storage.ErrTransientIO
 )
 
+// ErrInvalidConfig is wrapped by every query-configuration validation
+// failure (negative Epsilon, RecallTarget outside (0,1], approximation
+// knobs passed to exact-only operations), so callers — and the serving
+// layer — can classify bad requests with errors.Is.
+var ErrInvalidConfig = core.ErrInvalidOptions
+
 // QueryConfig configures the ANN/AkNN execution.
 type QueryConfig struct {
 	// Metric selects the pruning bound (default NXNDist).
@@ -159,6 +165,23 @@ type QueryConfig struct {
 	// OnReport, when non-nil, is called once after the query with the
 	// unified QueryReport (counters + timings) for this run.
 	OnReport func(QueryReport)
+	// Epsilon enables (1+ε)-approximate queries: every returned neighbor
+	// distance is guaranteed within (1+Epsilon) of the true k-th nearest
+	// distance, in exchange for fewer node expansions and distance
+	// computations. 0 (the default) is exact — and byte-identical to an
+	// exact run, not merely equal. Negative or non-finite values are
+	// rejected with ErrInvalidConfig. See DESIGN.md §14 for where the
+	// factor enters the pruning bounds.
+	Epsilon float64
+	// RecallTarget, in (0,1), makes each leaf-level join serve the
+	// RecallTarget fraction of its query points with the tightest bounds
+	// exactly and let the rest ride along approximately (still receiving
+	// full k results), trading the widest points' tail work for bounded
+	// recall: measured recall ≥ RecallTarget per leaf when Epsilon is 0.
+	// 0 (the default) and 1 disable the selector. Values outside (0,1]
+	// are rejected with ErrInvalidConfig. Composes with Epsilon; the
+	// bench's approx experiment measures the combinations.
+	RecallTarget float64
 }
 
 // observed reports whether any observability output is requested.
@@ -387,6 +410,8 @@ func run(ctx context.Context, r, s *Index, k int, cfg QueryConfig, excludeSelf b
 		Parallelism:    par,
 		OrderedEmit:    !cfg.UnorderedEmit,
 		NodeCacheBytes: cfg.NodeCacheBytes,
+		Epsilon:        cfg.Epsilon,
+		RecallTarget:   cfg.RecallTarget,
 	}
 	if cfg.Metric == MaxMaxDist {
 		opts.Metric = core.MaxMaxDist

@@ -106,12 +106,15 @@ func IsCorruptIndex(err error) bool { return wire.IsCode(err, wire.CodeCorruptIn
 
 // begin acquires the connection and writes the request, returning its
 // id. The caller must call c.reqMu.unlock() once done reading frames.
-func (c *Client) begin(ctx context.Context, op wire.Op, body wire.Message) (uint64, error) {
+// opts carries the approximate-query header knobs; the zero value (the
+// only value non-join ops may pass) encodes the unextended header.
+func (c *Client) begin(ctx context.Context, op wire.Op, body wire.Message, opts JoinOptions) (uint64, error) {
 	if err := c.reqMu.lock(ctx); err != nil {
 		return 0, err
 	}
 	c.nextID++
-	hdr := wire.RequestHeader{ID: c.nextID, Op: op}
+	hdr := wire.RequestHeader{ID: c.nextID, Op: op,
+		Epsilon: opts.Epsilon, RecallTarget: opts.RecallTarget}
 	if dl, ok := ctx.Deadline(); ok {
 		hdr.Timeout = time.Until(dl)
 		if hdr.Timeout <= 0 {
@@ -159,7 +162,7 @@ func (c *Client) readReply(id uint64) (wire.ResponseKind, wire.Message, error) {
 // roundTrip performs a non-streaming request and returns the single
 // KindResult body.
 func (c *Client) roundTrip(ctx context.Context, op wire.Op, body wire.Message) (wire.Message, error) {
-	id, err := c.begin(ctx, op, body)
+	id, err := c.begin(ctx, op, body, JoinOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -288,7 +291,7 @@ func (c *Client) ClosestPairs(ctx context.Context, r, s string, k int, excludeSe
 // returning the total pair count. Pass the same name twice with
 // excludeSelf for a self-join.
 func (c *Client) WithinDistance(ctx context.Context, r, s string, dist float64, excludeSelf bool, emit func(rID, sID uint64, dist float64) error) (uint64, error) {
-	id, err := c.begin(ctx, wire.OpWithinDistance, &wire.WithinReq{R: r, S: s, Dist: dist, ExcludeSelf: excludeSelf})
+	id, err := c.begin(ctx, wire.OpWithinDistance, &wire.WithinReq{R: r, S: s, Dist: dist, ExcludeSelf: excludeSelf}, JoinOptions{})
 	if err != nil {
 		return 0, err
 	}
@@ -347,20 +350,46 @@ type JoinStream struct {
 	closed bool
 }
 
+// JoinOptions carries the approximate-query knobs of a served join; see
+// ann.QueryConfig.Epsilon and ann.QueryConfig.RecallTarget. The zero
+// value requests the exact join every pre-extension client gets, and
+// encodes to the identical wire frame.
+type JoinOptions struct {
+	// Epsilon requests a (1+ε)-approximate join: every returned distance
+	// is within (1+Epsilon) of the true k-th nearest distance. 0 is
+	// exact.
+	Epsilon float64
+	// RecallTarget, in (0,1), makes the server's leaf joins serve that
+	// fraction of each leaf's query points exactly and the rest
+	// approximately. 0 (and 1) is exact.
+	RecallTarget float64
+}
+
 // Join starts AllKNearestNeighbors(r, s, k) server-side and returns the
 // result stream.
 func (c *Client) Join(ctx context.Context, r, s string, k int) (*JoinStream, error) {
-	return c.startJoin(ctx, &wire.JoinReq{R: r, S: s, K: uint32(k)})
+	return c.startJoin(ctx, &wire.JoinReq{R: r, S: s, K: uint32(k)}, JoinOptions{})
+}
+
+// JoinApprox is Join with approximate-query knobs. The server rejects
+// invalid knob values as BAD_REQUEST (IsBadRequest).
+func (c *Client) JoinApprox(ctx context.Context, r, s string, k int, opts JoinOptions) (*JoinStream, error) {
+	return c.startJoin(ctx, &wire.JoinReq{R: r, S: s, K: uint32(k)}, opts)
 }
 
 // SelfJoin starts SelfAllKNearestNeighbors(index, k) server-side and
 // returns the result stream.
 func (c *Client) SelfJoin(ctx context.Context, index string, k int) (*JoinStream, error) {
-	return c.startJoin(ctx, &wire.JoinReq{R: index, K: uint32(k), Self: true})
+	return c.startJoin(ctx, &wire.JoinReq{R: index, K: uint32(k), Self: true}, JoinOptions{})
 }
 
-func (c *Client) startJoin(ctx context.Context, req *wire.JoinReq) (*JoinStream, error) {
-	id, err := c.begin(ctx, wire.OpJoin, req)
+// SelfJoinApprox is SelfJoin with approximate-query knobs.
+func (c *Client) SelfJoinApprox(ctx context.Context, index string, k int, opts JoinOptions) (*JoinStream, error) {
+	return c.startJoin(ctx, &wire.JoinReq{R: index, K: uint32(k), Self: true}, opts)
+}
+
+func (c *Client) startJoin(ctx context.Context, req *wire.JoinReq, opts JoinOptions) (*JoinStream, error) {
+	id, err := c.begin(ctx, wire.OpJoin, req, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -41,6 +41,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "dataset generator seed")
 		par         = flag.Int("parallelism", 0, "max workers for the parallel scaling experiment (0 = GOMAXPROCS)")
 		minSpeedup4 = flag.Float64("min-speedup4", 0, "fail the parallel experiment unless 4 workers reach this speedup over serial (0 = no gate; skipped when the host has fewer than 4 usable CPUs)")
+		minRecall   = flag.Float64("min-recall", 0, "fail the approx experiment unless some approximate run reaches this measured recall (0 = no gate)")
 		jsonOut     = flag.String("json", "", "write a machine-readable summary here (parallel, nodecache and mba experiments)")
 		ncBytes     = flag.Int64("nodecache-bytes", 0, "decoded-node cache budget for the nodecache experiment (0 = default, <0 = disabled)")
 		quiet       = flag.Bool("quiet", false, "suppress the per-measurement progress heartbeat on stderr")
@@ -89,6 +90,7 @@ func main() {
 		TracePath:      *tracePath,
 		Metrics:        reg,
 		MinSpeedup4:    *minSpeedup4,
+		MinRecall:      *minRecall,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr

@@ -31,9 +31,9 @@ func runLeafJoin(owners []index.Entry, leafOwner *index.Entry, inherited []float
 	var stats Stats
 	lpqcs := make([]*lpq, len(owners))
 	for i := range owners {
-		lpqcs[i] = newLPQ(&owners[i], inherited[i], k, KBoundKth, true, &stats)
+		lpqcs[i] = newLPQ(&owners[i], inherited[i], k, KBoundKth, true, 1, &stats)
 	}
-	q := newLPQ(leafOwner, math.Inf(1), k, KBoundKth, true, &stats)
+	q := newLPQ(leafOwner, math.Inf(1), k, KBoundKth, true, 1, &stats)
 
 	dim := len(owners[0].Point)
 	j := &leafJoin{}

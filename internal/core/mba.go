@@ -65,6 +65,9 @@ func armCancel(ctx context.Context) (cancelled *atomic.Bool, disarm func(), err 
 // only armed when ctx.Done() is non-nil.
 func RunContext(ctx context.Context, ir, is index.Tree, opts Options, emit func(Result) error) (stats Stats, err error) {
 	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return stats, err
+	}
 	cancelled, disarm, err := armCancel(ctx)
 	if err != nil {
 		return stats, err
@@ -130,7 +133,8 @@ func RunContext(ctx context.Context, ir, is index.Tree, opts Options, emit func(
 		return stats, nil // nothing to query
 	}
 	e := &engine{ir: ir, is: is, opts: opts, emit: emit, stats: &stats,
-		ctx: ctx, cancelled: cancelled,
+		shrink: opts.approxShrink(),
+		ctx:    ctx, cancelled: cancelled,
 		tr: tr, tid: obs.TidMain, tm: opts.timings}
 	if nc, ok := is.(index.NodeCacher); ok && nc.NodeCacheRef() != nil {
 		// The shared decoded-node cache is attached: front it with a
@@ -213,6 +217,12 @@ type engine struct {
 	opts   Options
 	emit   func(Result) error
 	stats  *Stats
+
+	// shrink is Options.approxShrink() — the squared-space multiplier
+	// applied to admission-side pruning bounds in approximate mode.
+	// Exactly 1 for exact queries, where every approximate branch below
+	// is gated behind a `shrink != 1` test and the hot path is unchanged.
+	shrink float64
 
 	// Cancellation: cancelled is the shared flag the RunContext watcher
 	// goroutine flips (nil when the context can never be cancelled, so the
@@ -382,7 +392,7 @@ func (e *engine) maxDist(owner, cand *index.Entry) float64 {
 // — uses an early-abort distance computation against the bound.
 func (e *engine) probe(c *lpq, cand *index.Entry) {
 	e.stats.DistanceCalcs++
-	bound := c.slackBound()
+	bound := c.admitBound()
 	if c.owner.Kind == index.ObjectEntry && cand.Kind == index.ObjectEntry {
 		d, ok := geom.DistSqWithin(c.owner.Point, cand.Point, bound)
 		if !ok {
@@ -437,7 +447,13 @@ func (e *engine) expandAndPrune(q *lpq) ([]*lpq, error) {
 	e.stats.NodesExpandedR++
 	lpqcs := make([]*lpq, len(children))
 	for i := range children {
-		lpqcs[i] = e.getLPQ(&children[i], q.bound(), q.k, q.kb, q.monotone)
+		inherited := q.bound()
+		if s := e.opts.BoundSeedSq; s != nil && children[i].Kind == index.ObjectEntry {
+			if id := int(children[i].Object); id >= 0 && id < len(s) && s[id] < inherited {
+				inherited = s[id]
+			}
+		}
+		lpqcs[i] = e.getLPQ(&children[i], inherited, q.k, q.kb, q.monotone)
 	}
 
 	var tDrain time.Time
@@ -488,6 +504,28 @@ func (e *engine) expandAndPrune(q *lpq) ([]*lpq, error) {
 	return out, nil
 }
 
+// discardRest accounts a terminal cut: the already-dequeued item it plus
+// everything still queued in q is discarded wholesale. Node entries count
+// as pruned subtrees, object entries as pruned entries. Purely a
+// counting helper — the caller stops consuming the queue either way.
+func (e *engine) discardRest(q *lpq, it lpqItem) {
+	var nodes, objs uint64
+	if it.e.IsObject() {
+		objs++
+	} else {
+		nodes++
+	}
+	for _, rem := range q.items[q.head:] {
+		if rem.e.IsObject() {
+			objs++
+		} else {
+			nodes++
+		}
+	}
+	e.stats.PrunedSubtrees += nodes
+	e.stats.PrunedEntries += objs
+}
+
 // drainToChildren is the Expand Stage for an internal owner: the parent
 // queue's candidates are dequeued best-first, expanded one level in I_S
 // when they are nodes, and probed against every child LPQ.
@@ -500,7 +538,7 @@ func (e *engine) drainToChildren(q *lpq, lpqcs []*lpq) error {
 		// queue is MIND-ordered, so the first such entry ends the loop.
 		maxBound := math.Inf(-1)
 		for _, c := range lpqcs {
-			if b := c.slackBound(); b > maxBound {
+			if b := c.admitBound(); b > maxBound {
 				maxBound = b
 			}
 		}
@@ -509,6 +547,21 @@ func (e *engine) drainToChildren(q *lpq, lpqcs []*lpq) error {
 			return nil
 		}
 		if it.mind > maxBound {
+			if e.shrink != 1 {
+				// Attribute the cut to approximation only when the exact
+				// bounds would have kept going (computed on this cold path
+				// only, never on the exact configuration).
+				exact := math.Inf(-1)
+				for _, c := range lpqcs {
+					if b := c.slackBound(); b > exact {
+						exact = b
+					}
+				}
+				if it.mind <= exact {
+					e.stats.LPQEarlyTerms++
+				}
+			}
+			e.discardRest(q, it)
 			return nil
 		}
 		if it.e.IsObject() {
@@ -561,8 +614,25 @@ type leafJoin struct {
 	// kernel runs over contiguous memory with an early-out distance.
 	flat   []float64
 	bounds []float64
-	// maxOwnerBound caches max(bounds); maxOwnerIdx is its argmax, so a
-	// tightening of any other owner skips the O(owners) rescan.
+	// dirty marks the stragglers of the recall-targeted selection: owners
+	// excluded from the shared prefilter/cut-off bound (see
+	// markStragglers). Always all-false in exact mode.
+	dirty    []bool
+	hasDirty bool
+	// patience is the recall-targeted stopping rule of the candidate
+	// drain: with patience > 0, the work-heap loop terminates once
+	// sinceAdmit consecutive committed candidates failed every owner's
+	// admission test (and every owner holds its full k). The candidate
+	// stream arrives best-first by MIND to the leaf, so admissions are
+	// front-loaded and a long admission drought means the expected
+	// marginal recall of the remaining stream has fallen below target.
+	// 0 disables the rule (exact mode).
+	patience   int
+	sinceAdmit int
+	// maxOwnerBound caches max(bounds) over the non-straggler owners;
+	// maxOwnerIdx is its argmax, so a tightening of any other owner skips
+	// the O(owners) rescan. In exact mode no owner is a straggler, so this
+	// is simply max(bounds).
 	maxOwnerBound float64
 	maxOwnerIdx   int
 	work          pq.Heap[*index.Entry]
@@ -585,15 +655,91 @@ func (j *leafJoin) reset(dim int, q *lpq, lpqcs []*lpq, stats *Stats, sched *Sch
 	j.leafMBR = q.owner.MBR
 	j.flat = j.flat[:0]
 	j.bounds = append(j.bounds[:0], make([]float64, len(lpqcs))...)
+	j.dirty = append(j.dirty[:0], make([]bool, len(lpqcs))...)
+	j.hasDirty = false
+	j.patience = 0
+	j.sinceAdmit = 0
 	for i, c := range lpqcs {
 		j.flat = append(j.flat, c.owner.Point...)
-		j.bounds[i] = c.slackBound()
+		j.bounds[i] = c.admitBound()
 	}
 	j.refreshMaxOwnerBound()
 	j.work.Reset()
 	j.stats = stats
 	j.sched = sched
 	j.clearBatch()
+}
+
+// markStragglers is the recall-targeted leaf selection: with
+// 0 < rt < 1, the ceil(rt x m) owners with the tightest admission bounds
+// are served exactly, and the remaining owners — the stragglers, whose
+// wide bounds would otherwise force every far candidate through the
+// kernel for the whole leaf — are excluded from the shared prefilter and
+// cut-off bound. A straggler still admits every candidate that survives
+// the clean owners' prefilter (its per-owner bound in the kernel is
+// untouched), so it degrades gracefully instead of starving; and only
+// owners already holding their full k candidates are eligible, so every
+// owner still emits k results. Per leaf, at least ceil(rt x m) owners
+// receive results identical to the exact drain, which is the per-leaf
+// recall floor rt.
+//
+// Called at the start of the heap-drain phase, not at reset: the
+// selection needs live bounds, and most owners only reach k admitted
+// candidates once the leaf's inherited candidate list has been
+// distributed.
+func (j *leafJoin) markStragglers(lpqcs []*lpq, rt float64) {
+	if rt <= 0 || rt >= 1 {
+		return
+	}
+	want := len(lpqcs) - int(math.Ceil(rt*float64(len(lpqcs))))
+	for ; want > 0; want-- {
+		worst := -1
+		for i, c := range lpqcs {
+			if j.dirty[i] || c.len() < c.k {
+				continue
+			}
+			if worst < 0 || j.bounds[i] > j.bounds[worst] {
+				worst = i
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		j.dirty[worst] = true
+		j.hasDirty = true
+	}
+	if j.hasDirty {
+		j.refreshMaxOwnerBound()
+	}
+}
+
+// patienceFor converts the recall target into the stopping rule's
+// patience: the number of consecutive admission-free candidates after
+// which the drain gives up on the remaining stream. slots is the leaf's
+// total result capacity (owners x k): the shared stream serves every
+// owner at once, so the admission drought that licenses stopping must be
+// measured against all slots the stream could still improve, not one
+// owner's k. Stopping after slots/(1-rt) dry candidates means the
+// observed marginal admission rate has dropped below (1-rt)/slots per
+// candidate — at that rate, the remaining stream's expected contribution
+// to the leaf's results is below the tolerated 1-rt fraction. rt -> 1
+// makes the patience unbounded (exact); rt <= 0 disables the rule.
+func patienceFor(rt float64, slots int) int {
+	if rt <= 0 || rt >= 1 {
+		return 0
+	}
+	return int(math.Ceil(float64(slots) / (1 - rt)))
+}
+
+// allFull reports whether every owner already holds its full k
+// candidates — the stopping rule's non-starvation guard.
+func (j *leafJoin) allFull() bool {
+	for _, c := range j.lpqcs {
+		if c.len() < c.k {
+			return false
+		}
+	}
+	return true
 }
 
 // finish drops the references held by the scratch so recycled LPQs and
@@ -620,6 +766,9 @@ func (j *leafJoin) refreshMaxOwnerBound() {
 	j.maxOwnerBound = math.Inf(-1)
 	j.maxOwnerIdx = -1
 	for i, b := range j.bounds {
+		if j.dirty[i] {
+			continue
+		}
 		if b > j.maxOwnerBound {
 			j.maxOwnerBound = b
 			j.maxOwnerIdx = i
@@ -648,9 +797,11 @@ func (j *leafJoin) probeOne(cand *index.Entry) {
 	j.stats.DistanceCalcs++
 	if geom.MinDistPointRectSq(cp, j.leafMBR) > j.maxOwnerBound {
 		j.stats.PrunedOnProbe += uint64(len(j.lpqcs))
+		j.sinceAdmit++
 		return
 	}
 	j.stats.DistanceCalcs += uint64(len(j.lpqcs))
+	admitted := false
 	for i := range j.lpqcs {
 		base := j.flat[i*j.dim : (i+1)*j.dim]
 		limit := j.bounds[i]
@@ -670,7 +821,13 @@ func (j *leafJoin) probeOne(cand *index.Entry) {
 		}
 		c := j.lpqcs[i]
 		c.enqueueChecked(lpqItem{e: cand, mind: s, maxd: s})
-		j.tighten(i, c.slackBound())
+		j.tighten(i, c.admitBound())
+		admitted = true
+	}
+	if admitted {
+		j.sinceAdmit = 0
+	} else {
+		j.sinceAdmit++
 	}
 }
 
@@ -685,6 +842,7 @@ func (j *leafJoin) add(cand *index.Entry) {
 	pre := geom.MinDistPointRectSq(cp, j.leafMBR)
 	if pre > j.maxOwnerBound {
 		j.stats.PrunedOnProbe += uint64(len(j.lpqcs))
+		j.sinceAdmit++
 		return
 	}
 	j.gatherCand(cand, cp, pre)
@@ -716,10 +874,11 @@ func (j *leafJoin) flush() {
 		j.block = make([]float64, need)
 	}
 	blk := j.block[:need]
-	geom.DistSqBlock(j.flat, m, j.candFlat, n, j.dim, j.bounds, blk)
+	earlyOuts := geom.DistSqBlock(j.flat, m, j.candFlat, n, j.dim, j.bounds, blk)
 	if j.sched != nil {
 		j.sched.KernelBlocks++
 		j.sched.KernelPairs += uint64(need)
+		j.sched.KernelEarlyOuts += uint64(earlyOuts)
 	}
 	for k := 0; k < n; k++ {
 		// Re-run the prefilter against the now-live max bound: identical
@@ -727,11 +886,13 @@ func (j *leafJoin) flush() {
 		if j.candPre[k] > j.maxOwnerBound {
 			j.stats.PrunedOnProbe += uint64(m)
 			j.candEnts[k] = nil
+			j.sinceAdmit++
 			continue
 		}
 		j.stats.DistanceCalcs += uint64(m)
 		row := blk[k*m : k*m+m]
 		cand := j.candEnts[k]
+		admitted := false
 		for i := 0; i < m; i++ {
 			if row[i] > j.bounds[i] {
 				j.stats.PrunedOnProbe++
@@ -739,7 +900,13 @@ func (j *leafJoin) flush() {
 			}
 			c := j.lpqcs[i]
 			c.enqueueChecked(lpqItem{e: cand, mind: row[i], maxd: row[i]})
-			j.tighten(i, c.slackBound())
+			j.tighten(i, c.admitBound())
+			admitted = true
+		}
+		if admitted {
+			j.sinceAdmit = 0
+		} else {
+			j.sinceAdmit++
 		}
 		j.candEnts[k] = nil
 	}
@@ -759,6 +926,7 @@ func (j *leafJoin) probeAll(cands []index.Entry) {
 		pre := geom.MinDistPointRectSq(cp, j.leafMBR)
 		if pre > j.maxOwnerBound {
 			j.stats.PrunedOnProbe += m
+			j.sinceAdmit++
 			continue
 		}
 		j.gatherCand(&cands[ci], cp, pre)
@@ -791,13 +959,39 @@ func (e *engine) drainToObjects(q *lpq, lpqcs []*lpq) error {
 	// exactly as the scalar path would — so the gathered tile is flushed
 	// before each work-heap pop.
 	j.flush()
+	j.markStragglers(lpqcs, e.opts.RecallTarget)
+	j.patience = patienceFor(e.opts.RecallTarget, q.k*len(lpqcs))
+	j.sinceAdmit = 0
 	for j.work.Len() > 0 {
 		if err := e.checkCancel(); err != nil {
 			return err
 		}
+		if j.patience > 0 && j.sinceAdmit >= j.patience && j.allFull() {
+			// Recall-targeted stop: the drain has committed patience
+			// candidates in a row without a single admission anywhere in
+			// the leaf. The remaining (farther) subtrees are abandoned.
+			e.stats.LPQEarlyTerms++
+			e.stats.PrunedSubtrees += uint64(j.work.Len())
+			break
+		}
 		item, _ := j.work.Pop()
 		maxBound := j.maxOwnerBound
 		if item.Key > maxBound {
+			if e.shrink != 1 || j.hasDirty {
+				// bounds[] hold shrunk admission bounds over the clean
+				// owners only; the cut is approx-attributable when the
+				// exact all-owner bounds disagree.
+				exact := math.Inf(-1)
+				for _, c := range lpqcs {
+					if b := c.slackBound(); b > exact {
+						exact = b
+					}
+				}
+				if item.Key <= exact {
+					e.stats.LPQEarlyTerms++
+				}
+			}
+			e.stats.PrunedSubtrees += 1 + uint64(j.work.Len())
 			break
 		}
 		cands, err := e.expandS(item.Value)
@@ -854,8 +1048,23 @@ func (e *engine) gather(q *lpq) error {
 		if !ok {
 			break
 		}
-		if best.Full() && it.mind >= best.Worst() {
-			break // MIND-ordered queue: nothing closer remains
+		if best.Full() {
+			// MIND-ordered queue: nothing closer than it.mind remains. In
+			// approximate mode the cut-off is Worst x shrink — stopping once
+			// the best possible improvement is within (1+eps) of the current
+			// k-th best (the Arya et al. rule). Guarded on Full(), so the
+			// early stop can never leave fewer than k results.
+			w := best.Worst()
+			if q.shrink != 1 {
+				w *= q.shrink
+			}
+			if it.mind >= w {
+				if q.shrink != 1 && it.mind < best.Worst() {
+					e.stats.LPQEarlyTerms++
+				}
+				e.discardRest(q, it)
+				break
+			}
 		}
 		if it.e.IsObject() {
 			best.Add(it.mind, it.e) // mind == exact squared distance
@@ -869,11 +1078,17 @@ func (e *engine) gather(q *lpq) error {
 		for ci := range cands {
 			cand := &cands[ci]
 			mind := e.minDist(r, cand)
-			if best.Full() && mind >= best.Worst() {
-				e.stats.PrunedOnProbe++
-				continue
+			if best.Full() {
+				w := best.Worst()
+				if q.shrink != 1 {
+					w *= q.shrink
+				}
+				if mind >= w {
+					e.stats.PrunedOnProbe++
+					continue
+				}
 			}
-			if mind > q.slackBound() {
+			if mind > q.admitBound() {
 				e.stats.PrunedOnProbe++
 				continue
 			}

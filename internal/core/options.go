@@ -11,12 +11,18 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"allnn/internal/geom"
 	"allnn/internal/index"
 	"allnn/internal/obs"
 )
+
+// ErrInvalidOptions is wrapped by every Options validation failure, so
+// callers can classify configuration errors with errors.Is.
+var ErrInvalidOptions = errors.New("invalid options")
 
 // Metric selects the pruning upper bound used between an owner MBR M (from
 // the query index) and a candidate MBR N (from the target index).
@@ -167,6 +173,56 @@ type Options struct {
 	// QueryReport.Sched.
 	Sched *SchedStats
 
+	// Epsilon, when positive, runs the query in (1+ε)-approximate mode:
+	// every returned neighbor distance is guaranteed to be at most (1+ε)
+	// times the true k-th nearest-neighbor distance. The factor is split
+	// across the engine's two pruning layers (candidate admission against
+	// LPQ bounds and Gather-Stage termination against the best distance
+	// found), each inflated by sqrt(1+ε) in distance terms so the composed
+	// error stays within (1+ε) — see DESIGN.md §14. Zero (the default) is
+	// exact, byte-identical to a build without the knob: the approximate
+	// comparisons are gated behind a single equality check and introduce
+	// no floating-point operations on the exact path. Result cardinality
+	// never changes — only which neighbors are reported. Negative, NaN or
+	// infinite values are rejected with ErrInvalidOptions.
+	Epsilon float64
+	// RecallTarget, when in (0,1), enables the recall-targeted leaf
+	// selector: in each shared leaf join, the ceil(RecallTarget x owners)
+	// query objects with the tightest admission bounds are served exactly,
+	// and the remaining stragglers — whose wide bounds would otherwise
+	// force every far candidate through the distance kernel for the whole
+	// leaf — are excluded from the leaf's shared prefilter and subtree
+	// cut-off bound. Stragglers still admit every candidate surviving the
+	// tighter prefilter (and still return their full k results; owners not
+	// yet holding k candidates are never selected), so per leaf at least a
+	// RecallTarget fraction of objects get results identical to the exact
+	// drain — the recall floor, by construction, when Epsilon == 0; with
+	// Epsilon > 0 the floor applies to the (1+ε)-approximate results
+	// instead. The target also arms the leaf drain's stopping rule: once
+	// every owner holds k candidates and (owners x k)/(1-RecallTarget)
+	// consecutive committed candidates produce no admission anywhere, the
+	// rest of the leaf's candidate stream is abandoned — the observed
+	// marginal admission rate has fallen below the tolerated 1-rt per
+	// result slot. The stop is a calibrated heuristic, not a per-leaf
+	// guarantee; the straggler floor plus the calibration keep measured
+	// recall at or above the target across the recall-harness property
+	// matrix. 0 (the default) and 1 disable the selector. Values outside
+	// (0,1] — and combining the selector with the PerObjectGather
+	// ablation, which has no shared leaf join to select within — are
+	// rejected with ErrInvalidOptions.
+	RecallTarget float64
+
+	// BoundSeedSq, when non-nil, seeds each query object's LPQ admission
+	// bound with the given squared distance, indexed by ObjectID. A seed
+	// must be an upper bound on the object's true k-th neighbor distance
+	// (squared) or neighbors beyond the seed are silently lost — the
+	// engine takes the min of the seed and the inherited traversal bound.
+	// This is the verification-pass hook of the two-pass approximate
+	// pipeline (a pilot pass estimates per-object bounds, the seeded pass
+	// re-runs with them); it is also usable directly by callers that know
+	// domain bounds. Nil (the default) changes nothing.
+	BoundSeedSq []float64
+
 	// timings, when non-nil, receives the per-stage wall-time breakdown.
 	// Set by RunReport; stage clocks cost two time.Now() calls per LPQ
 	// when enabled and nothing when nil.
@@ -182,6 +238,36 @@ func (o Options) withDefaults() Options {
 		o.K = 1
 	}
 	return o
+}
+
+// validate rejects semantically invalid knob combinations. Every failure
+// wraps ErrInvalidOptions.
+func (o Options) validate() error {
+	if math.IsNaN(o.Epsilon) || math.IsInf(o.Epsilon, 0) || o.Epsilon < 0 {
+		return fmt.Errorf("core: %w: Epsilon must be finite and >= 0, got %v", ErrInvalidOptions, o.Epsilon)
+	}
+	if o.RecallTarget != 0 {
+		if math.IsNaN(o.RecallTarget) || o.RecallTarget < 0 || o.RecallTarget > 1 {
+			return fmt.Errorf("core: %w: RecallTarget must be in (0,1] (0 means exact), got %v", ErrInvalidOptions, o.RecallTarget)
+		}
+		if o.RecallTarget < 1 && o.PerObjectGather {
+			return fmt.Errorf("core: %w: RecallTarget requires the shared leaf join (the PerObjectGather ablation has no leaf selector)", ErrInvalidOptions)
+		}
+	}
+	return nil
+}
+
+// approxShrink is the multiplier applied to squared pruning bounds at
+// each of the two approximate pruning layers. Squared distances compare
+// like distances, so shrinking a squared bound by 1/(1+ε) inflates the
+// effective prune test by sqrt(1+ε) in distance terms; the two layers
+// compose to at most (1+ε). Exactly 1 when the query is exact — the
+// engine gates every approximate comparison behind shrink != 1.
+func (o Options) approxShrink() float64 {
+	if o.Epsilon <= 0 {
+		return 1
+	}
+	return 1 / (1 + o.Epsilon)
 }
 
 // effectiveK is the number of neighbors actually gathered per object.
@@ -234,6 +320,21 @@ type Stats struct {
 	// I/O or decoding.
 	NodeCacheHits   uint64
 	NodeCacheMisses uint64
+	// PrunedSubtrees / PrunedEntries count queued candidate subtrees
+	// (node entries) and candidate objects discarded wholesale by a
+	// terminal early-stop — a drain or Gather-Stage cut that throws away
+	// the rest of a MIND-ordered queue at once, as opposed to the
+	// per-candidate rejections in PrunedOnProbe/PrunedByFilter. Non-zero
+	// for exact queries too (the exact cuts are counted the same way);
+	// the approximate mode's effect shows up as the delta against an
+	// exact run of the same query.
+	PrunedSubtrees uint64
+	PrunedEntries  uint64
+	// LPQEarlyTerms counts terminal cuts attributable to the approximate
+	// mode: Expand/Gather stops that fired strictly earlier than the
+	// exact comparison would have, plus recall-target leaf-selector
+	// stops. Always zero for an exact query.
+	LPQEarlyTerms uint64
 }
 
 // Add accumulates other into s. The parallel executor gives each worker a
@@ -250,6 +351,9 @@ func (s *Stats) Add(other Stats) {
 	s.Results += other.Results
 	s.NodeCacheHits += other.NodeCacheHits
 	s.NodeCacheMisses += other.NodeCacheMisses
+	s.PrunedSubtrees += other.PrunedSubtrees
+	s.PrunedEntries += other.PrunedEntries
+	s.LPQEarlyTerms += other.LPQEarlyTerms
 }
 
 // SchedStats counts the parallel executor's scheduling decisions and the
@@ -273,6 +377,13 @@ type SchedStats struct {
 	// and the owner x candidate pairs they evaluated.
 	KernelBlocks uint64 `json:"kernel_blocks"`
 	KernelPairs  uint64 `json:"kernel_pairs"`
+	// KernelEarlyOuts counts owner x candidate pairs the batch kernel
+	// abandoned early because the partial sum crossed the owner's bound
+	// snapshot. It lives here rather than in Stats because the snapshot
+	// is taken per tile: batching boundaries (and, under the parallel
+	// executor, subtree splits) move it, so the count is diagnostic, not
+	// parity-guaranteed.
+	KernelEarlyOuts uint64 `json:"kernel_early_outs"`
 }
 
 // Add accumulates other into s (workers keep private SchedStats, merged
@@ -283,6 +394,7 @@ func (s *SchedStats) Add(other SchedStats) {
 	s.Splits += other.Splits
 	s.KernelBlocks += other.KernelBlocks
 	s.KernelPairs += other.KernelPairs
+	s.KernelEarlyOuts += other.KernelEarlyOuts
 }
 
 // AddTo accumulates the scheduling counters into a metrics registry
@@ -293,6 +405,7 @@ func (s SchedStats) AddTo(r *obs.Registry) {
 	r.Counter("engine.sched_splits").Add(s.Splits)
 	r.Counter("engine.kernel_blocks").Add(s.KernelBlocks)
 	r.Counter("engine.kernel_pairs").Add(s.KernelPairs)
+	r.Counter("engine.prune_kernel_early_outs").Add(s.KernelEarlyOuts)
 }
 
 // AddTo accumulates the execution's counters into a metrics registry
@@ -309,6 +422,9 @@ func (s Stats) AddTo(r *obs.Registry) {
 	r.Counter("engine.results").Add(s.Results)
 	r.Counter("engine.node_cache_hits").Add(s.NodeCacheHits)
 	r.Counter("engine.node_cache_misses").Add(s.NodeCacheMisses)
+	r.Counter("engine.prune_subtrees").Add(s.PrunedSubtrees)
+	r.Counter("engine.prune_entries").Add(s.PrunedEntries)
+	r.Counter("engine.prune_lpq_early_terms").Add(s.LPQEarlyTerms)
 }
 
 var infinity = math.Inf(1)

@@ -131,7 +131,8 @@ func (e *engine) runParallel(root *lpq, workers int) error {
 				wtm = &Timings{}
 			}
 			we := &engine{ir: e.ir, is: e.is, opts: e.opts, stats: &wstats,
-				ctx: e.ctx, cancelled: e.cancelled,
+				shrink: e.shrink,
+				ctx:    e.ctx, cancelled: e.cancelled,
 				tr: e.tr, tid: wtid, tm: wtm}
 			if e.memoS != nil {
 				we.memoS = new(nodeMemo)

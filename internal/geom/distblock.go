@@ -38,13 +38,19 @@ const (
 //
 // The two-dimensional case — the paper's datasets — skips the early-out
 // branch entirely: both terms are cheaper than the comparison.
-func DistSqBlock(owners []float64, m int, cands []float64, n, dim int, limits, out []float64) {
+//
+// The returned count is the number of pairs whose accumulation stopped
+// early with dimensions still unprocessed — a work-saved diagnostic (the
+// 2-D fast path always reports zero). It feeds SchedStats and never
+// influences results.
+func DistSqBlock(owners []float64, m int, cands []float64, n, dim int, limits, out []float64) int {
 	if len(owners) != m*dim || len(cands) != n*dim {
 		panic("geom: DistSqBlock matrix length mismatch")
 	}
 	if len(limits) < m || len(out) < n*m {
 		panic("geom: DistSqBlock limits/out too short")
 	}
+	earlyOuts := 0
 	for c0 := 0; c0 < n; c0 += BlockCandTile {
 		c1 := min(c0+BlockCandTile, n)
 		for o0 := 0; o0 < m; o0 += BlockOwnerTile {
@@ -52,10 +58,11 @@ func DistSqBlock(owners []float64, m int, cands []float64, n, dim int, limits, o
 			if dim == 2 {
 				distSqBlock2D(owners, cands, o0, o1, c0, c1, m, out)
 			} else {
-				distSqBlockGeneric(owners, cands, o0, o1, c0, c1, m, dim, limits, out)
+				earlyOuts += distSqBlockGeneric(owners, cands, o0, o1, c0, c1, m, dim, limits, out)
 			}
 		}
 	}
+	return earlyOuts
 }
 
 // distSqBlock2D is the dim==2 tile body: dx*dx + dy*dy matches the scalar
@@ -73,8 +80,11 @@ func distSqBlock2D(owners, cands []float64, o0, o1, c0, c1, m int, out []float64
 }
 
 // distSqBlockGeneric is the any-dimension tile body with the per-owner
-// early-out.
-func distSqBlockGeneric(owners, cands []float64, o0, o1, c0, c1, m, dim int, limits, out []float64) {
+// early-out. It returns the number of pairs aborted before the final
+// dimension (an abort at the last dimension produced the full sum and is
+// not counted).
+func distSqBlockGeneric(owners, cands []float64, o0, o1, c0, c1, m, dim int, limits, out []float64) int {
+	earlyOuts := 0
 	for ci := c0; ci < c1; ci++ {
 		cp := cands[ci*dim : (ci+1)*dim]
 		row := out[ci*m : ci*m+m]
@@ -86,10 +96,14 @@ func distSqBlockGeneric(owners, cands []float64, o0, o1, c0, c1, m, dim int, lim
 				diff := op[d] - cp[d]
 				s += diff * diff
 				if s > limit {
+					if d+1 < dim {
+						earlyOuts++
+					}
 					break
 				}
 			}
 			row[oi] = s
 		}
 	}
+	return earlyOuts
 }

@@ -32,6 +32,17 @@ func (s *Server) dispatch(ctx context.Context, hdr wire.RequestHeader, body wire
 		}
 	}()
 
+	// The approximate-query knobs ride the request header, but only the
+	// ANN join honors them; every other operation is exact by contract
+	// (kNN, range and closest-pairs results have no recall story), so a
+	// request that sets them anywhere else is malformed — reject it here
+	// rather than silently running an exact query the client believes is
+	// approximate.
+	if (hdr.Epsilon != 0 || hdr.RecallTarget != 0) && hdr.Op != wire.OpJoin {
+		return badRequest("approximate-query knobs (epsilon=%v, recall_target=%v) are only valid for %s, not %s",
+			hdr.Epsilon, hdr.RecallTarget, wire.OpJoin, hdr.Op)
+	}
+
 	switch req := body.(type) {
 	case *wire.OpenReq:
 		return s.handleOpen(hdr, req, w)
@@ -283,6 +294,8 @@ func (s *Server) handleJoin(ctx context.Context, hdr wire.RequestHeader, req *wi
 	}
 
 	cfg := s.queryConfig()
+	cfg.Epsilon = hdr.Epsilon
+	cfg.RecallTarget = hdr.RecallTarget
 	if req.Self {
 		err = ann.StreamSelfAllKNearestNeighborsContext(ctx, rix, int(req.K), cfg, emit)
 	} else {

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"allnn/ann"
 	"allnn/internal/obs"
 	"allnn/internal/wire"
 )
@@ -385,6 +386,8 @@ func toWireError(err error) *wire.Error {
 		return we
 	case errors.Is(err, ErrIndexNotFound):
 		return &wire.Error{Code: wire.CodeNotFound, Msg: err.Error()}
+	case errors.Is(err, ann.ErrInvalidConfig):
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()}
 	case errors.Is(err, context.DeadlineExceeded):
 		return &wire.Error{Code: wire.CodeDeadlineExceeded, Msg: "request deadline exceeded"}
 	case errors.Is(err, context.Canceled):

@@ -250,6 +250,108 @@ func TestServedParity(t *testing.T) {
 	srv.Catalog().RequireNoPinnedFrames(t)
 }
 
+// TestServedApprox pins the approximate-join wire path: a served approx
+// join is byte-identical to the direct library call with the same knobs,
+// zero knobs through the approx entry point stay byte-identical to the
+// exact served join, invalid knob values surface as BAD_REQUEST, and the
+// knobs are rejected on every non-join operation.
+func TestServedApprox(t *testing.T) {
+	pts := randomPoints(110, 2000, 2)
+	ix := buildIndex(t, pts, ann.MBRQT)
+	srv, cl, addr := startServer(t, Config{})
+	if err := srv.Catalog().Add("pts", ix); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Zero knobs over the approx entry point: byte-identical to exact.
+	wantExact, err := ann.SelfAllKNearestNeighbors(ix, 3, ann.QueryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.SelfJoinApprox(ctx, "pts", 3, client.JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectJoin(t, st); !reflect.DeepEqual(got, wantExact) {
+		t.Fatal("served eps=0 approx join diverges from exact")
+	}
+
+	// Nonzero knobs: served results match the direct library call with
+	// the identical QueryConfig.
+	for _, opts := range []client.JoinOptions{
+		{Epsilon: 0.2},
+		{Epsilon: 0.1, RecallTarget: 0.9},
+	} {
+		want, err := ann.SelfAllKNearestNeighbors(ix, 3, ann.QueryConfig{
+			Epsilon: opts.Epsilon, RecallTarget: opts.RecallTarget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := cl.SelfJoinApprox(ctx, "pts", 3, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := collectJoin(t, st); !reflect.DeepEqual(got, want) {
+			t.Fatalf("served approx join %+v diverges from direct call", opts)
+		}
+	}
+
+	// Invalid knob values are rejected at frame decode as BAD_REQUEST.
+	// A frame that fails to decode is fatal to its connection, so each
+	// probe uses a throwaway client.
+	for _, opts := range []client.JoinOptions{{Epsilon: -1}, {RecallTarget: 1.5}} {
+		bad, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := bad.SelfJoinApprox(ctx, "pts", 1, opts)
+		if err == nil {
+			for st.Next() {
+			}
+			err = st.Err()
+		}
+		if !client.IsBadRequest(err) {
+			t.Errorf("knobs %+v: got %v, want BAD_REQUEST", opts, err)
+		}
+		bad.Close()
+	}
+
+	// Approx knobs on a non-join op are malformed. The typed client
+	// cannot express this, so probe with a raw wire frame.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteHandshake(conn); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := wire.EncodeRequest(
+		wire.RequestHeader{ID: 1, Op: wire.OpKNN, Epsilon: 0.1},
+		&wire.KNNReq{Index: "pts", K: 1, Point: []float64{1, 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, payload); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, kind, _, body, err := wire.DecodeResponse(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != wire.KindError || body.(*wire.ErrorReply).Code != wire.CodeBadRequest {
+		t.Errorf("approx knobs on %s: got kind %d body %+v, want BAD_REQUEST", wire.OpKNN, kind, body)
+	}
+
+	srv.Catalog().RequireNoPinnedFrames(t)
+}
+
 // TestErrorTaxonomy checks the typed error surface: NOT_FOUND for
 // unknown names, BAD_REQUEST for invalid parameters.
 func TestErrorTaxonomy(t *testing.T) {

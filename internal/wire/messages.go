@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -572,6 +573,12 @@ func responseBody(kind ResponseKind, op Op) (Message, error) {
 	}
 }
 
+// approxExtBytes is the size of the optional approximate-query header
+// extension trailing the request body: Epsilon and RecallTarget as two
+// F64s. Appended only when at least one knob is non-zero, so every
+// pre-extension frame stays valid and byte-identical.
+const approxExtBytes = 16
+
 // EncodeRequest encodes a request payload (header + body) into buf's
 // storage, returning the payload. The body type must match hdr.Op —
 // the peer's decoder holds callers to it.
@@ -584,10 +591,18 @@ func EncodeRequest(hdr RequestHeader, body Message, buf []byte) ([]byte, error) 
 	e.U8(uint8(hdr.Op))
 	e.I64(int64(hdr.Timeout))
 	body.encode(e)
+	if hdr.Epsilon != 0 || hdr.RecallTarget != 0 {
+		e.F64(hdr.Epsilon)
+		e.F64(hdr.RecallTarget)
+	}
 	return e.Bytes(), nil
 }
 
 // DecodeRequest decodes a request payload into its header and body.
+// Exactly approxExtBytes left over after the body is the approximate-
+// query extension (older frames simply end at the body); the knob
+// values are range-checked here so a hostile frame cannot smuggle NaN
+// or out-of-range factors past the typed validation downstream.
 func DecodeRequest(payload []byte) (RequestHeader, Message, error) {
 	d := NewDecoder(payload)
 	var hdr RequestHeader
@@ -605,6 +620,16 @@ func DecodeRequest(payload []byte) (RequestHeader, Message, error) {
 		return hdr, nil, err
 	}
 	body.decode(d)
+	if d.Err() == nil && d.Remaining() == approxExtBytes {
+		hdr.Epsilon = d.F64("epsilon")
+		hdr.RecallTarget = d.F64("recall target")
+		if math.IsNaN(hdr.Epsilon) || math.IsInf(hdr.Epsilon, 0) || hdr.Epsilon < 0 {
+			return hdr, nil, fmt.Errorf("wire: invalid epsilon %v", hdr.Epsilon)
+		}
+		if math.IsNaN(hdr.RecallTarget) || hdr.RecallTarget < 0 || hdr.RecallTarget > 1 {
+			return hdr, nil, fmt.Errorf("wire: invalid recall target %v", hdr.RecallTarget)
+		}
+	}
 	if err := d.Finish(); err != nil {
 		return hdr, nil, err
 	}

@@ -176,6 +176,16 @@ type RequestHeader struct {
 	// Timeout, when positive, is the client's remaining deadline budget
 	// at send time; the server enforces it from arrival.
 	Timeout time.Duration
+	// Epsilon and RecallTarget carry the approximate-query knobs (see
+	// ann.QueryConfig). Both zero — the exact query every pre-extension
+	// client sends — encodes to the original fixed header with no
+	// trailing extension, so old and new peers interoperate: an old
+	// decoder never sees the extension bytes, and a new decoder treats
+	// their absence as exact. When either is non-zero the encoder appends
+	// both after the body as two F64s; only OpJoin honors them (the
+	// server rejects them on any other op).
+	Epsilon      float64
+	RecallTarget float64
 }
 
 // --- handshake --------------------------------------------------------------

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"errors"
+	"math"
 	"reflect"
 	"testing"
 	"time"
@@ -30,6 +31,10 @@ func requestSamples() []struct {
 		{RequestHeader{ID: 10, Op: OpWithinDistance}, &WithinReq{R: "r", S: "r", Dist: 3.5, ExcludeSelf: true}},
 		{RequestHeader{ID: 11, Op: OpClosestPairs}, &PairsReq{R: "r", S: "s", K: 8}},
 		{RequestHeader{ID: 12, Op: OpKNN}, &KNNReq{Index: "", K: 0, Point: nil}},
+		// Approximate-query header extension (trailing Epsilon/RecallTarget).
+		{RequestHeader{ID: 13, Op: OpJoin, Epsilon: 0.1, RecallTarget: 0.95}, &JoinReq{R: "r", S: "s", K: 2}},
+		{RequestHeader{ID: 14, Op: OpJoin, Timeout: time.Second, Epsilon: 0.5}, &JoinReq{R: "r", K: 1, Self: true}},
+		{RequestHeader{ID: 15, Op: OpJoin, RecallTarget: 1}, &JoinReq{R: "r", K: 1, Self: true}},
 	}
 }
 
@@ -132,6 +137,57 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 	// Streaming kinds are invalid for non-streaming ops.
 	if _, err := EncodeResponse(1, KindStream, OpKNN, &JoinFrame{}, nil); err == nil {
 		t.Error("KindStream for OpKNN accepted")
+	}
+}
+
+// TestApproxExtension pins the compatibility contract of the trailing
+// Epsilon/RecallTarget extension: zero knobs encode to the pre-extension
+// frame byte-for-byte, pre-extension frames decode with zero knobs, and
+// hostile extension values (NaN, negatives, out-of-range targets) are
+// rejected at decode rather than reaching query validation.
+func TestApproxExtension(t *testing.T) {
+	exact, err := EncodeRequest(RequestHeader{ID: 1, Op: OpJoin}, &JoinReq{R: "r", K: 1, Self: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := EncodeRequest(RequestHeader{ID: 1, Op: OpJoin, Epsilon: 0.25}, &JoinReq{R: "r", K: 1, Self: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(approx) != len(exact)+16 {
+		t.Fatalf("extension adds %d bytes, want 16", len(approx)-len(exact))
+	}
+	if !bytes.Equal(approx[:len(exact)], exact) {
+		t.Error("approx frame is not the exact frame plus a trailing extension")
+	}
+	// A pre-extension frame (no trailing bytes) decodes to zero knobs.
+	hdr, _, err := DecodeRequest(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Epsilon != 0 || hdr.RecallTarget != 0 {
+		t.Errorf("old frame decoded with knobs %v/%v", hdr.Epsilon, hdr.RecallTarget)
+	}
+	// Hostile extension values must be rejected at decode.
+	bad := [][2]float64{
+		{math.NaN(), 0},
+		{0, math.NaN()},
+		{math.Inf(1), 0},
+		{-0.5, 0},
+		{0.1, -0.1},
+		{0.1, 1.5},
+	}
+	for _, kv := range bad {
+		e := NewEncoder(nil)
+		e.U64(1)
+		e.U8(uint8(OpJoin))
+		e.I64(0)
+		(&JoinReq{R: "r", K: 1, Self: true}).encode(e)
+		e.F64(kv[0])
+		e.F64(kv[1])
+		if _, _, err := DecodeRequest(e.Bytes()); err == nil {
+			t.Errorf("extension (%v, %v) accepted", kv[0], kv[1])
+		}
 	}
 }
 
