@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench-smoke trace-smoke bench-parallel bench-parallel-smoke bench-nodecache bench-approx bench-approx-smoke chaos fuzz-smoke race-sched
+.PHONY: build test race vet check bench-smoke trace-smoke bench-parallel bench-parallel-smoke bench-nodecache bench-approx bench-approx-smoke chaos fuzz-smoke race-sched serve-smoke obs-serve-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ fuzz-smoke:
 # byte parity with direct library calls plus a clean SIGTERM drain.
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/annserve
+
+# obs-serve-smoke boots the daemon with the full observability surface
+# (slow-query ring, access log, debug endpoints, Prometheus exposition)
+# and runs a traced WantReport join end to end, asserting the report,
+# the debug JSON, and the exposition before a clean SIGTERM drain.
+obs-serve-smoke:
+	$(GO) test -run TestObsServeSmoke -count=1 -v ./cmd/annserve
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -114,7 +114,8 @@ func (c *Client) begin(ctx context.Context, op wire.Op, body wire.Message, opts 
 	}
 	c.nextID++
 	hdr := wire.RequestHeader{ID: c.nextID, Op: op,
-		Epsilon: opts.Epsilon, RecallTarget: opts.RecallTarget}
+		Epsilon: opts.Epsilon, RecallTarget: opts.RecallTarget,
+		TraceID: opts.TraceID, WantReport: opts.WantReport}
 	if dl, ok := ctx.Deadline(); ok {
 		hdr.Timeout = time.Until(dl)
 		if hdr.Timeout <= 0 {
@@ -345,6 +346,7 @@ type JoinStream struct {
 	pos    int
 	cur    ann.Result
 	count  uint64
+	report *QueryReport
 	err    error
 	done   bool
 	closed bool
@@ -363,6 +365,15 @@ type JoinOptions struct {
 	// fraction of each leaf's query points exactly and the rest
 	// approximately. 0 (and 1) is exact.
 	RecallTarget float64
+	// TraceID labels the request end to end: it appears in the server's
+	// structured logs, slow-query entries, /debug/requests rows and the
+	// returned report. Up to 128 printable non-space ASCII characters
+	// (no quotes or backslashes); the empty string sends no ID.
+	TraceID string
+	// WantReport asks the server to attach its QueryReport to the end
+	// of the stream, retrievable via JoinStream.Report. Servers predating
+	// the extension reject the request as BAD_REQUEST.
+	WantReport bool
 }
 
 // Join starts AllKNearestNeighbors(r, s, k) server-side and returns the
@@ -413,7 +424,11 @@ func (st *JoinStream) Next() bool {
 			st.buf = body.(*wire.JoinFrame).Results
 			st.pos = 0
 		case wire.KindEnd:
-			st.count = body.(*wire.StreamEnd).Count
+			end := body.(*wire.StreamEnd)
+			st.count = end.Count
+			if end.Report != nil {
+				st.report = reportFromWire(end.Report)
+			}
 			st.finish(nil)
 			return false
 		default:
@@ -435,6 +450,11 @@ func (st *JoinStream) Err() error { return st.err }
 
 // Count returns the server-reported total after a clean end of stream.
 func (st *JoinStream) Count() uint64 { return st.count }
+
+// Report returns the server's query report after a clean end of stream,
+// or nil when the join was started without JoinOptions.WantReport (or
+// the stream ended early).
+func (st *JoinStream) Report() *QueryReport { return st.report }
 
 // Close releases the connection for the next request, draining any
 // remaining frames of an abandoned stream. It is safe to call twice.

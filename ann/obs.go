@@ -16,6 +16,15 @@ import (
 // paper's counter tables from it).
 type QueryReport = core.QueryReport
 
+// Stats, Timings and SchedStats name the nested sections of QueryReport
+// so report consumers (the remote client included) can build or match
+// them without importing internal packages.
+type (
+	Stats      = core.Stats
+	Timings    = core.Timings
+	SchedStats = core.SchedStats
+)
+
 // MetricsRegistry accumulates query metrics across runs: counters,
 // gauges and histograms under stable "family.metric" names (DESIGN.md
 // §10 catalogues them). One registry may be shared by any number of

@@ -15,8 +15,12 @@
 // than dataset files. -trace writes the query's execution trace as
 // Chrome trace-event JSON (open at https://ui.perfetto.dev); -report
 // prints the unified QueryReport (counters + stage timings) as JSON to
-// stderr; -cpuprofile, -memprofile and -pprof-addr enable the standard
-// Go profiling hooks.
+// stderr — with -remote the server computes it and ships it back on the
+// stream's end frame, with a "service" section (admission wait, engine
+// vs flush time, wire bytes) only the server can measure; -trace-id
+// labels a remote request across the server's logs and debug endpoints;
+// -cpuprofile, -memprofile and -pprof-addr enable the standard Go
+// profiling hooks.
 package main
 
 import (
@@ -63,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		quiet   = fs.Bool("quiet", false, "suppress per-point output; print only the summary")
 		timeout = fs.Duration("timeout", 0, "abort the query after this long (0 disables); exits with ctx deadline error")
 		remote  = fs.String("remote", "", "route the query to the annserve daemon at this address")
+		traceID = fs.String("trace-id", "", "with -remote: label the request in the server's logs and debug endpoints")
 
 		tracePath   = fs.String("trace", "", "write a Chrome trace-event JSON of the query here (open at ui.perfetto.dev)")
 		report      = fs.Bool("report", false, "print the unified QueryReport (counters + stage timings) as JSON to stderr")
@@ -82,7 +87,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *remote != "" {
-		return runRemote(ctx, *remote, *rPath, *sPath, *selfQ, *k, *quiet, stdout, stderr)
+		return runRemote(ctx, *remote, *rPath, *sPath, *selfQ, *k, *quiet, *report, *traceID, stdout, stderr)
 	}
 
 	if *rPath == "" && *rPage == "" {
@@ -230,7 +235,10 @@ func loadIndex(dataPath, pagePath string, cfg ann.IndexConfig) (*ann.Index, erro
 }
 
 // runRemote routes the join through a served catalog via ann/client.
-func runRemote(ctx context.Context, addr, rName, sName string, selfQ bool, k int, quiet bool, stdout, stderr io.Writer) error {
+// With report, the server's QueryReport travels back on the stream's
+// end frame and prints as JSON to stderr — the remote analogue of the
+// local -report path.
+func runRemote(ctx context.Context, addr, rName, sName string, selfQ bool, k int, quiet, report bool, traceID string, stdout, stderr io.Writer) error {
 	if rName == "" {
 		return fmt.Errorf("-r (catalog index name) is required with -remote")
 	}
@@ -243,12 +251,13 @@ func runRemote(ctx context.Context, addr, rName, sName string, selfQ bool, k int
 	}
 	defer cl.Close()
 
+	opts := client.JoinOptions{WantReport: report, TraceID: traceID}
 	var st *client.JoinStream
 	queryStart := time.Now()
 	if selfQ {
-		st, err = cl.SelfJoin(ctx, rName, k)
+		st, err = cl.SelfJoinApprox(ctx, rName, k, opts)
 	} else {
-		st, err = cl.Join(ctx, rName, sName, k)
+		st, err = cl.JoinApprox(ctx, rName, sName, k, opts)
 	}
 	if err != nil {
 		return err
@@ -265,9 +274,50 @@ func runRemote(ctx context.Context, addr, rName, sName string, selfQ bool, k int
 	if err := st.Err(); err != nil {
 		return err
 	}
+	if rep := st.Report(); rep != nil {
+		enc := json.NewEncoder(stderr)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(remoteReportJSON(rep)); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(stderr, "annquery: %d results, query %v (remote %s, k=%d)\n",
 		count, time.Since(queryStart).Round(time.Millisecond), addr, k)
 	return nil
+}
+
+// remoteReportJSON shapes a remote report for printing: the engine
+// report in its stable local JSON layout plus a "service" section for
+// the server-side costs.
+func remoteReportJSON(rep *client.QueryReport) any {
+	return struct {
+		ann.QueryReport
+		Service struct {
+			TraceID         string `json:"trace_id,omitempty"`
+			AdmissionWaitNs int64  `json:"admission_wait_ns"`
+			EngineNs        int64  `json:"engine_ns"`
+			FlushNs         int64  `json:"flush_ns"`
+			BytesIn         uint64 `json:"bytes_in"`
+			BytesOut        uint64 `json:"bytes_out"`
+		} `json:"service"`
+	}{
+		QueryReport: rep.QueryReport,
+		Service: struct {
+			TraceID         string `json:"trace_id,omitempty"`
+			AdmissionWaitNs int64  `json:"admission_wait_ns"`
+			EngineNs        int64  `json:"engine_ns"`
+			FlushNs         int64  `json:"flush_ns"`
+			BytesIn         uint64 `json:"bytes_in"`
+			BytesOut        uint64 `json:"bytes_out"`
+		}{
+			TraceID:         rep.TraceID,
+			AdmissionWaitNs: rep.AdmissionWait.Nanoseconds(),
+			EngineNs:        rep.EngineTime.Nanoseconds(),
+			FlushNs:         rep.FlushTime.Nanoseconds(),
+			BytesIn:         rep.BytesIn,
+			BytesOut:        rep.BytesOut,
+		},
+	}
 }
 
 // printResult writes one per-point output line: the query id, then one

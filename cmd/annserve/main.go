@@ -71,6 +71,10 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		maxQueue     = fs.Int("max-queue", 0, "max queries queued for a slot (0: 4x max-inflight)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight queries before cancelling them")
 		tracePath    = fs.String("trace", "", "write request trace spans as Chrome trace-event JSON here on exit")
+		slowThresh   = fs.Duration("slow-threshold", 0, "record requests at least this slow in the /debug/slow ring (0: disabled)")
+		slowLogSize  = fs.Int("slow-log", 128, "slow-query ring capacity")
+		accessLog    = fs.String("access-log", "", "append one JSON line per finished request to this file (- for stderr)")
+		logLevel     = fs.String("log-level", "info", "minimum log severity: debug, info, warn or error")
 	)
 	fs.Var(&indexes, "index", "mount an index file into the catalog as name=path (repeatable)")
 	var prof obs.ProfileFlags
@@ -79,12 +83,55 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 		return err
 	}
 
+	var level server.LogLevel
+	switch *logLevel {
+	case "debug":
+		level = server.LevelDebug
+	case "info":
+		level = server.LevelInfo
+	case "warn":
+		level = server.LevelWarn
+	case "error":
+		level = server.LevelError
+	default:
+		return fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", *logLevel)
+	}
+
+	var accessW io.Writer
+	if *accessLog == "-" {
+		accessW = stderr
+	} else if *accessLog != "" {
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("access log: %v", err)
+		}
+		defer f.Close()
+		accessW = f
+	}
+
 	reg := obs.NewRegistry()
 	var tracer *obs.Tracer
 	if *tracePath != "" {
 		tracer = obs.NewTracer()
 	}
-	stopProf, err := prof.Start(reg)
+
+	srv := server.New(server.Config{
+		MaxInFlight:      *maxInFlight,
+		MaxQueue:         *maxQueue,
+		IndexBufferBytes: *poolBytes,
+		Metrics:          reg,
+		Tracer:           tracer,
+		SlowThreshold:    *slowThresh,
+		SlowLogSize:      *slowLogSize,
+		AccessLog:        accessW,
+		LogLevel:         level,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stderr, "annserve: "+format+"\n", a...)
+		},
+	})
+	defer srv.Catalog().CloseAll()
+
+	stopProf, err := prof.Start(reg, srv.DebugRoutes()...)
 	if err != nil {
 		return err
 	}
@@ -93,18 +140,9 @@ func run(args []string, stderr io.Writer, ready chan<- string) error {
 			fmt.Fprintf(stderr, "annserve: profile: %v\n", perr)
 		}
 	}()
-
-	srv := server.New(server.Config{
-		MaxInFlight:      *maxInFlight,
-		MaxQueue:         *maxQueue,
-		IndexBufferBytes: *poolBytes,
-		Metrics:          reg,
-		Tracer:           tracer,
-		Logf: func(format string, a ...any) {
-			fmt.Fprintf(stderr, format+"\n", a...)
-		},
-	})
-	defer srv.Catalog().CloseAll()
+	if prof.BoundAddr != "" {
+		fmt.Fprintf(stderr, "annserve: obs endpoints on http://%s/ (metrics, metrics/prom, debug/slow, debug/requests, debug/pprof)\n", prof.BoundAddr)
+	}
 	for _, m := range indexes {
 		ix, err := srv.Catalog().Open(m.name, m.path, ann.IndexConfig{BufferPoolBytes: *poolBytes})
 		if err != nil {

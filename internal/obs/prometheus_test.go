@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%g) on empty snapshot = %g, want 0", q, got)
+		}
+	}
+	r := NewRegistry()
+	r.Histogram("empty.hist", LatencyBuckets())
+	h := r.Snapshot().Histograms["empty.hist"]
+	if h.P50 != 0 || h.P95 != 0 || h.P99 != 0 {
+		t.Fatalf("empty histogram quantiles = %g/%g/%g, want 0/0/0", h.P50, h.P95, h.P99)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("single.hist", []float64{100, 200})
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	s := r.Snapshot().Histograms["single.hist"]
+	// All mass sits in the first bucket [0, 100]: the estimator
+	// interpolates linearly across it, so Quantile(q) ≈ q*100.
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 50}, {0.95, 95}, {0.99, 99}, {1, 100},
+	} {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if s.P50 != 50 {
+		t.Fatalf("snapshot P50 = %g, want 50", s.P50)
+	}
+}
+
+func TestQuantileOverflowHeavy(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("over.hist", []float64{10, 100})
+	h.Observe(5)
+	for i := 0; i < 99; i++ {
+		h.Observe(1e6) // overflow
+	}
+	s := r.Snapshot().Histograms["over.hist"]
+	if s.Overflow != 99 {
+		t.Fatalf("overflow = %d, want 99", s.Overflow)
+	}
+	// 99% of mass is past the last finite bound: the estimator must
+	// clamp to that bound rather than invent a value it cannot see.
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if got := s.Quantile(q); got != 100 {
+			t.Fatalf("Quantile(%g) = %g, want last finite bound 100", q, got)
+		}
+	}
+	// The rank that still lands in a real bucket interpolates normally.
+	if got := s.Quantile(0.005); got != 5 {
+		t.Fatalf("Quantile(0.005) = %g, want 5 (midpoint of [0,10] at half the bucket)", got)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("interp.hist", []float64{10, 20, 40})
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // bucket [0,10]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(15) // bucket (10,20]
+	}
+	s := r.Snapshot().Histograms["interp.hist"]
+	// rank(0.5)=10 falls exactly at the end of the first bucket.
+	if got := s.Quantile(0.5); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Quantile(0.5) = %g, want 10", got)
+	}
+	// rank(0.75)=15: halfway through the second bucket (10,20] → 15.
+	if got := s.Quantile(0.75); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("Quantile(0.75) = %g, want 15", got)
+	}
+	// Out-of-range q clamps instead of extrapolating.
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Fatalf("Quantile(-1) = %g, want clamp to Quantile(0) = %g", got, s.Quantile(0))
+	}
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Fatalf("Quantile(2) = %g, want clamp to Quantile(1) = %g", got, s.Quantile(1))
+	}
+}
+
+// TestSnapshotQuantilesInJSON: the JSON exposition carries p50/p95/p99 so
+// annbench output and /metrics scrapers see them without re-deriving.
+func TestSnapshotQuantilesInJSON(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q.hist", []float64{100})
+	h.Observe(10)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var raw struct {
+		Histograms map[string]map[string]json.RawMessage `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"p50", "p95", "p99"} {
+		if _, ok := raw.Histograms["q.hist"][key]; !ok {
+			t.Fatalf("JSON snapshot missing %q: %s", key, buf.String())
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"server.join.latency_ns", "server_join_latency_ns"},
+		{"pool.misses", "pool_misses"},
+		{"a-b c", "a_b_c"},
+		{"9lives", "_9lives"},
+		{"ok_name:sub", "ok_name:sub"},
+	} {
+		if got := promName(tc.in); got != tc.want {
+			t.Fatalf("promName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// parsePromText is a minimal validator for the text exposition format:
+// every non-comment line must be `name[{label="value"}] number`, and
+// every series must be preceded by a # TYPE comment for its family.
+func parsePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	values := map[string]float64{}
+	typed := map[string]bool{}
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE comment %q", ln+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln+1, parts[3])
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		family := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d: unterminated label set in %q", ln+1, series)
+			}
+			family = series[:i]
+		}
+		// Histogram child series inherit the family's TYPE line.
+		base := family
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if cut, ok := strings.CutSuffix(family, suffix); ok && typed[cut] {
+				base = cut
+			}
+		}
+		if !typed[base] {
+			t.Fatalf("line %d: series %q has no preceding # TYPE for %q", ln+1, series, base)
+		}
+		values[series] = v
+	}
+	return values
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.requests").Add(7)
+	r.Gauge("server.inflight").Set(2)
+	r.GaugeFunc("server.queue_depth", func() int64 { return 3 })
+	h := r.Histogram("server.join.latency_ns", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(1e9) // overflow
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	values := parsePromText(t, buf.String())
+
+	if values["server_requests"] != 7 {
+		t.Fatalf("server_requests = %g, want 7", values["server_requests"])
+	}
+	if values["server_inflight"] != 2 || values["server_queue_depth"] != 3 {
+		t.Fatalf("gauges = %g/%g, want 2/3", values["server_inflight"], values["server_queue_depth"])
+	}
+	// Buckets must be cumulative and capped by +Inf == _count.
+	if values[`server_join_latency_ns_bucket{le="10"}`] != 1 {
+		t.Fatalf("le=10 bucket = %g, want 1", values[`server_join_latency_ns_bucket{le="10"}`])
+	}
+	if values[`server_join_latency_ns_bucket{le="100"}`] != 2 {
+		t.Fatalf("le=100 bucket = %g, want cumulative 2", values[`server_join_latency_ns_bucket{le="100"}`])
+	}
+	if values[`server_join_latency_ns_bucket{le="+Inf"}`] != 3 {
+		t.Fatalf("+Inf bucket = %g, want 3", values[`server_join_latency_ns_bucket{le="+Inf"}`])
+	}
+	if values["server_join_latency_ns_count"] != 3 {
+		t.Fatalf("_count = %g, want 3", values["server_join_latency_ns_count"])
+	}
+	if values["server_join_latency_ns_sum"] != 5+50+1e9 {
+		t.Fatalf("_sum = %g, want %g", values["server_join_latency_ns_sum"], 5+50+1e9)
+	}
+	for _, q := range []string{"_p50", "_p95", "_p99"} {
+		if _, ok := values["server_join_latency_ns"+q]; !ok {
+			t.Fatalf("missing quantile gauge server_join_latency_ns%s in:\n%s", q, buf.String())
+		}
+	}
+
+	// Deterministic output: a second snapshot writes byte-identically.
+	var buf2 bytes.Buffer
+	if err := WritePrometheus(&buf2, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatalf("exposition is not deterministic:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+}
+
+func TestPrometheusEndpointAndRoutes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("server.requests").Inc()
+	extraHit := false
+	srv := httptest.NewServer(Mux(reg, Route{
+		Pattern: "/debug/slow",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			extraHit = true
+			w.WriteHeader(http.StatusOK)
+		}),
+	}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prom endpoint status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Fatalf("prom content-type = %q", ct)
+	}
+	values := parsePromText(t, string(body))
+	if values["server_requests"] != 1 {
+		t.Fatalf("scraped server_requests = %g, want 1", values["server_requests"])
+	}
+
+	resp2, err := http.Get(srv.URL + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || !extraHit {
+		t.Fatalf("extra route not served: status=%d hit=%v", resp2.StatusCode, extraHit)
+	}
+}
+
+// TestWritePrometheusNil: a nil registry produces a valid empty
+// exposition (the PrometheusHandler contract when metrics are disabled).
+func TestWritePrometheusNil(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry exposition not empty: %q", buf.String())
+	}
+}

@@ -116,12 +116,46 @@ type HistogramBucket struct {
 
 // HistogramSnapshot is the JSON-able state of a Histogram. Overflow holds
 // observations above the last bucket bound (kept out of Buckets so the
-// snapshot never contains +Inf, which JSON cannot encode).
+// snapshot never contains +Inf, which JSON cannot encode). P50/P95/P99
+// are bucket-interpolated quantile estimates (see Quantile).
 type HistogramSnapshot struct {
 	Count    uint64            `json:"count"`
 	Sum      float64           `json:"sum"`
 	Buckets  []HistogramBucket `json:"buckets"`
 	Overflow uint64            `json:"overflow"`
+	P50      float64           `json:"p50"`
+	P95      float64           `json:"p95"`
+	P99      float64           `json:"p99"`
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear
+// interpolation inside the bucket holding the target rank, taking the
+// previous bucket's bound (0 for the first) as the bucket's lower edge.
+// An empty snapshot reports 0. A rank landing in the overflow bucket
+// reports the last finite bound — the estimator cannot see beyond its
+// buckets, and a conservative finite answer beats fabricating one.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum, lower := 0.0, 0.0
+	for _, b := range s.Buckets {
+		c := float64(b.Count)
+		if c > 0 && cum+c >= rank {
+			frac := (rank - cum) / c
+			return lower + frac*(b.UpperBound-lower)
+		}
+		cum += c
+		lower = b.UpperBound
+	}
+	return lower
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -134,6 +168,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	for i, b := range h.bounds {
 		s.Buckets[i] = HistogramBucket{UpperBound: b, Count: h.counts[i].Load()}
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"io/fs"
+	"time"
 
 	"allnn/ann"
 	"allnn/internal/storage"
@@ -22,15 +23,20 @@ const pairFrameCount = 4096
 // dispatch executes one decoded request and writes its response
 // frame(s). A returned error means no terminal frame was written yet;
 // the caller turns it into KindError.
-func (s *Server) dispatch(ctx context.Context, hdr wire.RequestHeader, body wire.Message, w *connWriter) (err error) {
+func (s *Server) dispatch(ctx context.Context, rc *reqCtx, hdr wire.RequestHeader, body wire.Message, w *connWriter) (err error) {
 	// A panicking handler must not take the whole connection down:
 	// report INTERNAL and keep serving.
 	defer func() {
 		if r := recover(); r != nil {
-			s.logf("server: request %d (%s): panic: %v", hdr.ID, hdr.Op, r)
+			s.log(LevelError, "request panic",
+				"req", hdr.ID, "trace", rc.traceID, "op", hdr.Op, "index", rc.index,
+				"panic", r)
 			err = &wire.Error{Code: wire.CodeInternal, Msg: "internal error (recovered panic)"}
 		}
 	}()
+	if s.testHook != nil {
+		s.testHook(hdr)
+	}
 
 	// The approximate-query knobs ride the request header, but only the
 	// ANN join honors them; every other operation is exact by contract
@@ -41,6 +47,11 @@ func (s *Server) dispatch(ctx context.Context, hdr wire.RequestHeader, body wire
 	if (hdr.Epsilon != 0 || hdr.RecallTarget != 0) && hdr.Op != wire.OpJoin {
 		return badRequest("approximate-query knobs (epsilon=%v, recall_target=%v) are only valid for %s, not %s",
 			hdr.Epsilon, hdr.RecallTarget, wire.OpJoin, hdr.Op)
+	}
+	// Reports ride a stream's terminating StreamEnd, which only joins
+	// produce; asking for one anywhere else is equally malformed.
+	if hdr.WantReport && hdr.Op != wire.OpJoin {
+		return badRequest("WantReport is only valid for %s, not %s", wire.OpJoin, hdr.Op)
 	}
 
 	switch req := body.(type) {
@@ -53,28 +64,34 @@ func (s *Server) dispatch(ctx context.Context, hdr wire.RequestHeader, body wire
 	case *wire.StatsReq:
 		return s.handleStats(hdr, req, w)
 	case *wire.KNNReq:
-		return s.withSlot(ctx, func() error { return s.handleKNN(ctx, hdr, req, w) })
+		return s.withSlot(ctx, rc, func() error { return s.handleKNN(ctx, hdr, req, w) })
 	case *wire.BatchKNNReq:
-		return s.withSlot(ctx, func() error { return s.handleBatchKNN(ctx, hdr, req, w) })
+		return s.withSlot(ctx, rc, func() error { return s.handleBatchKNN(ctx, hdr, req, w) })
 	case *wire.RangeReq:
-		return s.withSlot(ctx, func() error { return s.handleRange(ctx, hdr, req, w) })
+		return s.withSlot(ctx, rc, func() error { return s.handleRange(ctx, hdr, req, w) })
 	case *wire.JoinReq:
-		return s.withSlot(ctx, func() error { return s.handleJoin(ctx, hdr, req, w) })
+		return s.withSlot(ctx, rc, func() error { return s.handleJoin(ctx, rc, hdr, req, w) })
 	case *wire.WithinReq:
-		return s.withSlot(ctx, func() error { return s.handleWithin(ctx, hdr, req, w) })
+		return s.withSlot(ctx, rc, func() error { return s.handleWithin(ctx, hdr, req, w) })
 	case *wire.PairsReq:
-		return s.withSlot(ctx, func() error { return s.handlePairs(ctx, hdr, req, w) })
+		return s.withSlot(ctx, rc, func() error { return s.handlePairs(ctx, hdr, req, w) })
 	default:
 		return badRequest("unhandled request type %T", body)
 	}
 }
 
-// withSlot runs fn under the query admission controller. Catalog ops
-// bypass it — only engine work is bounded.
-func (s *Server) withSlot(ctx context.Context, fn func() error) error {
-	if err := s.admit.acquire(ctx); err != nil {
+// withSlot runs fn under the query admission controller, accounting
+// the time spent queued to rc. Catalog ops bypass it — only engine
+// work is bounded.
+func (s *Server) withSlot(ctx context.Context, rc *reqCtx, fn func() error) error {
+	rc.stage.Store(stageQueued)
+	waitStart := time.Now()
+	err := s.admit.acquire(ctx)
+	rc.admissionWaitNs.Store(time.Since(waitStart).Nanoseconds())
+	if err != nil {
 		return err
 	}
+	rc.stage.Store(stageRunning)
 	defer s.admit.release()
 	// The deadline may have expired while queued.
 	if err := ctx.Err(); err != nil {
@@ -241,19 +258,23 @@ func (s *Server) acquirePair(rName, sName string) (rix, six *ann.Index, release 
 }
 
 // queryConfig is the QueryConfig served joins run under: ordered emit
-// (so served results are byte-identical to direct library calls) and,
-// when the server has a registry, engine counters folded into it.
-func (s *Server) queryConfig() ann.QueryConfig {
+// (so served results are byte-identical to direct library calls), the
+// full QueryReport captured into rc (for wire reports and the
+// slow-query log), and, when the server has a registry, engine counters
+// folded into it.
+func (s *Server) queryConfig(rc *reqCtx) ann.QueryConfig {
 	var cfg ann.QueryConfig
-	if s.cfg.Metrics != nil {
-		cfg.OnReport = func(rep ann.QueryReport) {
-			rep.Engine.AddTo(s.cfg.Metrics)
+	metrics := s.cfg.Metrics
+	cfg.OnReport = func(rep ann.QueryReport) {
+		if metrics != nil {
+			rep.Engine.AddTo(metrics)
 		}
+		rc.report = &rep
 	}
 	return cfg
 }
 
-func (s *Server) handleJoin(ctx context.Context, hdr wire.RequestHeader, req *wire.JoinReq, w *connWriter) error {
+func (s *Server) handleJoin(ctx context.Context, rc *reqCtx, hdr wire.RequestHeader, req *wire.JoinReq, w *connWriter) error {
 	if req.K < 1 {
 		return badRequest("k must be at least 1, got %d", req.K)
 	}
@@ -293,21 +314,30 @@ func (s *Server) handleJoin(ctx context.Context, hdr wire.RequestHeader, req *wi
 		return nil
 	}
 
-	cfg := s.queryConfig()
+	cfg := s.queryConfig(rc)
 	cfg.Epsilon = hdr.Epsilon
 	cfg.RecallTarget = hdr.RecallTarget
+	// Engine time excludes the frame flushes the emit callback triggers
+	// mid-run, keeping the report's engine/flush split disjoint.
+	flushBefore := rc.flushNs
+	engineStart := time.Now()
 	if req.Self {
 		err = ann.StreamSelfAllKNearestNeighborsContext(ctx, rix, int(req.K), cfg, emit)
 	} else {
 		err = ann.StreamAllKNearestNeighborsContext(ctx, rix, six, int(req.K), cfg, emit)
 	}
+	rc.engineNs = time.Since(engineStart).Nanoseconds() - (rc.flushNs - flushBefore)
 	if err != nil {
 		return err
 	}
 	if err := flush(); err != nil {
 		return err
 	}
-	return w.send(hdr.ID, wire.KindEnd, hdr.Op, &wire.StreamEnd{Count: total})
+	end := &wire.StreamEnd{Count: total}
+	if hdr.WantReport {
+		end.Report = rc.wireReport()
+	}
+	return w.send(hdr.ID, wire.KindEnd, hdr.Op, end)
 }
 
 func (s *Server) handleWithin(ctx context.Context, hdr wire.RequestHeader, req *wire.WithinReq, w *connWriter) error {

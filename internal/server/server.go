@@ -9,12 +9,15 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"allnn/ann"
@@ -48,9 +51,23 @@ type Config struct {
 	// Tracer, when non-nil, receives one span per request on the
 	// server lane.
 	Tracer *obs.Tracer
-	// Logf, when non-nil, receives connection-level incidents
-	// (handshake failures, recovered panics).
+	// Logf, when non-nil, receives the server's structured key=value
+	// log lines (see Server.log) — one line per call, no trailing
+	// newline expected from the sink.
 	Logf func(format string, args ...any)
+	// LogLevel is the minimum severity Logf receives. The zero value
+	// (LevelDebug) emits everything.
+	LogLevel LogLevel
+	// SlowThreshold, when positive, is the latency at or above which a
+	// finished request enters the slow-query ring (served at
+	// /debug/slow) and is logged at warn level. Zero disables the ring.
+	SlowThreshold time.Duration
+	// SlowLogSize is the slow-query ring capacity (default 128).
+	SlowLogSize int
+	// AccessLog, when non-nil, receives one JSON line per finished
+	// request (the SlowQuery shape). Writes are serialised by the
+	// server.
+	AccessLog io.Writer
 }
 
 // Server owns a catalog and serves the wire protocol over any number
@@ -76,6 +93,19 @@ type Server struct {
 
 	connWG sync.WaitGroup
 
+	// In-flight request table behind /debug/requests, keyed by a
+	// server-wide sequence number (its own mutex: debug scrapes must
+	// not contend with the connection/drain lock).
+	inflightMu sync.Mutex
+	inflight   map[uint64]*reqCtx
+	reqSeq     atomic.Uint64
+
+	// slow is the bounded ring behind /debug/slow.
+	slow *slowLog
+
+	// accessMu serialises JSONL access-log writes.
+	accessMu sync.Mutex
+
 	// server.* metrics (nil-safe: a nil Registry hands out working
 	// no-op instruments).
 	requests  *obs.Counter
@@ -84,6 +114,9 @@ type Server struct {
 	bytesIn   *obs.Counter
 	bytesOut  *obs.Counter
 	latencies map[wire.Op]*obs.Histogram
+
+	// testHook, when set (tests only), runs at the top of dispatch.
+	testHook func(wire.RequestHeader)
 }
 
 // New creates a Server with an empty catalog.
@@ -104,6 +137,8 @@ func New(cfg Config) *Server {
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 		drained:   make(chan struct{}),
+		inflight:  make(map[uint64]*reqCtx),
+		slow:      newSlowLog(cfg.SlowLogSize),
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 
@@ -134,13 +169,6 @@ func New(cfg Config) *Server {
 // Catalog returns the server's index catalog, for preloading indexes
 // in-process before (or while) serving.
 func (s *Server) Catalog() *Catalog { return s.catalog }
-
-// logf reports a connection-level incident.
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
-}
 
 // Serve accepts connections on ln until the listener fails or the
 // server drains. It returns nil on a drain-initiated stop.
@@ -188,12 +216,13 @@ func (s *Server) Serve(ln net.Listener) error {
 // request/response loop. A panic below it poisons only this
 // connection.
 func (s *Server) handleConn(conn net.Conn) {
+	remote := conn.RemoteAddr().String()
 	defer s.connWG.Done()
 	defer func() {
 		if r := recover(); r != nil {
 			buf := make([]byte, 4096)
 			buf = buf[:runtime.Stack(buf, false)]
-			s.logf("server: connection %s: panic: %v\n%s", conn.RemoteAddr(), r, buf)
+			s.log(LevelError, "connection panic", "conn", remote, "panic", r, "stack", string(buf))
 		}
 		conn.Close()
 		s.mu.Lock()
@@ -203,7 +232,7 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
 	if err := wire.ReadHandshake(conn); err != nil {
-		s.logf("server: connection %s: %v", conn.RemoteAddr(), err)
+		s.log(LevelWarn, "handshake failed", "conn", remote, "err", err)
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
@@ -214,12 +243,12 @@ func (s *Server) handleConn(conn net.Conn) {
 		payload, err := wire.ReadFrame(br)
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
-				s.logf("server: connection %s: %v", conn.RemoteAddr(), err)
+				s.log(LevelWarn, "read failed", "conn", remote, "err", err)
 			}
 			return
 		}
 		s.bytesIn.Add(uint64(4 + len(payload)))
-		if !s.serveRequest(w, payload) {
+		if !s.serveRequest(w, remote, payload) {
 			return
 		}
 	}
@@ -227,12 +256,13 @@ func (s *Server) handleConn(conn net.Conn) {
 
 // serveRequest decodes and dispatches one request, writing its
 // response frame(s). It reports whether the connection is still usable.
-func (s *Server) serveRequest(w *connWriter, payload []byte) bool {
+func (s *Server) serveRequest(w *connWriter, remote string, payload []byte) bool {
 	hdr, body, err := wire.DecodeRequest(payload)
 	if err != nil {
 		// The header might not have parsed, but its fixed-width prefix
 		// decodes something for the id either way; echoing it back is
 		// best-effort before giving up on the stream's framing.
+		s.log(LevelWarn, "bad request frame", "conn", remote, "req", hdr.ID, "err", err)
 		w.sendError(hdr.ID, hdr.Op, &wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
 		return false
 	}
@@ -243,11 +273,26 @@ func (s *Server) serveRequest(w *connWriter, payload []byte) bool {
 	}
 	defer s.endRequest()
 
-	s.requests.Inc()
-	start := time.Now()
+	rc := &reqCtx{
+		id:         hdr.ID,
+		op:         hdr.Op,
+		index:      requestIndexLabel(body),
+		traceID:    hdr.TraceID,
+		remote:     remote,
+		start:      time.Now(),
+		wantReport: hdr.WantReport,
+		bytesIn:    uint64(4 + len(payload)),
+	}
+	s.trackRequest(rc)
+	w.req = rc
+	var code string // terminal error code name; empty on success
 	defer func() {
-		s.latencies[hdr.Op].Observe(float64(time.Since(start).Nanoseconds()))
+		w.req = nil
+		s.untrackRequest(rc)
+		s.finishRequest(rc, code)
 	}()
+
+	s.requests.Inc()
 	var span obs.Span
 	if s.cfg.Tracer != nil {
 		span = s.cfg.Tracer.Begin("server."+hdr.Op.String(), tidServer)
@@ -262,15 +307,53 @@ func (s *Server) serveRequest(w *connWriter, payload []byte) bool {
 		defer cancel()
 	}
 
-	if err := s.dispatch(ctx, hdr, body, w); err != nil {
+	if err := s.dispatch(ctx, rc, hdr, body, w); err != nil {
 		s.errors.Inc()
 		we := toWireError(err)
+		code = we.Code.String()
 		if we.Code == wire.CodeServerBusy {
 			s.rejected.Inc()
 		}
+		s.cfg.Metrics.Counter("server.errors." + strings.ToLower(code)).Inc()
+		s.log(LevelInfo, "request failed",
+			"req", rc.id, "trace", rc.traceID, "op", rc.op, "index", rc.index,
+			"conn", remote, "code", code, "err", we.Msg)
 		w.sendError(hdr.ID, hdr.Op, we)
 	}
 	return true
+}
+
+// finishRequest records a finished request into the per-op and
+// per-op×per-index latency histograms, the slow-query ring, and the
+// access log. code is the terminal error code name, empty on success.
+func (s *Server) finishRequest(rc *reqCtx, code string) {
+	now := time.Now()
+	lat := now.Sub(rc.start)
+	s.latencies[rc.op].Observe(float64(lat.Nanoseconds()))
+	if rc.index != "" && s.cfg.Metrics != nil {
+		s.cfg.Metrics.
+			Histogram("server."+rc.op.String()+"."+rc.index+".latency_ns", obs.LatencyBuckets()).
+			Observe(float64(lat.Nanoseconds()))
+	}
+	slow := s.cfg.SlowThreshold > 0 && lat >= s.cfg.SlowThreshold
+	if slow {
+		s.slow.add(rc.record(now, code))
+		s.log(LevelWarn, "slow query",
+			"req", rc.id, "trace", rc.traceID, "op", rc.op, "index", rc.index,
+			"latency_ns", lat.Nanoseconds(), "admission_wait_ns", rc.admissionWaitNs.Load(),
+			"engine_ns", rc.engineNs, "flush_ns", rc.flushNs, "code", code)
+	}
+	if s.cfg.AccessLog != nil {
+		line, err := json.Marshal(rc.record(now, code))
+		if err == nil {
+			s.accessMu.Lock()
+			_, err = s.cfg.AccessLog.Write(append(line, '\n'))
+			s.accessMu.Unlock()
+		}
+		if err != nil {
+			s.log(LevelWarn, "access log write failed", "req", rc.id, "err", err)
+		}
+	}
 }
 
 // beginRequest registers an executing request unless the server is
@@ -337,16 +420,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // connWriter serialises response frames for one connection, reusing
-// one encode buffer across frames.
+// one encode buffer across frames. req points at the request currently
+// being served (set by serveRequest) so frame bytes and flush time are
+// attributed per request as well as to the server-wide counters.
 type connWriter struct {
 	bw  *bufio.Writer
 	out *obs.Counter
 	buf []byte
+	req *reqCtx
 }
 
 // send encodes and writes one response frame and flushes it to the
 // socket (streamed frames must reach the client as they are produced).
 func (w *connWriter) send(id uint64, kind wire.ResponseKind, op wire.Op, body wire.Message) error {
+	start := time.Now()
 	payload, err := wire.EncodeResponse(id, kind, op, body, w.buf)
 	if err != nil {
 		return err
@@ -356,7 +443,12 @@ func (w *connWriter) send(id uint64, kind wire.ResponseKind, op wire.Op, body wi
 		return err
 	}
 	w.out.Add(uint64(4 + len(payload)))
-	return w.bw.Flush()
+	err = w.bw.Flush()
+	if w.req != nil {
+		w.req.bytesOut += uint64(4 + len(payload))
+		w.req.flushNs += time.Since(start).Nanoseconds()
+	}
+	return err
 }
 
 // sendError writes a KindError frame, best-effort.
@@ -374,6 +466,9 @@ func (w *connWriter) sendError(id uint64, op wire.Op, we *wire.Error) {
 	w.buf = payload
 	if wire.WriteFrame(w.bw, payload) == nil {
 		w.out.Add(uint64(4 + len(payload)))
+		if w.req != nil {
+			w.req.bytesOut += uint64(4 + len(payload))
+		}
 		w.bw.Flush()
 	}
 }

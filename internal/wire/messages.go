@@ -494,14 +494,164 @@ func (m *PairsReply) decode(d *Decoder) {
 	}
 }
 
-// StreamEnd (KindEnd) closes a result stream with the total count the
-// client should have accumulated — a cheap end-to-end integrity check.
-type StreamEnd struct {
-	Count uint64
+// Report is the per-request observability record carried back to the
+// client when the request header set WantReport: the engine's
+// core.Stats counters (serial/parallel parity-invariant, so a remote
+// report is byte-comparable to a direct library run), pool and cache
+// activity deltas, the stage timing breakdown, scheduler counters, and
+// the service-side costs only the server can see (admission wait,
+// engine vs flush time, bytes moved). The wire package mirrors the
+// internal types field for field rather than importing them, keeping
+// the protocol definition dependency-free.
+type Report struct {
+	// TraceID echoes the request's trace ID.
+	TraceID string
+
+	// Engine counters, mirroring core.Stats.
+	EngineDistanceCalcs   uint64
+	EngineLPQsCreated     uint64
+	EngineEnqueued        uint64
+	EnginePrunedOnProbe   uint64
+	EnginePrunedByFilter  uint64
+	EngineNodesExpandedR  uint64
+	EngineNodesExpandedS  uint64
+	EngineResults         uint64
+	EngineNodeCacheHits   uint64
+	EngineNodeCacheMisses uint64
+	EnginePrunedSubtrees  uint64
+	EnginePrunedEntries   uint64
+	EngineLPQEarlyTerms   uint64
+
+	// Buffer-pool activity during the run, mirroring storage.Stats.
+	PoolHits         uint64
+	PoolMisses       uint64
+	PoolReads        uint64
+	PoolWrites       uint64
+	PoolEvictions    uint64
+	PoolRetries      uint64
+	PoolCorruptPages uint64
+
+	// Decoded-node cache activity (nodecache.Counters) and post-run
+	// residency (nodecache.Residency).
+	CacheHits          uint64
+	CacheMisses        uint64
+	CacheEvictions     uint64
+	CacheInvalidations uint64
+	CacheEntries       int64
+	CacheBytes         int64
+
+	// Stage timings in nanoseconds, mirroring core.Timings.
+	WallNs     int64
+	SetupNs    int64
+	SeedNs     int64
+	FrontierNs int64
+	TraverseNs int64
+	ExpandNs   int64
+	FilterNs   int64
+	GatherNs   int64
+
+	// Scheduler counters, mirroring core.SchedStats.
+	SchedTasks           uint64
+	SchedSteals          uint64
+	SchedSplits          uint64
+	SchedKernelBlocks    uint64
+	SchedKernelPairs     uint64
+	SchedKernelEarlyOuts uint64
+
+	// Service-side breakdown: time spent queued in admission, running
+	// the engine, and flushing result frames; bytes read from and
+	// written to this request's connection (request frame in, result
+	// frames out including the StreamEnd that carries this report —
+	// whose own size is excluded, being unknowable before encoding).
+	AdmissionWaitNs int64
+	EngineNs        int64
+	FlushNs         int64
+	BytesIn         uint64
+	BytesOut        uint64
 }
 
-func (m *StreamEnd) encode(e *Encoder) { e.U64(m.Count) }
-func (m *StreamEnd) decode(d *Decoder) { m.Count = d.U64("stream end count") }
+// reportU64s returns pointers to every uint64 field in wire order.
+func (r *Report) reportU64s() []*uint64 {
+	return []*uint64{
+		&r.EngineDistanceCalcs, &r.EngineLPQsCreated, &r.EngineEnqueued,
+		&r.EnginePrunedOnProbe, &r.EnginePrunedByFilter,
+		&r.EngineNodesExpandedR, &r.EngineNodesExpandedS, &r.EngineResults,
+		&r.EngineNodeCacheHits, &r.EngineNodeCacheMisses,
+		&r.EnginePrunedSubtrees, &r.EnginePrunedEntries, &r.EngineLPQEarlyTerms,
+		&r.PoolHits, &r.PoolMisses, &r.PoolReads, &r.PoolWrites,
+		&r.PoolEvictions, &r.PoolRetries, &r.PoolCorruptPages,
+		&r.CacheHits, &r.CacheMisses, &r.CacheEvictions, &r.CacheInvalidations,
+		&r.SchedTasks, &r.SchedSteals, &r.SchedSplits,
+		&r.SchedKernelBlocks, &r.SchedKernelPairs, &r.SchedKernelEarlyOuts,
+		&r.BytesIn, &r.BytesOut,
+	}
+}
+
+// reportI64s returns pointers to every int64 field in wire order. All
+// are sizes or nanosecond durations, so decode rejects negatives.
+func (r *Report) reportI64s() []*int64 {
+	return []*int64{
+		&r.CacheEntries, &r.CacheBytes,
+		&r.WallNs, &r.SetupNs, &r.SeedNs, &r.FrontierNs, &r.TraverseNs,
+		&r.ExpandNs, &r.FilterNs, &r.GatherNs,
+		&r.AdmissionWaitNs, &r.EngineNs, &r.FlushNs,
+	}
+}
+
+func (r *Report) encode(e *Encoder) {
+	e.String(r.TraceID)
+	for _, p := range r.reportU64s() {
+		e.U64(*p)
+	}
+	for _, p := range r.reportI64s() {
+		e.I64(*p)
+	}
+}
+
+func (r *Report) decode(d *Decoder) {
+	r.TraceID = d.String("report trace id")
+	if d.Err() == nil {
+		if err := CheckTraceID(r.TraceID); err != nil {
+			d.failWith(err)
+			return
+		}
+	}
+	for _, p := range r.reportU64s() {
+		*p = d.U64("report counter")
+	}
+	for _, p := range r.reportI64s() {
+		*p = d.I64("report value")
+		if d.Err() == nil && *p < 0 {
+			d.failWith(fmt.Errorf("wire: negative report value %d", *p))
+			return
+		}
+	}
+}
+
+// StreamEnd (KindEnd) closes a result stream with the total count the
+// client should have accumulated — a cheap end-to-end integrity check.
+// Report is attached only when the request asked for one (WantReport):
+// a bare StreamEnd is byte-identical to the pre-report format, and a
+// client that did not ask never has to decode one.
+type StreamEnd struct {
+	Count  uint64
+	Report *Report
+}
+
+func (m *StreamEnd) encode(e *Encoder) {
+	e.U64(m.Count)
+	if m.Report != nil {
+		m.Report.encode(e)
+	}
+}
+
+func (m *StreamEnd) decode(d *Decoder) {
+	m.Count = d.U64("stream end count")
+	if d.Err() == nil && d.Remaining() > 0 {
+		m.Report = &Report{}
+		m.Report.decode(d)
+	}
+}
 
 // --- envelopes --------------------------------------------------------------
 
@@ -573,10 +723,12 @@ func responseBody(kind ResponseKind, op Op) (Message, error) {
 	}
 }
 
-// approxExtBytes is the size of the optional approximate-query header
-// extension trailing the request body: Epsilon and RecallTarget as two
-// F64s. Appended only when at least one knob is non-zero, so every
-// pre-extension frame stays valid and byte-identical.
+// approxExtBytes is the size of the approximate-query header extension
+// trailing the request body: Epsilon and RecallTarget as two F64s.
+// Appended only when at least one knob is non-zero or a trace extension
+// follows (the trace block sits after the knobs, so its presence forces
+// them onto the wire even at zero), keeping every pre-extension frame
+// valid and byte-identical.
 const approxExtBytes = 16
 
 // EncodeRequest encodes a request payload (header + body) into buf's
@@ -586,23 +738,38 @@ func EncodeRequest(hdr RequestHeader, body Message, buf []byte) ([]byte, error) 
 	if _, err := requestBody(hdr.Op); err != nil {
 		return nil, err
 	}
+	if err := CheckTraceID(hdr.TraceID); err != nil {
+		return nil, err
+	}
 	e := NewEncoder(buf)
 	e.U64(hdr.ID)
 	e.U8(uint8(hdr.Op))
 	e.I64(int64(hdr.Timeout))
 	body.encode(e)
-	if hdr.Epsilon != 0 || hdr.RecallTarget != 0 {
+	traceExt := hdr.TraceID != "" || hdr.WantReport
+	if hdr.Epsilon != 0 || hdr.RecallTarget != 0 || traceExt {
 		e.F64(hdr.Epsilon)
 		e.F64(hdr.RecallTarget)
+	}
+	if traceExt {
+		var flags uint8
+		if hdr.WantReport {
+			flags |= flagWantReport
+		}
+		e.U8(flags)
+		e.String(hdr.TraceID)
 	}
 	return e.Bytes(), nil
 }
 
 // DecodeRequest decodes a request payload into its header and body.
-// Exactly approxExtBytes left over after the body is the approximate-
-// query extension (older frames simply end at the body); the knob
-// values are range-checked here so a hostile frame cannot smuggle NaN
-// or out-of-range factors past the typed validation downstream.
+// Bytes left over after the body are the header extensions: exactly
+// approxExtBytes is the approximate-query extension alone (the PR-8
+// format), more is the knobs followed by the trace extension (flags
+// byte + trace-id string); older frames simply end at the body. All
+// extension values are range-checked here so a hostile frame cannot
+// smuggle NaN factors, unknown flag bits or an unloggable trace ID past
+// the typed validation downstream.
 func DecodeRequest(payload []byte) (RequestHeader, Message, error) {
 	d := NewDecoder(payload)
 	var hdr RequestHeader
@@ -620,7 +787,7 @@ func DecodeRequest(payload []byte) (RequestHeader, Message, error) {
 		return hdr, nil, err
 	}
 	body.decode(d)
-	if d.Err() == nil && d.Remaining() == approxExtBytes {
+	if d.Err() == nil && d.Remaining() >= approxExtBytes {
 		hdr.Epsilon = d.F64("epsilon")
 		hdr.RecallTarget = d.F64("recall target")
 		if math.IsNaN(hdr.Epsilon) || math.IsInf(hdr.Epsilon, 0) || hdr.Epsilon < 0 {
@@ -628,6 +795,19 @@ func DecodeRequest(payload []byte) (RequestHeader, Message, error) {
 		}
 		if math.IsNaN(hdr.RecallTarget) || hdr.RecallTarget < 0 || hdr.RecallTarget > 1 {
 			return hdr, nil, fmt.Errorf("wire: invalid recall target %v", hdr.RecallTarget)
+		}
+		if d.Remaining() > 0 {
+			flags := d.U8("request flags")
+			if d.Err() == nil && flags&^uint8(flagWantReport) != 0 {
+				return hdr, nil, fmt.Errorf("wire: unknown request flag bits 0x%02x", flags&^uint8(flagWantReport))
+			}
+			hdr.WantReport = flags&flagWantReport != 0
+			hdr.TraceID = d.String("trace id")
+			if d.Err() == nil {
+				if err := CheckTraceID(hdr.TraceID); err != nil {
+					return hdr, nil, err
+				}
+			}
 		}
 	}
 	if err := d.Finish(); err != nil {

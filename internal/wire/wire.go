@@ -186,6 +186,44 @@ type RequestHeader struct {
 	// server rejects them on any other op).
 	Epsilon      float64
 	RecallTarget float64
+	// TraceID is an optional client-chosen identifier echoed through the
+	// server's logs, slow-query ring and in-flight table, tying a wire
+	// request to client-side context. WantReport asks the server to
+	// attach a Report to the terminating StreamEnd of a join (rejected
+	// on non-streaming ops, like the approximate knobs). Both zero-valued
+	// — the only thing a pre-extension client can send — encode to a
+	// frame byte-identical to the older format: the trace extension
+	// (flags byte + trace-id string, preceded by the two approx F64s) is
+	// appended only when at least one of them is set.
+	TraceID    string
+	WantReport bool
+}
+
+// flagWantReport is the only defined bit of the trace extension's flags
+// byte; decoders reject unknown bits so they can be assigned meaning
+// later without silently changing old servers' behavior.
+const flagWantReport = 1 << 0
+
+// MaxTraceIDLen bounds a client-supplied trace ID. Trace IDs land in
+// logs, JSON tables and metrics labels, so they are kept short and
+// (see CheckTraceID) printable.
+const MaxTraceIDLen = 128
+
+// CheckTraceID validates a trace ID for the wire: at most MaxTraceIDLen
+// bytes of printable non-space ASCII, no quotes or backslashes — safe to
+// embed in key=value log lines and JSON without escaping surprises. The
+// empty string is valid (no trace).
+func CheckTraceID(s string) error {
+	if len(s) > MaxTraceIDLen {
+		return fmt.Errorf("wire: trace id of %d bytes exceeds limit %d", len(s), MaxTraceIDLen)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= 0x20 || c > 0x7e || c == '"' || c == '\\' {
+			return fmt.Errorf("wire: trace id contains invalid byte 0x%02x at %d", c, i)
+		}
+	}
+	return nil
 }
 
 // --- handshake --------------------------------------------------------------

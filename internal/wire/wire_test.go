@@ -35,7 +35,24 @@ func requestSamples() []struct {
 		{RequestHeader{ID: 13, Op: OpJoin, Epsilon: 0.1, RecallTarget: 0.95}, &JoinReq{R: "r", S: "s", K: 2}},
 		{RequestHeader{ID: 14, Op: OpJoin, Timeout: time.Second, Epsilon: 0.5}, &JoinReq{R: "r", K: 1, Self: true}},
 		{RequestHeader{ID: 15, Op: OpJoin, RecallTarget: 1}, &JoinReq{R: "r", K: 1, Self: true}},
+		// Trace header extension (flags + trace ID after the knobs).
+		{RequestHeader{ID: 16, Op: OpJoin, TraceID: "req-0042", WantReport: true}, &JoinReq{R: "r", K: 1, Self: true}},
+		{RequestHeader{ID: 17, Op: OpKNN, TraceID: "probe/7"}, &KNNReq{Index: "pts", K: 2, Point: []float64{1, 2}}},
+		{RequestHeader{ID: 18, Op: OpJoin, Epsilon: 0.1, RecallTarget: 0.95, WantReport: true}, &JoinReq{R: "r", S: "s", K: 2}},
 	}
+}
+
+// sampleReport fills every Report field with a distinct value so a
+// round trip that drops or reorders one cannot pass.
+func sampleReport() *Report {
+	r := &Report{TraceID: "req-0042"}
+	for i, p := range r.reportU64s() {
+		*p = uint64(1000 + i)
+	}
+	for i, p := range r.reportI64s() {
+		*p = int64(2000 + i)
+	}
+	return r
 }
 
 // responseSamples covers every (kind, op) response shape.
@@ -67,6 +84,8 @@ func responseSamples() []struct {
 		{11, KindEnd, OpJoin, &StreamEnd{Count: 42}},
 		{12, KindError, OpKNN, &ErrorReply{Code: CodeServerBusy, Msg: "queue full"}},
 		{13, KindResult, OpKNN, &KNNReply{}},
+		{14, KindEnd, OpJoin, &StreamEnd{Count: 7, Report: sampleReport()}},
+		{15, KindEnd, OpJoin, &StreamEnd{Count: 0, Report: &Report{}}},
 	}
 }
 
@@ -188,6 +207,149 @@ func TestApproxExtension(t *testing.T) {
 		if _, _, err := DecodeRequest(e.Bytes()); err == nil {
 			t.Errorf("extension (%v, %v) accepted", kv[0], kv[1])
 		}
+	}
+}
+
+// TestTraceExtension pins the compatibility contract of the trace
+// header extension, mirroring TestApproxExtension: zero-valued trace
+// fields encode to the pre-extension frame byte-for-byte, the trace
+// block appends after the approx knobs (forcing them onto the wire even
+// at zero), and hostile flags or trace IDs are rejected at decode.
+func TestTraceExtension(t *testing.T) {
+	plain, err := EncodeRequest(RequestHeader{ID: 1, Op: OpJoin}, &JoinReq{R: "r", K: 1, Self: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := EncodeRequest(RequestHeader{ID: 1, Op: OpJoin, TraceID: "t-1", WantReport: true}, &JoinReq{R: "r", K: 1, Self: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// knobs (16) + flags (1) + string len uvarint (1) + "t-1" (3).
+	if len(traced) != len(plain)+16+1+1+3 {
+		t.Fatalf("trace extension adds %d bytes, want 21", len(traced)-len(plain))
+	}
+	if !bytes.Equal(traced[:len(plain)], plain) {
+		t.Error("traced frame is not the plain frame plus a trailing extension")
+	}
+	// A pre-extension frame decodes with zero trace fields.
+	hdr, _, err := DecodeRequest(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.TraceID != "" || hdr.WantReport {
+		t.Errorf("old frame decoded with trace fields %q/%v", hdr.TraceID, hdr.WantReport)
+	}
+	// An approx-only frame (exactly 16 trailing bytes, the PR-8 format)
+	// still decodes as knobs-only.
+	approx, err := EncodeRequest(RequestHeader{ID: 1, Op: OpJoin, Epsilon: 0.25}, &JoinReq{R: "r", K: 1, Self: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, _, err = DecodeRequest(approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Epsilon != 0.25 || hdr.TraceID != "" || hdr.WantReport {
+		t.Errorf("approx-only frame decoded as %+v", hdr)
+	}
+	// The full round trip preserves every header field.
+	full := RequestHeader{ID: 9, Op: OpJoin, Epsilon: 0.1, RecallTarget: 0.9, TraceID: "abc-123", WantReport: true}
+	payload, err := EncodeRequest(full, &JoinReq{R: "r", K: 1, Self: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, _, err = DecodeRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr != full {
+		t.Errorf("round trip = %+v, want %+v", hdr, full)
+	}
+
+	// Hostile trace extensions must be rejected at decode: unknown flag
+	// bits, oversized IDs, and IDs with unprintable or quoting bytes.
+	encodeRaw := func(flags uint8, trace string) []byte {
+		e := NewEncoder(nil)
+		e.U64(1)
+		e.U8(uint8(OpJoin))
+		e.I64(0)
+		(&JoinReq{R: "r", K: 1, Self: true}).encode(e)
+		e.F64(0)
+		e.F64(0)
+		e.U8(flags)
+		e.String(trace)
+		return e.Bytes()
+	}
+	bad := []struct {
+		flags uint8
+		trace string
+	}{
+		{0x02, "ok"}, // unknown flag bit
+		{0x80, ""},   // unknown flag bit
+		{0x01, string(bytes.Repeat([]byte{'a'}, 129))}, // over MaxTraceIDLen
+		{0x01, "has space"},
+		{0x01, "new\nline"},
+		{0x01, `has"quote`},
+		{0x01, `back\slash`},
+		{0x01, "\x7f"},
+	}
+	for _, tc := range bad {
+		if _, _, err := DecodeRequest(encodeRaw(tc.flags, tc.trace)); err == nil {
+			t.Errorf("hostile trace extension (flags=0x%02x, trace=%q) accepted", tc.flags, tc.trace)
+		}
+	}
+	// The encoder enforces the same trace-ID contract.
+	if _, err := EncodeRequest(RequestHeader{ID: 1, Op: OpJoin, TraceID: "bad id"}, &JoinReq{R: "r", K: 1}, nil); err == nil {
+		t.Error("encoder accepted an invalid trace id")
+	}
+}
+
+// TestStreamEndReport pins the report block's compatibility contract: a
+// report-free StreamEnd is byte-identical to the pre-report format, a
+// report-bearing one decodes losslessly, and negative durations are
+// rejected.
+func TestStreamEndReport(t *testing.T) {
+	bare, err := EncodeResponse(3, KindEnd, OpJoin, &StreamEnd{Count: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Envelope (8+1+1) + count (8): the exact pre-report frame size.
+	if len(bare) != 8+1+1+8 {
+		t.Fatalf("bare StreamEnd is %d bytes, want 18", len(bare))
+	}
+	_, _, _, body, err := DecodeResponse(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end := body.(*StreamEnd); end.Count != 5 || end.Report != nil {
+		t.Errorf("bare StreamEnd decoded as %+v", end)
+	}
+
+	rep := sampleReport()
+	withRep, err := EncodeResponse(3, KindEnd, OpJoin, &StreamEnd{Count: 5, Report: rep}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(withRep[:len(bare)], bare) {
+		t.Error("report-bearing StreamEnd is not the bare frame plus a trailing block")
+	}
+	_, _, _, body, err = DecodeResponse(withRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := body.(*StreamEnd).Report; !reflect.DeepEqual(got, rep) {
+		t.Errorf("report round trip = %+v, want %+v", got, rep)
+	}
+
+	// A negative duration in the report is hostile and rejected.
+	neg := sampleReport()
+	neg.WallNs = -1
+	hostile, err := EncodeResponse(3, KindEnd, OpJoin, &StreamEnd{Count: 5, Report: neg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := DecodeResponse(hostile); err == nil {
+		t.Error("negative report duration accepted")
 	}
 }
 
