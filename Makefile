@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench-smoke trace-smoke bench-parallel bench-parallel-smoke bench-nodecache bench-approx bench-approx-smoke chaos fuzz-smoke race-sched serve-smoke obs-serve-smoke
+.PHONY: build test race vet check bench-smoke trace-smoke bench-parallel bench-parallel-smoke bench-nodecache bench-approx bench-approx-smoke chaos chaos-recover fuzz-smoke race-sched serve-smoke obs-serve-smoke
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,16 @@ check: vet race bench-smoke trace-smoke
 chaos:
 	$(GO) test -race -run 'Chaos|Cancel' -count=1 ./internal/... ./ann/
 
+# chaos-recover runs the durability suite under the race detector:
+# kill-9-style crash loops sweeping the failure point across every WAL
+# write, fsync, and checkpoint page write (recovered state must be
+# byte-identical to a never-crashed reference), plus concurrent insert
+# batches against parallel snapshot-isolated queries on GOMAXPROCS=4.
+chaos-recover:
+	GOMAXPROCS=4 $(GO) test -race -count=1 \
+		-run 'ChaosCrashRecovery|RecoveryAfterCrash|WriteFailedClassification|ConcurrentWritesAndQueries|SnapshotIsolation' \
+		./ann/ ./internal/mbrqt ./internal/rstar
+
 # fuzz-smoke gives each decode fuzzer a short budget on top of the
 # checked-in corpora (which every plain `go test` already replays).
 # `go test -fuzz` accepts one matching target per invocation, hence the
@@ -35,6 +45,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeNode -fuzztime=5s ./internal/rstar
 	$(GO) test -run=NONE -fuzz=FuzzDecodeRequest -fuzztime=5s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzDecodeResponse -fuzztime=5s ./internal/wire
+	$(GO) test -run=NONE -fuzz=FuzzDecodeWALRecord -fuzztime=5s ./internal/storage
 
 # serve-smoke boots the real annserve daemon on a temp index, drives a
 # batched kNN and a streamed self-join through the client, and asserts

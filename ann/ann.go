@@ -32,6 +32,7 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"sync"
 	"time"
 
 	"allnn/internal/core"
@@ -212,15 +213,29 @@ type Result struct {
 
 // Index is a dataset indexed for ANN processing. The query methods and
 // the package-level query functions are safe for concurrent use on a
-// shared Index (the serving layer multiplexes many clients over one);
-// Close must not run concurrently with queries — see internal/server's
-// catalog for the lock pattern.
+// shared Index (the serving layer multiplexes many clients over one),
+// including concurrently with Insert/Delete batches: every query runs
+// against the snapshot published by the last completed batch. Close must
+// not run concurrently with queries — see internal/server's catalog for
+// the lock pattern.
 type Index struct {
 	tree  index.Tree
 	pool  *storage.BufferPool
 	store storage.Store
 	size  int
 	kind  IndexKind
+
+	// Live-update state (write.go). mut is set once enableLiveUpdates
+	// arms the mutation path; wal is additionally set for file-backed
+	// indexes. writeMu serialises the single-writer mutation path and
+	// guards size/writeErr; verMu guards the snapshot version chain.
+	mut      mutableTree
+	wal      *storage.WAL
+	writeMu  sync.Mutex
+	writeErr error
+	verMu    sync.Mutex
+	head     *version
+	tail     *version
 }
 
 // BuildIndex bulk-loads an index over points. Object ids are the
@@ -247,9 +262,9 @@ func BuildIndex(points []Point, cfg IndexConfig) (*Index, error) {
 		if err != nil {
 			return nil, err
 		}
-		store = fs
+		store = wrapStore(fs)
 	} else {
-		store = storage.NewMemStore()
+		store = wrapStore(storage.NewMemStore())
 	}
 	pool := storage.NewBufferPoolWithConfig(store, storage.FramesForBytes(poolBytes), storage.BufferPoolConfig{
 		ReadRetries:     cfg.ReadRetries,
@@ -269,15 +284,60 @@ func BuildIndex(points []Point, cfg IndexConfig) (*Index, error) {
 		store.Close()
 		return nil, err
 	}
-	return &Index{tree: tree, pool: pool, store: store, size: len(points), kind: cfg.Kind}, nil
+	ix := &Index{tree: tree, pool: pool, store: store, size: len(points), kind: cfg.Kind}
+	var wal *storage.WAL
+	if cfg.PageFile != "" {
+		wal, err = createWALAt(cfg.PageFile + ".wal")
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	ix.enableLiveUpdates(wal)
+	if wal != nil {
+		// Checkpoint the bulk-loaded base state right away, so a crash at
+		// any later instant recovers at least the full build.
+		if err := ix.checkpointLocked(); err != nil {
+			wal.Close()
+			store.Close()
+			return nil, err
+		}
+	}
+	return ix, nil
 }
 
 // Close releases the index's storage (removing nothing unless the page
-// file was temporary). An Index must not be used after Close.
-func (ix *Index) Close() error { return ix.store.Close() }
+// file was temporary). A file-backed index with updates not yet covered
+// by a checkpoint is checkpointed first — a clean shutdown leaves an
+// empty log, so the next OpenIndex has nothing to replay. An Index must
+// not be used after Close.
+func (ix *Index) Close() error {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	var firstErr error
+	if ix.mut != nil && ix.wal != nil && ix.writeErr == nil && !ix.wal.Empty() {
+		if err := ix.checkpointLocked(); err != nil {
+			firstErr = err
+		}
+	}
+	if ix.wal != nil {
+		if err := ix.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := ix.store.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
 
-// Len returns the number of indexed points.
-func (ix *Index) Len() int { return ix.size }
+// Len returns the number of indexed points, as of the last published
+// update batch.
+func (ix *Index) Len() int {
+	v, t := ix.acquire()
+	defer ix.release(v)
+	return t.Len()
+}
 
 // Kind returns the index structure backing this Index.
 func (ix *Index) Kind() IndexKind { return ix.kind }
@@ -288,7 +348,9 @@ func (ix *Index) Dim() int { return ix.tree.Dim() }
 // NearestNeighbors returns the k nearest indexed points to q, ascending
 // by distance.
 func (ix *Index) NearestNeighbors(q Point, k int) ([]Neighbor, error) {
-	res, err := index.NearestNeighbors(ix.tree, geom.Point(q), k)
+	v, t := ix.acquire()
+	defer ix.release(v)
+	res, err := index.NearestNeighbors(t, geom.Point(q), k)
 	if err != nil {
 		return nil, err
 	}
@@ -302,7 +364,9 @@ func (ix *Index) NearestNeighbors(q Point, k int) ([]Neighbor, error) {
 // RangeSearch returns the ids of all indexed points inside the box
 // [lo, hi] (boundaries inclusive).
 func (ix *Index) RangeSearch(lo, hi Point) ([]ObjectID, error) {
-	res, err := index.RangeSearch(ix.tree, geom.NewRect(geom.Point(lo), geom.Point(hi)))
+	v, t := ix.acquire()
+	defer ix.release(v)
+	res, err := index.RangeSearch(t, geom.NewRect(geom.Point(lo), geom.Point(hi)))
 	if err != nil {
 		return nil, err
 	}
@@ -416,6 +480,18 @@ func run(ctx context.Context, r, s *Index, k int, cfg QueryConfig, excludeSelf b
 	if cfg.Metric == MaxMaxDist {
 		opts.Metric = core.MaxMaxDist
 	}
+	// Pin one snapshot per index for the whole query: a self-join must see
+	// the SAME snapshot on both sides (a write committing between two
+	// acquires would otherwise join across versions), so the r snapshot is
+	// reused when r and s are one index.
+	rv, rTree := r.acquire()
+	defer r.release(rv)
+	sTree := rTree
+	if s != r {
+		var sv *version
+		sv, sTree = s.acquire()
+		defer s.release(sv)
+	}
 	coreEmit := func(res core.Result) error {
 		out := Result{
 			ID:        uint64(res.Object),
@@ -428,7 +504,7 @@ func run(ctx context.Context, r, s *Index, k int, cfg QueryConfig, excludeSelf b
 		return emit(out)
 	}
 	if !cfg.observed() {
-		_, err := core.RunContext(ctx, r.tree, s.tree, opts, coreEmit)
+		_, err := core.RunContext(ctx, rTree, sTree, opts, coreEmit)
 		return err
 	}
 	var tracer *obs.Tracer
@@ -437,7 +513,7 @@ func run(ctx context.Context, r, s *Index, k int, cfg QueryConfig, excludeSelf b
 	}
 	opts.Tracer = tracer
 	opts.Registry = cfg.Metrics.registry()
-	rep, err := core.RunReportContext(ctx, r.tree, s.tree, opts, coreEmit)
+	rep, err := core.RunReportContext(ctx, rTree, sTree, opts, coreEmit)
 	if cfg.TraceOut != nil {
 		if werr := tracer.WriteJSON(cfg.TraceOut); werr != nil && err == nil {
 			err = werr
@@ -461,7 +537,15 @@ func WithinDistance(r, s *Index, d float64, excludeSelf bool, emit func(rID, sID
 // ctx.Err(); emit is not called again after the cancellation is
 // observed.
 func WithinDistanceContext(ctx context.Context, r, s *Index, d float64, excludeSelf bool, emit func(rID, sID ObjectID, dist float64) error) error {
-	_, err := core.DistanceJoinContext(ctx, r.tree, s.tree, d, excludeSelf, func(p core.Pair) error {
+	rv, rTree := r.acquire()
+	defer r.release(rv)
+	sTree := rTree
+	if s != r {
+		var sv *version
+		sv, sTree = s.acquire()
+		defer s.release(sv)
+	}
+	_, err := core.DistanceJoinContext(ctx, rTree, sTree, d, excludeSelf, func(p core.Pair) error {
 		return emit(uint64(p.R), uint64(p.S), p.Dist)
 	})
 	return err
@@ -485,7 +569,15 @@ func ClosestPairs(r, s *Index, k int, excludeSelf bool) ([]Pair, error) {
 // returns ctx.Err() with no pairs (a partial top-k would be
 // misleading).
 func ClosestPairsContext(ctx context.Context, r, s *Index, k int, excludeSelf bool) ([]Pair, error) {
-	pairs, _, err := core.KClosestPairsContext(ctx, r.tree, s.tree, k, excludeSelf)
+	rv, rTree := r.acquire()
+	defer r.release(rv)
+	sTree := rTree
+	if s != r {
+		var sv *version
+		sv, sTree = s.acquire()
+		defer s.release(sv)
+	}
+	pairs, _, err := core.KClosestPairsContext(ctx, rTree, sTree, k, excludeSelf)
 	if err != nil {
 		return nil, err
 	}

@@ -102,6 +102,13 @@ func IsBadRequest(err error) bool { return wire.IsCode(err, wire.CodeBadRequest)
 // IsCorruptIndex reports whether an index file failed verification.
 func IsCorruptIndex(err error) bool { return wire.IsCode(err, wire.CodeCorruptIndex) }
 
+// IsWriteFailed reports whether err is the server's WRITE_FAILED error:
+// an Insert/Delete batch could not be made durable (failed log append or
+// fsync). The index refuses further writes until reopened; the failed
+// batch's durability is indeterminate — after a server crash, recovery
+// may surface a committed prefix of it.
+func IsWriteFailed(err error) bool { return wire.IsCode(err, wire.CodeWriteFailed) }
+
 // --- request plumbing -------------------------------------------------------
 
 // begin acquires the connection and writes the request, returning its
@@ -236,7 +243,51 @@ func (c *Client) Stats(ctx context.Context, name string) (ann.IndexStats, error)
 		CacheInvalidations: st.CacheInvalidations,
 		CacheEntries:       int(st.CacheEntries),
 		CacheBytes:         int64(st.CacheBytes),
+
+		WALRecords:     st.WALRecords,
+		WALFsyncs:      st.WALFsyncs,
+		WALCheckpoints: st.WALCheckpoints,
+		WALReplayed:    st.WALReplayed,
+		WALReplayNs:    int64(st.WALReplayNs),
+		SnapshotPins:   int64(st.SnapshotPins),
 	}, nil
+}
+
+// --- mutations --------------------------------------------------------------
+
+// Insert durably adds a batch of points to a live catalog index; ids and
+// points are parallel slices. The whole batch is committed with one log
+// fsync — a nil error means all of it survives any crash — and becomes
+// visible atomically: queries never observe a partial batch. Returns the
+// index's point count after the batch.
+func (c *Client) Insert(ctx context.Context, index string, ids []uint64, points []ann.Point) (size uint64, err error) {
+	pts := make([][]float64, len(points))
+	for i, p := range points {
+		pts[i] = p
+	}
+	reply, err := c.roundTrip(ctx, wire.OpInsert, &wire.InsertReq{Index: index, IDs: ids, Points: pts})
+	if err != nil {
+		return 0, err
+	}
+	return reply.(*wire.InsertReply).Size, nil
+}
+
+// Delete durably removes a batch of points (matched by id AND
+// coordinates) from a live catalog index, with the same commit and
+// visibility guarantees as Insert. Returns how many entries matched an
+// indexed point and the index's point count after the batch; absent
+// points are durable no-ops.
+func (c *Client) Delete(ctx context.Context, index string, ids []uint64, points []ann.Point) (found, size uint64, err error) {
+	pts := make([][]float64, len(points))
+	for i, p := range points {
+		pts[i] = p
+	}
+	reply, err := c.roundTrip(ctx, wire.OpDelete, &wire.DeleteReq{Index: index, IDs: ids, Points: pts})
+	if err != nil {
+		return 0, 0, err
+	}
+	rep := reply.(*wire.DeleteReply)
+	return rep.Found, rep.Size, nil
 }
 
 // --- queries ----------------------------------------------------------------

@@ -1,0 +1,681 @@
+package ann
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"allnn/internal/storage"
+)
+
+// basePoints returns a dataset whose bounding box is pinned to
+// [0,100]^dim (two corner sentinels), so the MBRQT root cell fixed at
+// build time covers every point randomPoints can later generate.
+func basePoints(seed int64, n, dim int) []Point {
+	pts := randomPoints(seed, n, dim)
+	lo, hi := make(Point, dim), make(Point, dim)
+	for d := range hi {
+		hi[d] = 100
+	}
+	pts[0], pts[1] = lo, hi
+	return pts
+}
+
+// mutation is one step of a write scenario: an insert or delete batch,
+// or a checkpoint (Flush) when ids is nil.
+type mutation struct {
+	insert bool
+	ids    []uint64
+	pts    []Point
+}
+
+func (m mutation) isFlush() bool { return m.ids == nil }
+
+// scenario builds the deterministic step sequence the recovery tests
+// replay: inserts, deletes of base and inserted points, and interleaved
+// checkpoints.
+func scenario(base []Point) []mutation {
+	batch := func(firstID uint64, seed int64, n int) mutation {
+		m := mutation{insert: true, pts: randomPoints(seed, n, len(base[0]))}
+		for i := 0; i < n; i++ {
+			m.ids = append(m.ids, firstID+uint64(i))
+		}
+		return m
+	}
+	insA := batch(1000, 101, 20)
+	insB := batch(1100, 102, 20)
+	insC := batch(1200, 103, 20)
+	delBase := mutation{insert: false}
+	for i := 5; i < 25; i++ {
+		delBase.ids = append(delBase.ids, uint64(i))
+		delBase.pts = append(delBase.pts, base[i])
+	}
+	delA := mutation{insert: false, ids: insA.ids[:10], pts: insA.pts[:10]}
+	return []mutation{
+		insA,
+		delBase,
+		{}, // flush
+		insB,
+		{}, // flush
+		delA,
+		insC,
+	}
+}
+
+// applyStep runs one scenario step against a live index.
+func applyStep(ix *Index, m mutation) error {
+	switch {
+	case m.isFlush():
+		return ix.Flush()
+	case m.insert:
+		return ix.InsertBatch(m.ids, m.pts)
+	default:
+		_, err := ix.DeleteBatch(m.ids, m.pts)
+		return err
+	}
+}
+
+// stepLen returns the signed size change of a fully applied step.
+func stepLen(m mutation) int {
+	if m.isFlush() {
+		return 0
+	}
+	if m.insert {
+		return len(m.ids)
+	}
+	return -len(m.ids)
+}
+
+// buildReference replays base + the acked steps (and, when the crash
+// interrupted a batch, its first `prefix` committed ops) onto a fresh
+// in-memory index. Tree shape is a deterministic function of the op
+// sequence, so the reference is byte-identical to a recovered index.
+func buildReference(t *testing.T, kind IndexKind, base []Point, steps []mutation, failed, prefix int) *Index {
+	t.Helper()
+	ref, err := BuildIndex(base, IndexConfig{Kind: kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range steps[:failed] {
+		if m.isFlush() {
+			continue
+		}
+		if err := applyStep(ref, m); err != nil {
+			t.Fatalf("reference step: %v", err)
+		}
+	}
+	if failed < len(steps) && prefix > 0 {
+		m := steps[failed]
+		p := mutation{insert: m.insert, ids: m.ids[:prefix], pts: m.pts[:prefix]}
+		if err := applyStep(ref, p); err != nil {
+			t.Fatalf("reference prefix: %v", err)
+		}
+	}
+	return ref
+}
+
+// requireSameJoin asserts two indexes answer a k=2 self-join with
+// identical ids and bit-identical distances.
+func requireSameJoin(t *testing.T, label string, got, want *Index) {
+	t.Helper()
+	join := func(ix *Index) []Result {
+		res, err := SelfAllKNearestNeighbors(ix, 2, QueryConfig{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s: self-join: %v", label, err)
+		}
+		sort.Slice(res, func(a, b int) bool { return res[a].ID < res[b].ID })
+		return res
+	}
+	g, w := join(got), join(want)
+	if len(g) != len(w) {
+		t.Fatalf("%s: %d results, want %d", label, len(g), len(w))
+	}
+	for i := range w {
+		if g[i].ID != w[i].ID {
+			t.Fatalf("%s: result %d has ID %d, want %d", label, i, g[i].ID, w[i].ID)
+		}
+		if len(g[i].Neighbors) != len(w[i].Neighbors) {
+			t.Fatalf("%s: object %d has %d neighbors, want %d", label, w[i].ID, len(g[i].Neighbors), len(w[i].Neighbors))
+		}
+		for n := range w[i].Neighbors {
+			if g[i].Neighbors[n].ID != w[i].Neighbors[n].ID || g[i].Neighbors[n].Dist != w[i].Neighbors[n].Dist {
+				t.Fatalf("%s: object %d neighbor %d = (%d, %v), want (%d, %v)",
+					label, w[i].ID, n, g[i].Neighbors[n].ID, g[i].Neighbors[n].Dist,
+					w[i].Neighbors[n].ID, w[i].Neighbors[n].Dist)
+			}
+		}
+	}
+}
+
+// checkIntegrity runs the backing tree's structural verification.
+func checkIntegrity(t *testing.T, label string, ix *Index) {
+	t.Helper()
+	c, ok := ix.tree.(interface{ CheckIntegrity() error })
+	if !ok {
+		t.Fatalf("%s: tree has no CheckIntegrity", label)
+	}
+	if err := c.CheckIntegrity(); err != nil {
+		t.Fatalf("%s: integrity: %v", label, err)
+	}
+}
+
+// TestLiveInsertDelete exercises the mutation API end to end on both
+// tree kinds and both stores, verifying results against brute force.
+func TestLiveInsertDelete(t *testing.T) {
+	base := basePoints(71, 120, 2)
+	for _, kind := range []IndexKind{MBRQT, RStar} {
+		for _, file := range []bool{false, true} {
+			label := fmt.Sprintf("%v/file=%v", kind, file)
+			cfg := IndexConfig{Kind: kind}
+			if file {
+				cfg.PageFile = filepath.Join(t.TempDir(), "live.pages")
+			}
+			ix, err := BuildIndex(base, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := append([]Point{}, base...)
+			liveIDs := make([]uint64, len(base))
+			for i := range liveIDs {
+				liveIDs[i] = uint64(i)
+			}
+
+			add := randomPoints(72, 30, 2)
+			addIDs := make([]uint64, len(add))
+			for i := range addIDs {
+				addIDs[i] = 500 + uint64(i)
+			}
+			if err := ix.InsertBatch(addIDs, add); err != nil {
+				t.Fatalf("%s: insert: %v", label, err)
+			}
+			live = append(live, add...)
+			liveIDs = append(liveIDs, addIDs...)
+
+			found, err := ix.DeleteBatch(liveIDs[10:30], live[10:30])
+			if err != nil {
+				t.Fatalf("%s: delete: %v", label, err)
+			}
+			if found != 20 {
+				t.Fatalf("%s: delete found %d, want 20", label, found)
+			}
+			// Deleting the same points again is a durable no-op.
+			if found, err = ix.DeleteBatch(liveIDs[10:30], live[10:30]); err != nil || found != 0 {
+				t.Fatalf("%s: re-delete found %d, err %v", label, found, err)
+			}
+			live = append(live[:10:10], live[30:]...)
+			liveIDs = append(liveIDs[:10:10], liveIDs[30:]...)
+
+			if ix.Len() != len(live) {
+				t.Fatalf("%s: Len %d, want %d", label, ix.Len(), len(live))
+			}
+			checkIntegrity(t, label, ix)
+
+			// Every live point's nearest neighbor matches brute force.
+			for probe := 0; probe < len(live); probe += 13 {
+				nb, err := ix.NearestNeighbors(live[probe], 1)
+				if err != nil {
+					t.Fatalf("%s: NN: %v", label, err)
+				}
+				bestID, bestD := uint64(0), -1.0
+				for j, q := range live {
+					d := 0.0
+					for dd := range q {
+						d += (q[dd] - live[probe][dd]) * (q[dd] - live[probe][dd])
+					}
+					if bestD < 0 || d < bestD {
+						bestD, bestID = d, liveIDs[j]
+					}
+				}
+				if len(nb) != 1 || nb[0].ID != bestID {
+					t.Fatalf("%s: NN(%d) = %v, want id %d", label, probe, nb, bestID)
+				}
+			}
+
+			// Inserting outside the MBRQT's fixed root cell is rejected
+			// before anything is logged.
+			if kind == MBRQT {
+				err := ix.Insert(9999, Point{500, 500})
+				if !errors.Is(err, ErrInvalidConfig) {
+					t.Fatalf("%s: out-of-space insert: %v", label, err)
+				}
+			}
+			if err := ix.Insert(9998, Point{1, 2, 3}); !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("%s: wrong-dim insert: %v", label, err)
+			}
+
+			ix.RequireNoPinnedFrames(t)
+			if err := ix.Close(); err != nil {
+				t.Fatalf("%s: close: %v", label, err)
+			}
+		}
+	}
+}
+
+// TestSnapshotIsolation pins a pre-write snapshot mid-query and checks
+// the query completes against it even though a batch commits while the
+// result stream is paused.
+func TestSnapshotIsolation(t *testing.T) {
+	base := basePoints(73, 200, 2)
+	for _, kind := range []IndexKind{MBRQT, RStar} {
+		ix, err := BuildIndex(base, IndexConfig{Kind: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserted := false
+		count := 0
+		err = StreamSelfAllKNearestNeighborsContext(t.Context(), ix, 1, QueryConfig{Parallelism: 1}, func(Result) error {
+			count++
+			if !inserted {
+				// The query has pinned its snapshot; commit a batch now.
+				inserted = true
+				return ix.InsertBatch([]uint64{5000}, []Point{{50, 50}})
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: stream: %v", kind, err)
+		}
+		if count != len(base) {
+			t.Fatalf("%v: snapshot query saw %d results, want %d", kind, count, len(base))
+		}
+		if ix.Len() != len(base)+1 {
+			t.Fatalf("%v: post-write Len %d", kind, ix.Len())
+		}
+		ix.RequireNoPinnedFrames(t)
+		if err := ix.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRecoveryAfterCrash kills an index (no Flush, no Close) after a
+// sequence of committed batches and checks that OpenIndex rebuilds the
+// exact acknowledged state from the WAL.
+func TestRecoveryAfterCrash(t *testing.T) {
+	for _, kind := range []IndexKind{MBRQT, RStar} {
+		base := basePoints(74, 250, 2)
+		steps := scenario(base)
+		path := filepath.Join(t.TempDir(), "crash.pages")
+		ix, err := BuildIndex(base, IndexConfig{Kind: kind, PageFile: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range steps {
+			if err := applyStep(ix, m); err != nil {
+				t.Fatalf("%v: step %d: %v", kind, i, err)
+			}
+		}
+		// Crash: abandon without Flush or Close.
+		ix = nil
+
+		rec, err := OpenIndex(path, IndexConfig{})
+		if err != nil {
+			t.Fatalf("%v: recover: %v", kind, err)
+		}
+		if got := rec.Stats(); got.WALReplayed == 0 {
+			t.Fatalf("%v: recovery replayed no records", kind)
+		}
+		ref := buildReference(t, kind, base, steps, len(steps), 0)
+		requireSameJoin(t, fmt.Sprintf("%v recovered", kind), rec, ref)
+		checkIntegrity(t, fmt.Sprintf("%v recovered", kind), rec)
+		rec.RequireNoPinnedFrames(t)
+
+		// Clean close checkpoints; the next open has nothing to replay.
+		if err := rec.Close(); err != nil {
+			t.Fatalf("%v: close: %v", kind, err)
+		}
+		again, err := OpenIndex(path, IndexConfig{})
+		if err != nil {
+			t.Fatalf("%v: reopen: %v", kind, err)
+		}
+		if got := again.Stats(); got.WALReplayed != 0 {
+			t.Fatalf("%v: clean reopen replayed %d records", kind, got.WALReplayed)
+		}
+		requireSameJoin(t, fmt.Sprintf("%v clean reopen", kind), again, ref)
+		if err := again.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// chaosRun executes the scenario against a fault-injected file index,
+// crashes at the first failure, recovers with injection disabled, and
+// verifies the recovered index is byte-identical to a never-crashed
+// reference holding the acknowledged ops (plus any committed prefix of
+// the failed batch). Returns false when the build itself failed (the
+// fault fired before there was anything to recover).
+func chaosRun(t *testing.T, kind IndexKind, label string, wrapStoreF func(storage.Store) storage.Store, wrapWALF func(storage.WALBackend) storage.WALBackend) bool {
+	t.Helper()
+	base := basePoints(75, 250, 2)
+	steps := scenario(base)
+	path := filepath.Join(t.TempDir(), "chaos.pages")
+
+	testWrapStore, testWrapWAL = wrapStoreF, wrapWALF
+	ix, buildErr := BuildIndex(base, IndexConfig{Kind: kind, PageFile: path})
+	failedStep := -1
+	if buildErr == nil {
+		for i, m := range steps {
+			if err := applyStep(ix, m); err != nil {
+				failedStep = i
+				break
+			}
+		}
+		if failedStep >= 0 {
+			// The writer is broken but queries must still serve the last
+			// published snapshot, and release it cleanly.
+			if _, err := SelfAllNearestNeighbors(ix, QueryConfig{}); err != nil {
+				t.Fatalf("%s: query after write failure: %v", label, err)
+			}
+			ix.RequireNoPinnedFrames(t)
+		}
+	}
+	testWrapStore, testWrapWAL = nil, nil
+	if buildErr != nil {
+		return false
+	}
+	// Crash: abandon ix without Close.
+	ix = nil
+	if failedStep == -1 {
+		failedStep = len(steps)
+	}
+
+	rec, err := OpenIndex(path, IndexConfig{})
+	if err != nil {
+		t.Fatalf("%s: recover: %v", label, err)
+	}
+	ackedLen := len(base)
+	for _, m := range steps[:failedStep] {
+		ackedLen += stepLen(m)
+	}
+	// The failed batch is indeterminate: recovery may surface any
+	// committed prefix of it (a flush step changes nothing).
+	prefix := 0
+	if failedStep < len(steps) && !steps[failedStep].isFlush() {
+		if steps[failedStep].insert {
+			prefix = rec.Len() - ackedLen
+		} else {
+			prefix = ackedLen - rec.Len()
+		}
+		if prefix < 0 || prefix > len(steps[failedStep].ids) {
+			t.Fatalf("%s: recovered Len %d outside [acked %d, acked+batch]", label, rec.Len(), ackedLen)
+		}
+	} else if rec.Len() != ackedLen {
+		t.Fatalf("%s: recovered Len %d, want %d", label, rec.Len(), ackedLen)
+	}
+
+	ref := buildReference(t, kind, base, steps, failedStep, prefix)
+	requireSameJoin(t, label, rec, ref)
+	checkIntegrity(t, label, rec)
+	rec.RequireNoPinnedFrames(t)
+	if err := rec.Close(); err != nil {
+		t.Fatalf("%s: close: %v", label, err)
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return true
+}
+
+// TestChaosCrashRecoveryWALFaults sweeps the crash point across every
+// WAL write of the scenario, covering torn group commits (partial batch
+// on disk), clean write failures, and failed fsyncs.
+func TestChaosCrashRecoveryWALFaults(t *testing.T) {
+	for _, kind := range []IndexKind{MBRQT, RStar} {
+		for n := 1; n <= 14; n++ {
+			// Torn write: the n-th WAL write persists only a prefix.
+			keep := (n * 37) % 90
+			label := fmt.Sprintf("%v/torn-write-%d/keep-%d", kind, n, keep)
+			chaosRun(t, kind, label, nil, func(b storage.WALBackend) storage.WALBackend {
+				return storage.NewFaultWALFile(b, storage.WALFaultConfig{TornWriteAfter: n, TornKeepBytes: keep})
+			})
+			// Failed fsync: the write may be fully on disk, but the batch
+			// was never acknowledged.
+			label = fmt.Sprintf("%v/fail-sync-%d", kind, n)
+			chaosRun(t, kind, label, nil, func(b storage.WALBackend) storage.WALBackend {
+				return storage.NewFaultWALFile(b, storage.WALFaultConfig{FailSyncsAfter: n})
+			})
+		}
+	}
+}
+
+// TestChaosCrashRecoveryStoreFaults sweeps the crash point across the
+// page-store writes and fsyncs of the scenario's checkpoints — the
+// mid-Flush crash windows (data pages partially written, header page
+// written before/after its WAL copy).
+func TestChaosCrashRecoveryStoreFaults(t *testing.T) {
+	for _, kind := range []IndexKind{MBRQT, RStar} {
+		ran := 0
+		for n := 1; n <= 40; n += 3 {
+			label := fmt.Sprintf("%v/fail-page-write-%d", kind, n)
+			if chaosRun(t, kind, label, func(s storage.Store) storage.Store {
+				return storage.NewFaultStore(s, storage.FaultConfig{FailWritesAfter: n})
+			}, nil) {
+				ran++
+			}
+		}
+		for n := 1; n <= 8; n++ {
+			label := fmt.Sprintf("%v/fail-store-sync-%d", kind, n)
+			if chaosRun(t, kind, label, func(s storage.Store) storage.Store {
+				return storage.NewFaultStore(s, storage.FaultConfig{FailSyncsAfter: n})
+			}, nil) {
+				ran++
+			}
+		}
+		if ran == 0 {
+			t.Fatalf("%v: every store-fault run died during build; no recovery exercised", kind)
+		}
+	}
+}
+
+// TestWriteFailedClassification checks the durability-failure contract:
+// the error wraps ErrWriteFailed, later writes fail fast, and queries
+// keep serving the last published snapshot.
+func TestWriteFailedClassification(t *testing.T) {
+	base := basePoints(76, 150, 2)
+	path := filepath.Join(t.TempDir(), "wf.pages")
+	// Sync 1 writes the WAL header, sync 2 is the build checkpoint's
+	// meta append, sync 3 its WAL reset; sync 4 is the first batch's
+	// group commit.
+	testWrapWAL = func(b storage.WALBackend) storage.WALBackend {
+		return storage.NewFaultWALFile(b, storage.WALFaultConfig{FailSyncsAfter: 4})
+	}
+	ix, err := BuildIndex(base, IndexConfig{PageFile: path})
+	testWrapWAL = nil
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ix.InsertBatch([]uint64{2000, 2001}, []Point{{1, 1}, {2, 2}})
+	if !errors.Is(err, ErrWriteFailed) || !errors.Is(err, storage.ErrWriteFailed) {
+		t.Fatalf("insert after fsync fault: %v, want ErrWriteFailed", err)
+	}
+	if err := ix.Insert(2002, Point{3, 3}); !errors.Is(err, ErrWriteFailed) {
+		t.Fatalf("second insert: %v, want fast ErrWriteFailed", err)
+	}
+	if ix.Len() != len(base) {
+		t.Fatalf("failed batch changed Len to %d", ix.Len())
+	}
+	if _, err := SelfAllNearestNeighbors(ix, QueryConfig{}); err != nil {
+		t.Fatalf("query after write failure: %v", err)
+	}
+	ix.RequireNoPinnedFrames(t)
+	// The failed batch is indeterminate: its write may have reached the
+	// file even though the fsync was never acknowledged.
+	rec, err := OpenIndex(path, IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rec.Len(); n != len(base) && n != len(base)+2 {
+		t.Fatalf("recovered Len %d, want %d or %d", n, len(base), len(base)+2)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentWritesAndQueries runs a writer committing insert
+// batches against parallel query goroutines on GOMAXPROCS=4. Every
+// query must observe a published batch boundary — never a partial
+// batch — and the final state must hold everything. Run with -race.
+func TestConcurrentWritesAndQueries(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const (
+		batches   = 25
+		batchSize = 8
+	)
+	for _, kind := range []IndexKind{MBRQT, RStar} {
+		base := basePoints(77, 200, 2)
+		path := filepath.Join(t.TempDir(), "conc.pages")
+		ix, err := BuildIndex(base, IndexConfig{Kind: kind, PageFile: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		writerDone := make(chan struct{})
+		errCh := make(chan error, 16)
+		report := func(err error) {
+			select {
+			case errCh <- err:
+			default:
+			}
+		}
+
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(writerDone)
+			pts := randomPoints(78, batches*batchSize, 2)
+			for b := 0; b < batches; b++ {
+				ids := make([]uint64, batchSize)
+				for i := range ids {
+					ids[i] = 3000 + uint64(b*batchSize+i)
+				}
+				if err := ix.InsertBatch(ids, pts[b*batchSize:(b+1)*batchSize]); err != nil {
+					report(fmt.Errorf("writer batch %d: %w", b, err))
+					return
+				}
+				if b == batches/2 {
+					if err := ix.Flush(); err != nil {
+						report(fmt.Errorf("mid-run flush: %w", err))
+						return
+					}
+				}
+			}
+		}()
+
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for {
+					select {
+					case <-writerDone:
+						return
+					default:
+					}
+					switch r {
+					case 0:
+						res, err := SelfAllNearestNeighbors(ix, QueryConfig{Parallelism: 2})
+						if err != nil {
+							report(fmt.Errorf("reader join: %w", err))
+							return
+						}
+						if d := len(res) - len(base); d < 0 || d%batchSize != 0 {
+							report(fmt.Errorf("reader join saw %d results: not a batch boundary", len(res)))
+							return
+						}
+					case 1:
+						if _, err := ix.NearestNeighbors(Point{50, 50}, 3); err != nil {
+							report(fmt.Errorf("reader NN: %w", err))
+							return
+						}
+					default:
+						if d := ix.Len() - len(base); d < 0 || d%batchSize != 0 {
+							report(fmt.Errorf("reader Len %d: not a batch boundary", ix.Len()))
+							return
+						}
+						_ = ix.Stats()
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			t.Fatalf("%v: %v", kind, err)
+		default:
+		}
+
+		if got, want := ix.Len(), len(base)+batches*batchSize; got != want {
+			t.Fatalf("%v: final Len %d, want %d", kind, got, want)
+		}
+		checkIntegrity(t, fmt.Sprintf("%v concurrent", kind), ix)
+		// All pins must drain once the queries finish.
+		if st := ix.Stats(); st.SnapshotPins != 0 {
+			t.Fatalf("%v: %d snapshot pins left", kind, st.SnapshotPins)
+		}
+		ix.RequireNoPinnedFrames(t)
+		if err := ix.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		rec, err := OpenIndex(path, IndexConfig{})
+		if err != nil {
+			t.Fatalf("%v: reopen: %v", kind, err)
+		}
+		if got, want := rec.Len(), len(base)+batches*batchSize; got != want {
+			t.Fatalf("%v: reopened Len %d, want %d", kind, got, want)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALReplay measures crash recovery: open an index whose WAL
+// holds b.N uncheckpointed single-point inserts and replay them. The
+// reported ns/op is the full OpenIndex (tree open + replay + the
+// post-recovery checkpoint) amortised per logged operation.
+func BenchmarkWALReplay(b *testing.B) {
+	if b.N > 200_000 {
+		b.Skip("WAL op count capped")
+	}
+	base := basePoints(80, 2, 2)
+	path := filepath.Join(b.TempDir(), "replay.pages")
+	ix, err := BuildIndex(base, IndexConfig{PageFile: path})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := randomPoints(81, b.N, 2)
+	ids := make([]uint64, b.N)
+	for i := range ids {
+		ids[i] = 100 + uint64(i)
+	}
+	if err := ix.InsertBatch(ids, pts); err != nil {
+		b.Fatal(err)
+	}
+	// Crash: abandon without Close so the WAL still holds every insert.
+	ix = nil
+
+	b.ResetTimer()
+	rec, err := OpenIndex(path, IndexConfig{})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := rec.Stats()
+	if st.WALReplayed != uint64(b.N) {
+		b.Fatalf("replayed %d records, want %d", st.WALReplayed, b.N)
+	}
+	b.ReportMetric(float64(st.WALReplayNs)/float64(b.N), "replay-ns/op")
+	if err := rec.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -4,24 +4,64 @@ import (
 	"errors"
 	"fmt"
 
+	"allnn/internal/geom"
+	"allnn/internal/index"
 	"allnn/internal/mbrqt"
 	"allnn/internal/rstar"
 	"allnn/internal/storage"
 )
 
-// OpenIndex opens an index previously built with IndexConfig.PageFile
-// and persisted with Flush, skipping the bulk-load entirely — the way a
-// long-lived server brings a prebuilt index online. The file's physical
-// page framing is verified on open (and every page read re-verifies its
-// checksum), so a damaged or foreign file surfaces as a clean error
-// wrapping ErrCorruptPage instead of reaching the index decoders. The
-// index kind (MBRQT or R*-tree) is detected from the stored header;
-// cfg.Kind and cfg.PageFile are ignored.
+// OpenIndex opens an index previously built with IndexConfig.PageFile,
+// skipping the bulk-load entirely — the way a long-lived server brings a
+// prebuilt index online. The file's physical page framing is verified on
+// open (and every page read re-verifies its checksum), so a damaged or
+// foreign file surfaces as a clean error wrapping ErrCorruptPage instead
+// of reaching the index decoders. The index kind (MBRQT or R*-tree) is
+// detected from the stored header; cfg.Kind and cfg.PageFile are
+// ignored.
+//
+// OpenIndex also runs crash recovery: the write-ahead log next to the
+// page file (<path>.wal) is scanned, a torn tail from an interrupted
+// append is truncated away, the last checkpoint's header image is
+// restored if its write to the page file never completed, and every
+// committed mutation since that checkpoint is replayed — then the
+// recovered state is checkpointed, so recovery work is never repeated.
+// The result is exactly the state after the last mutation batch whose
+// commit was acknowledged (plus, possibly, a committed prefix of an
+// unacknowledged batch that was interrupted mid-fsync).
 func OpenIndex(path string, cfg IndexConfig) (*Index, error) {
-	store, err := storage.OpenFileStore(path)
+	fs, err := storage.OpenFileStore(path)
 	if err != nil {
 		return nil, err
 	}
+	store := wrapStore(fs)
+	wal, err := openWALAt(path + ".wal")
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	fail := func(err error) (*Index, error) {
+		wal.Close()
+		store.Close()
+		return nil, err
+	}
+	snap, ops, err := wal.Recover()
+	if err != nil {
+		return fail(fmt.Errorf("ann: WAL recovery: %w", err))
+	}
+	if snap != nil {
+		// The checkpoint's header image reached the WAL but its write to
+		// the page file may not have (a crash between the two is exactly
+		// the window the WAL copy exists for). Restore it before the tree
+		// decodes the header — idempotent when the write did complete.
+		if err := store.WritePage(snap.PageID, snap.Page); err != nil {
+			return fail(fmt.Errorf("ann: restore checkpoint header: %w", err))
+		}
+		if err := store.Sync(); err != nil {
+			return fail(fmt.Errorf("ann: restore checkpoint header: %w", err))
+		}
+	}
+
 	poolBytes := cfg.BufferPoolBytes
 	if poolBytes <= 0 {
 		poolBytes = 64 << 20
@@ -34,29 +74,62 @@ func OpenIndex(path string, cfg IndexConfig) (*Index, error) {
 
 	// The meta page of a bulk-loaded tree is the first page of its store;
 	// the tree kind is detected by which header magic it carries.
+	var ix *Index
 	if t, err := mbrqt.Open(pool, 0); err == nil {
-		return &Index{tree: t, pool: pool, store: store, size: t.Len(), kind: MBRQT}, nil
+		ix = &Index{tree: t, pool: pool, store: store, size: t.Len(), kind: MBRQT}
 	} else if !errors.Is(err, storage.ErrCorruptPage) {
-		store.Close()
-		return nil, err
-	}
-	t, err := rstar.Open(pool, 0)
-	if err != nil {
-		store.Close()
-		if errors.Is(err, storage.ErrCorruptPage) {
-			return nil, fmt.Errorf("ann: %s holds neither an MBRQT nor an R*-tree header: %w", path, err)
+		return fail(err)
+	} else {
+		t, err := rstar.Open(pool, 0)
+		if err != nil {
+			if errors.Is(err, storage.ErrCorruptPage) {
+				return fail(fmt.Errorf("ann: %s holds neither an MBRQT nor an R*-tree header: %w", path, err))
+			}
+			return fail(err)
 		}
-		return nil, err
+		ix = &Index{tree: t, pool: pool, store: store, size: t.Len(), kind: RStar}
 	}
-	return &Index{tree: t, pool: pool, store: store, size: t.Len(), kind: RStar}, nil
+
+	ix.enableLiveUpdates(wal)
+	if snap != nil || len(ops) > 0 {
+		for _, op := range ops {
+			switch {
+			case op.IsWALInsert():
+				err = ix.mut.Insert(index.ObjectID(op.ID), geom.Point(op.Point))
+			case op.IsWALDelete():
+				_, err = ix.mut.Delete(index.ObjectID(op.ID), geom.Point(op.Point))
+			}
+			if err != nil {
+				return fail(fmt.Errorf("ann: WAL replay: %w", err))
+			}
+		}
+		ix.size = ix.mut.Len()
+		ix.publishLocked()
+		// Fold the replayed state into a fresh checkpoint so the next open
+		// starts clean; this also truncates the log.
+		if err := ix.checkpointLocked(); err != nil {
+			return fail(fmt.Errorf("ann: post-recovery checkpoint: %w", err))
+		}
+	}
+	return ix, nil
 }
 
-// Flush persists the index — tree header and all dirty pages — to its
-// backing store. Only meaningful for an index built with
+// Flush checkpoints the index: all updates since the previous checkpoint
+// become part of the durable base state in the page file and the
+// write-ahead log is truncated. Only meaningful for an index built with
 // IndexConfig.PageFile (or opened with OpenIndex); for an in-memory
 // index it is a harmless no-op. After a Flush the page file can be
-// reopened with OpenIndex.
+// reopened with OpenIndex — though that is equally true at any instant,
+// via WAL replay; Flush just bounds the replay work.
 func (ix *Index) Flush() error {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	if ix.mut != nil {
+		if ix.writeErr != nil {
+			return ix.writeErr
+		}
+		return ix.checkpointLocked()
+	}
 	type flusher interface{ Flush() error }
 	if f, ok := ix.tree.(flusher); ok {
 		return f.Flush()

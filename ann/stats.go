@@ -30,13 +30,23 @@ type IndexStats struct {
 	CacheInvalidations uint64 `json:"cache_invalidations"`
 	CacheEntries       int    `json:"cache_entries"`
 	CacheBytes         int64  `json:"cache_bytes"`
+
+	// Write-ahead-log counters, all zero for an in-memory index (which
+	// has no log). SnapshotPins is the number of snapshot references
+	// currently held by in-flight queries.
+	WALRecords     uint64 `json:"wal_records"`
+	WALFsyncs      uint64 `json:"wal_fsyncs"`
+	WALCheckpoints uint64 `json:"wal_checkpoints"`
+	WALReplayed    uint64 `json:"wal_replayed"`
+	WALReplayNs    int64  `json:"wal_replay_ns"`
+	SnapshotPins   int64  `json:"snapshot_pins"`
 }
 
 // Stats snapshots the index. Safe to call concurrently with queries.
 func (ix *Index) Stats() IndexStats {
 	ps := ix.pool.Stats()
 	st := IndexStats{
-		Points: ix.size,
+		Points: ix.Len(),
 		Dim:    ix.Dim(),
 		Kind:   ix.kind,
 
@@ -48,6 +58,17 @@ func (ix *Index) Stats() IndexStats {
 		PoolRetries:      ps.Retries,
 		PoolCorruptPages: ps.CorruptPages,
 		PinnedFrames:     ix.pool.PinnedFrames(),
+	}
+	if ix.wal != nil {
+		ws := ix.wal.Stats()
+		st.WALRecords = ws.Records
+		st.WALFsyncs = ws.Fsyncs
+		st.WALCheckpoints = ws.Checkpoints
+		st.WALReplayed = ws.Replayed
+		st.WALReplayNs = ws.ReplayNs
+	}
+	if ix.mut != nil {
+		st.SnapshotPins = ix.totalPins()
 	}
 	if nc, ok := ix.tree.(index.NodeCacher); ok {
 		if c := nc.NodeCacheRef(); c != nil {
@@ -62,6 +83,17 @@ func (ix *Index) Stats() IndexStats {
 		}
 	}
 	return st
+}
+
+// RegisterWALMetrics exposes the index's write-ahead-log gauges and
+// counters in m under the "wal." prefix: wal.records, wal.fsyncs,
+// wal.checkpoints, wal.replayed_records, wal.replay_ns and
+// wal.snapshot_pins. No-op for an in-memory index, which has no log.
+func (ix *Index) RegisterWALMetrics(m *MetricsRegistry) {
+	if ix.wal == nil || m == nil {
+		return
+	}
+	ix.wal.Register(m.registry(), "wal")
 }
 
 // RequireNoPinnedFrames forwards to storage.RequireNoPinnedFrames for

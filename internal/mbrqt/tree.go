@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"allnn/internal/geom"
@@ -58,6 +59,13 @@ type Tree struct {
 	// the serving layer) can race with an idempotent re-attach without a
 	// data race; the cache itself is concurrency-safe.
 	cache atomic.Pointer[index.NodeCache]
+
+	// reclaimQ collects deferred-freed refs whose snapshots have all been
+	// released (see Publish); the writer drains it via DrainReclaim. The
+	// mutex is needed because release functions run from reader
+	// goroutines.
+	reclaimMu sync.Mutex
+	reclaimQ  []nodeRef
 }
 
 const metaMagic = 0x4D515432 // "MQT2"
@@ -167,12 +175,12 @@ func (t *Tree) writeMeta() error {
 	return nil
 }
 
-// Flush persists the header and writes all dirty pages to the store.
+// Flush persists the tree durably: all dirty data pages are written and
+// synced before the header page is, so a crash mid-flush can never leave
+// a durable header pointing at unwritten pages. (CheckpointWith is the
+// same protocol with a WAL hook between the two syncs.)
 func (t *Tree) Flush() error {
-	if err := t.writeMeta(); err != nil {
-		return err
-	}
-	return t.pool.FlushAll()
+	return t.CheckpointWith(nil)
 }
 
 // MetaPage returns the page anchoring this tree inside its store.

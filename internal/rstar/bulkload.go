@@ -75,7 +75,8 @@ func (t *Tree) strLevel(entries []entry, capacity int, leaf bool) ([]entry, erro
 			return nil, err
 		}
 		n := &node{leaf: leaf, entries: group}
-		if err := t.writeNode(pid, n); err != nil {
+		pid, err = t.writeNode(pid, n)
+		if err != nil {
 			return nil, err
 		}
 		parents = append(parents, entry{mbr: n.mbr(t.dim), child: pid, count: n.countPoints()})

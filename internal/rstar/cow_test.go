@@ -1,0 +1,138 @@
+package rstar
+
+import (
+	"math/rand"
+	"testing"
+
+	"allnn/internal/geom"
+	"allnn/internal/index"
+)
+
+// snapshotObjects walks a published snapshot and returns every object it
+// holds, keyed by ID.
+func snapshotObjects(t *testing.T, s *Snapshot) map[index.ObjectID]geom.Point {
+	t.Helper()
+	out := make(map[index.ObjectID]geom.Point, s.Len())
+	if s.Len() == 0 {
+		return out
+	}
+	root, err := s.Root()
+	if err != nil {
+		t.Fatalf("snapshot root: %v", err)
+	}
+	stack := []index.Entry{root}
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if e.IsObject() {
+			if _, dup := out[e.Object]; dup {
+				t.Fatalf("snapshot holds object %d twice", e.Object)
+			}
+			out[e.Object] = append(geom.Point{}, e.Point...)
+			continue
+		}
+		kids, err := s.Expand(&e)
+		if err != nil {
+			t.Fatalf("snapshot expand: %v", err)
+		}
+		stack = append(stack, kids...)
+	}
+	if len(out) != s.Len() {
+		t.Fatalf("snapshot enumerated %d objects, Len says %d", len(out), s.Len())
+	}
+	return out
+}
+
+func requireObjects(t *testing.T, label string, got map[index.ObjectID]geom.Point, ids []index.ObjectID, pts []geom.Point) {
+	t.Helper()
+	if len(got) != len(ids) {
+		t.Fatalf("%s: %d objects, want %d", label, len(got), len(ids))
+	}
+	for i, id := range ids {
+		p, ok := got[id]
+		if !ok {
+			t.Fatalf("%s: object %d missing", label, id)
+		}
+		for d := range p {
+			if p[d] != pts[i][d] {
+				t.Fatalf("%s: object %d at %v, want %v", label, id, p, pts[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotIsolationUnderWrites publishes a snapshot, mutates the
+// tree through insert/delete batches heavy enough to trigger splits,
+// reinsertion, and underflow merges, and checks the snapshot still
+// reads exactly the state it froze.
+func TestSnapshotIsolationUnderWrites(t *testing.T) {
+	pool := newPool(256)
+	tree, err := New(pool, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	pts := clusteredPoints(rng, 150, 2, 1)
+	ids := make([]index.ObjectID, len(pts))
+	for i := range pts {
+		ids[i] = index.ObjectID(i)
+		if err := tree.Insert(ids[i], pts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tree.EnableCoW()
+	s1, rel1 := tree.Publish()
+	rel1() // first publish: nothing precedes it, release immediately
+
+	// Batch 1: remove a block (forces underflow handling), add a cluster.
+	for i := 0; i < 40; i++ {
+		if ok, err := tree.Delete(ids[i], pts[i]); err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	add := clusteredPoints(rng, 50, 2, 1)
+	addIDs := make([]index.ObjectID, len(add))
+	for i := range add {
+		addIDs[i] = index.ObjectID(500 + i)
+		if err := tree.Insert(addIDs[i], add[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, rel2 := tree.Publish()
+
+	// s1 must be frozen at the pre-batch state even though the writer has
+	// replaced every node on the mutated root-to-leaf paths.
+	requireObjects(t, "s1 after batch", snapshotObjects(t, s1), ids, pts)
+	wantIDs := append(append([]index.ObjectID{}, ids[40:]...), addIDs...)
+	wantPts := append(append([]geom.Point{}, pts[40:]...), add...)
+	requireObjects(t, "s2", snapshotObjects(t, s2), wantIDs, wantPts)
+
+	// s1 readers are done: retire batch 1's superseded pages and reclaim.
+	rel2()
+	if err := tree.DrainReclaim(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch 2 after reclaim: recycled pages must not disturb s2.
+	for i := 0; i < 15; i++ {
+		if ok, err := tree.Delete(addIDs[i], add[i]); err != nil || !ok {
+			t.Fatalf("delete new %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	_, rel3 := tree.Publish()
+	requireObjects(t, "s2 after batch 2", snapshotObjects(t, s2), wantIDs, wantPts)
+	rel3()
+
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.CheckpointWith(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.PinnedFrames(); got != 0 {
+		t.Fatalf("%d pinned frames after checkpoint", got)
+	}
+	if tree.Len() != 150-40+50-15 {
+		t.Fatalf("final Len %d", tree.Len())
+	}
+}

@@ -23,6 +23,7 @@ func (t *Tree) Delete(id index.ObjectID, pt geom.Point) (bool, error) {
 	if !res.found {
 		return false, nil
 	}
+	t.root = res.pid // the root never dissolves, but CoW may relocate it
 	t.size--
 
 	// Drain the entries orphaned by condensed nodes.
@@ -65,6 +66,8 @@ func (t *Tree) Delete(id index.ObjectID, pt geom.Point) (bool, error) {
 
 type deleteResult struct {
 	found bool
+	// pid is where the surviving node lives now (CoW may relocate it).
+	pid   storage.PageID
 	mbr   geom.Rect
 	count uint32
 	// dissolved reports that the node underflowed and was freed; its
@@ -97,10 +100,11 @@ func (t *Tree) deleteRec(pid storage.PageID, level int, id index.ObjectID, pt ge
 			t.freePage(pid)
 			return deleteResult{found: true, dissolved: true}, nil
 		}
-		if err := t.writeNode(pid, n); err != nil {
+		newPid, err := t.writeNode(pid, n)
+		if err != nil {
 			return deleteResult{}, err
 		}
-		return deleteResult{found: true, mbr: n.mbr(t.dim), count: n.countPoints()}, nil
+		return deleteResult{found: true, pid: newPid, mbr: n.mbr(t.dim), count: n.countPoints()}, nil
 	}
 
 	for i := range n.entries {
@@ -118,6 +122,7 @@ func (t *Tree) deleteRec(pid storage.PageID, level int, id index.ObjectID, pt ge
 		if res.dissolved {
 			n.entries = append(n.entries[:i], n.entries[i+1:]...)
 		} else {
+			e.child = res.pid
 			e.mbr = res.mbr
 			e.count = res.count
 		}
@@ -131,10 +136,11 @@ func (t *Tree) deleteRec(pid storage.PageID, level int, id index.ObjectID, pt ge
 			t.freePage(pid)
 			return deleteResult{found: true, dissolved: true}, nil
 		}
-		if err := t.writeNode(pid, n); err != nil {
+		newPid, err := t.writeNode(pid, n)
+		if err != nil {
 			return deleteResult{}, err
 		}
-		return deleteResult{found: true, mbr: n.mbr(t.dim), count: n.countPoints()}, nil
+		return deleteResult{found: true, pid: newPid, mbr: n.mbr(t.dim), count: n.countPoints()}, nil
 	}
 	return deleteResult{found: false}, nil
 }

@@ -149,10 +149,22 @@ func (t *Tree) readNode(pid storage.PageID) (*node, error) {
 	return n, nil
 }
 
-// writeNode stores n at pid. The entry count must fit a single page.
-// Every structural mutation funnels through here, so it also drops the
-// page's stale decoded form from the node cache.
-func (t *Tree) writeNode(pid storage.PageID, n *node) error {
+// writeNode stores n, normally at pid, and returns the page the node now
+// occupies. In copy-on-write mode a node on a published page is never
+// overwritten: the new version lands on a freshly allocated (writable)
+// page, the old page is deferred for the snapshots still reading it, and
+// the caller must record the returned page in the parent. Every
+// structural mutation funnels through here, so it also drops the page's
+// stale decoded form from the node cache.
+func (t *Tree) writeNode(pid storage.PageID, n *node) (storage.PageID, error) {
+	if t.cow && !t.writable[pid] {
+		t.deferred = append(t.deferred, pid)
+		newPid, err := t.allocPage()
+		if err != nil {
+			return storage.InvalidPage, err
+		}
+		pid = newPid
+	}
 	t.cache.Load().Invalidate(pid)
 	var max int
 	if n.leaf {
@@ -161,11 +173,11 @@ func (t *Tree) writeNode(pid storage.PageID, n *node) error {
 		max = maxEntriesFor(internalEntrySize(t.dim))
 	}
 	if len(n.entries) > max {
-		return fmt.Errorf("rstar: node with %d entries exceeds page fanout %d", len(n.entries), max)
+		return storage.InvalidPage, fmt.Errorf("rstar: node with %d entries exceeds page fanout %d", len(n.entries), max)
 	}
 	f, err := t.pool.Get(pid)
 	if err != nil {
-		return fmt.Errorf("rstar: write node page %d: %w", pid, err)
+		return storage.InvalidPage, fmt.Errorf("rstar: write node page %d: %w", pid, err)
 	}
 	defer f.Release()
 	data := f.Data()
@@ -203,21 +215,33 @@ func (t *Tree) writeNode(pid storage.PageID, n *node) error {
 		}
 	}
 	f.MarkDirty()
-	return nil
+	return pid, nil
 }
 
 // freePage returns a node page to the tree's free list, dropping any
-// cached decode so a recycled page can never serve stale entries.
+// cached decode so a recycled page can never serve stale entries. In CoW
+// mode a published page is only deferred: snapshots may still traverse
+// it, and the durable root may still reference it, so it re-enters the
+// free list via reclaim and the checkpoint fence.
 func (t *Tree) freePage(pid storage.PageID) {
+	if t.cow && !t.writable[pid] {
+		t.deferred = append(t.deferred, pid)
+		return
+	}
 	t.cache.Load().Invalidate(pid)
 	t.freePages = append(t.freePages, pid)
 }
 
-// allocPage takes a page from the free list or the shared store.
+// allocPage takes a page from the free list or the shared store. In CoW
+// mode the returned page joins the current batch's writable set (free
+// pages are checkpoint-fenced, so rewriting them is safe).
 func (t *Tree) allocPage() (storage.PageID, error) {
 	if n := len(t.freePages); n > 0 {
 		pid := t.freePages[n-1]
 		t.freePages = t.freePages[:n-1]
+		if t.cow {
+			t.writable[pid] = true
+		}
 		return pid, nil
 	}
 	f, err := t.pool.NewPage()
@@ -226,5 +250,8 @@ func (t *Tree) allocPage() (storage.PageID, error) {
 	}
 	pid := f.ID()
 	f.Release()
+	if t.cow {
+		t.writable[pid] = true
+	}
 	return pid, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"allnn/internal/geom"
@@ -75,7 +76,23 @@ type Tree struct {
 	size   int
 	bounds geom.Rect
 
+	// freePages holds reusable node pages. In CoW mode only
+	// checkpoint-fenced pages land here (see freePage / fence).
 	freePages []storage.PageID
+
+	// Copy-on-write state; inert until EnableCoW. R* nodes occupy whole
+	// pages, so the CoW unit is the page itself: a batch writes only
+	// pages in its writable set, published pages are deferred on free and
+	// relocated on update (see writeNode).
+	cow      bool
+	writable map[storage.PageID]bool
+	deferred []storage.PageID // pages unlinked this batch, pending release
+	drained  []storage.PageID // released pages awaiting the checkpoint fence
+
+	// reclaimQ collects deferred pages whose snapshots have all been
+	// dropped; release functions append from reader goroutines.
+	reclaimMu sync.Mutex
+	reclaimQ  []storage.PageID
 
 	// cache, when attached, serves Expand from decoded entry slices keyed
 	// by page id. writeNode and the delete paths invalidate through it.
@@ -181,12 +198,12 @@ func (t *Tree) writeMeta() error {
 	return nil
 }
 
-// Flush persists the header and all dirty pages.
+// Flush persists the tree durably: all dirty data pages are written and
+// synced before the header page is, so a crash mid-flush can never leave
+// a durable header pointing at unwritten pages. (CheckpointWith is the
+// same protocol with a WAL hook between the two syncs.)
 func (t *Tree) Flush() error {
-	if err := t.writeMeta(); err != nil {
-		return err
-	}
-	return t.pool.FlushAll()
+	return t.CheckpointWith(nil)
 }
 
 // MetaPage returns the page anchoring this tree inside its store.
@@ -316,7 +333,8 @@ func (t *Tree) insertEntry(e entry, level int) error {
 		if err != nil {
 			return err
 		}
-		if err := t.writeNode(pid, &node{leaf: true, entries: []entry{e}}); err != nil {
+		pid, err = t.writeNode(pid, &node{leaf: true, entries: []entry{e}})
+		if err != nil {
 			return err
 		}
 		t.root = pid
@@ -327,14 +345,16 @@ func (t *Tree) insertEntry(e entry, level int) error {
 	if err != nil {
 		return err
 	}
+	t.root = res.pid
 	if res.split != nil {
 		// Grow a new root over the old root and its split sibling.
-		oldRootEntry := entry{mbr: res.mbr, child: t.root, count: res.count}
+		oldRootEntry := entry{mbr: res.mbr, child: res.pid, count: res.count}
 		newRoot, err := t.allocPage()
 		if err != nil {
 			return err
 		}
-		if err := t.writeNode(newRoot, &node{leaf: false, entries: []entry{oldRootEntry, *res.split}}); err != nil {
+		newRoot, err = t.writeNode(newRoot, &node{leaf: false, entries: []entry{oldRootEntry, *res.split}})
+		if err != nil {
 			return err
 		}
 		t.root = newRoot
@@ -343,8 +363,10 @@ func (t *Tree) insertEntry(e entry, level int) error {
 	return nil
 }
 
-// insertResult carries the updated geometry of a child back to its parent.
+// insertResult carries the updated geometry — and the possibly relocated
+// page — of a child back to its parent.
 type insertResult struct {
+	pid   storage.PageID // where the node lives now (CoW may relocate it)
 	mbr   geom.Rect
 	count uint32
 	split *entry // sibling created by a node split, to be added to the parent
@@ -360,10 +382,11 @@ func (t *Tree) insertRec(pid storage.PageID, nodeLevel int, e entry, targetLevel
 		if len(n.entries) > t.cfg.MaxEntries {
 			return t.handleOverflow(pid, n, nodeLevel)
 		}
-		if err := t.writeNode(pid, n); err != nil {
+		newPid, err := t.writeNode(pid, n)
+		if err != nil {
 			return insertResult{}, err
 		}
-		return insertResult{mbr: n.mbr(t.dim), count: n.countPoints()}, nil
+		return insertResult{pid: newPid, mbr: n.mbr(t.dim), count: n.countPoints()}, nil
 	}
 
 	i := t.chooseSubtree(n, e.mbr, nodeLevel-1 == targetLevel)
@@ -372,6 +395,7 @@ func (t *Tree) insertRec(pid storage.PageID, nodeLevel int, e entry, targetLevel
 	if err != nil {
 		return insertResult{}, err
 	}
+	child.child = res.pid
 	child.mbr = res.mbr
 	child.count = res.count
 	if res.split != nil {
@@ -380,10 +404,11 @@ func (t *Tree) insertRec(pid storage.PageID, nodeLevel int, e entry, targetLevel
 			return t.handleOverflow(pid, n, nodeLevel)
 		}
 	}
-	if err := t.writeNode(pid, n); err != nil {
+	newPid, err := t.writeNode(pid, n)
+	if err != nil {
 		return insertResult{}, err
 	}
-	return insertResult{mbr: n.mbr(t.dim), count: n.countPoints()}, nil
+	return insertResult{pid: newPid, mbr: n.mbr(t.dim), count: n.countPoints()}, nil
 }
 
 // chooseSubtree implements the R* descent heuristic: at the level just
@@ -438,28 +463,32 @@ func (t *Tree) handleOverflow(pid storage.PageID, n *node, level int) (insertRes
 		t.reinserting[level] = true
 		kept, evicted := t.pickReinsertions(n)
 		n.entries = kept
-		if err := t.writeNode(pid, n); err != nil {
+		newPid, err := t.writeNode(pid, n)
+		if err != nil {
 			return insertResult{}, err
 		}
 		for _, ev := range evicted {
 			t.pending = append(t.pending, pendingEntry{e: ev, level: level})
 		}
-		return insertResult{mbr: n.mbr(t.dim), count: n.countPoints()}, nil
+		return insertResult{pid: newPid, mbr: n.mbr(t.dim), count: n.countPoints()}, nil
 	}
 
 	left, right := t.splitNode(n)
-	if err := t.writeNode(pid, left); err != nil {
+	leftPid, err := t.writeNode(pid, left)
+	if err != nil {
 		return insertResult{}, err
 	}
 	sibPage, err := t.allocPage()
 	if err != nil {
 		return insertResult{}, err
 	}
-	if err := t.writeNode(sibPage, right); err != nil {
+	sibPage, err = t.writeNode(sibPage, right)
+	if err != nil {
 		return insertResult{}, err
 	}
 	sibEntry := entry{mbr: right.mbr(t.dim), child: sibPage, count: right.countPoints()}
 	return insertResult{
+		pid:   leftPid,
 		mbr:   left.mbr(t.dim),
 		count: left.countPoints(),
 		split: &sibEntry,

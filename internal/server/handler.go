@@ -75,6 +75,10 @@ func (s *Server) dispatch(ctx context.Context, rc *reqCtx, hdr wire.RequestHeade
 		return s.withSlot(ctx, rc, func() error { return s.handleWithin(ctx, hdr, req, w) })
 	case *wire.PairsReq:
 		return s.withSlot(ctx, rc, func() error { return s.handlePairs(ctx, hdr, req, w) })
+	case *wire.InsertReq:
+		return s.withSlot(ctx, rc, func() error { return s.handleInsert(hdr, req, w) })
+	case *wire.DeleteReq:
+		return s.withSlot(ctx, rc, func() error { return s.handleDelete(hdr, req, w) })
 	default:
 		return badRequest("unhandled request type %T", body)
 	}
@@ -160,6 +164,51 @@ func (s *Server) handleStats(hdr wire.RequestHeader, req *wire.StatsReq, w *conn
 		CacheInvalidations: st.CacheInvalidations,
 		CacheEntries:       uint64(st.CacheEntries),
 		CacheBytes:         uint64(st.CacheBytes),
+
+		WALRecords:     st.WALRecords,
+		WALFsyncs:      st.WALFsyncs,
+		WALCheckpoints: st.WALCheckpoints,
+		WALReplayed:    st.WALReplayed,
+		WALReplayNs:    uint64(st.WALReplayNs),
+		SnapshotPins:   uint64(st.SnapshotPins),
+	})
+}
+
+// --- mutations --------------------------------------------------------------
+
+// The catalog entry's read lock is enough for a mutation: it only
+// excludes Close, while ann.Index's own write lock serialises writers
+// against each other (queries need no exclusion at all — they run on
+// the snapshot published by the last completed batch).
+
+func (s *Server) handleInsert(hdr wire.RequestHeader, req *wire.InsertReq, w *connWriter) error {
+	e, ix, err := s.catalog.acquire(req.Index)
+	if err != nil {
+		return err
+	}
+	defer e.release()
+	if err := ix.InsertBatch(req.IDs, req.Points); err != nil {
+		return err
+	}
+	return w.send(hdr.ID, wire.KindResult, hdr.Op, &wire.InsertReply{
+		Inserted: uint64(len(req.IDs)),
+		Size:     uint64(ix.Len()),
+	})
+}
+
+func (s *Server) handleDelete(hdr wire.RequestHeader, req *wire.DeleteReq, w *connWriter) error {
+	e, ix, err := s.catalog.acquire(req.Index)
+	if err != nil {
+		return err
+	}
+	defer e.release()
+	found, err := ix.DeleteBatch(req.IDs, req.Points)
+	if err != nil {
+		return err
+	}
+	return w.send(hdr.ID, wire.KindResult, hdr.Op, &wire.DeleteReply{
+		Found: uint64(found),
+		Size:  uint64(ix.Len()),
 	})
 }
 

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"allnn/ann"
+	"allnn/ann/client"
+	"allnn/internal/wire"
+)
+
+// TestServedMutations drives the insert/delete wire ops end to end:
+// writes through the client change what subsequent served queries see,
+// and error classification matches the client helpers.
+func TestServedMutations(t *testing.T) {
+	pts := randomPoints(110, 200, 2)
+	ix := buildIndex(t, pts, ann.MBRQT)
+	srv, cl, _ := startServer(t, Config{})
+	if err := srv.Catalog().Add("pts", ix); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Insert a far-corner point and find it as its own nearest neighbor.
+	target := ann.Point{99.5, 99.5}
+	size, err := cl.Insert(ctx, "pts", []uint64{9000}, []ann.Point{target})
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if size != uint64(len(pts))+1 {
+		t.Fatalf("insert reported size %d, want %d", size, len(pts)+1)
+	}
+	nb, err := cl.KNN(ctx, "pts", target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nb) != 1 || nb[0].ID != 9000 {
+		t.Fatalf("post-insert NN = %v, want id 9000", nb)
+	}
+
+	// Delete it again; a second delete finds nothing.
+	found, size, err := cl.Delete(ctx, "pts", []uint64{9000}, []ann.Point{target})
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if found != 1 || size != uint64(len(pts)) {
+		t.Fatalf("delete reported found=%d size=%d", found, size)
+	}
+	if found, _, err = cl.Delete(ctx, "pts", []uint64{9000}, []ann.Point{target}); err != nil || found != 0 {
+		t.Fatalf("re-delete: found=%d err=%v", found, err)
+	}
+
+	// Validation failures surface as BAD_REQUEST before anything is
+	// logged or applied.
+	if _, err := cl.Insert(ctx, "pts", []uint64{1}, []ann.Point{{1, 2, 3}}); !client.IsBadRequest(err) {
+		t.Fatalf("dim-mismatch insert: %v, want BAD_REQUEST", err)
+	}
+	if _, err := cl.Insert(ctx, "pts", []uint64{1, 2}, []ann.Point{{1, 2}}); !client.IsBadRequest(err) {
+		t.Fatalf("id/point count mismatch: %v, want BAD_REQUEST", err)
+	}
+	if _, err := cl.Insert(ctx, "nope", []uint64{1}, []ann.Point{{1, 2}}); !client.IsNotFound(err) {
+		t.Fatalf("unknown index: %v, want NOT_FOUND", err)
+	}
+
+	// The WRITE_FAILED classification helper matches the wire code.
+	if !client.IsWriteFailed(&wire.Error{Code: wire.CodeWriteFailed}) {
+		t.Fatal("IsWriteFailed must match CodeWriteFailed")
+	}
+	if client.IsWriteFailed(&wire.Error{Code: wire.CodeBadRequest}) {
+		t.Fatal("IsWriteFailed must not match other codes")
+	}
+}

@@ -483,6 +483,10 @@ func toWireError(err error) *wire.Error {
 		return &wire.Error{Code: wire.CodeNotFound, Msg: err.Error()}
 	case errors.Is(err, ann.ErrInvalidConfig):
 		return &wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()}
+	case errors.Is(err, ann.ErrWriteFailed):
+		return &wire.Error{Code: wire.CodeWriteFailed, Msg: err.Error()}
+	case errors.Is(err, ann.ErrCorruptPage):
+		return &wire.Error{Code: wire.CodeCorruptIndex, Msg: err.Error()}
 	case errors.Is(err, context.DeadlineExceeded):
 		return &wire.Error{Code: wire.CodeDeadlineExceeded, Msg: "request deadline exceeded"}
 	case errors.Is(err, context.Canceled):

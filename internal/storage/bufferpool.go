@@ -442,12 +442,24 @@ func (p *BufferPool) NewPage() (*Frame, error) {
 // FlushAll writes every dirty resident page back to the store. Pinned
 // pages are flushed too (they stay resident and pinned).
 func (p *BufferPool) FlushAll() error {
+	return p.flushExcept(InvalidPage)
+}
+
+// FlushAllExcept is FlushAll with one page held back. Checkpoints use it
+// to write every page but the tree's meta page, sync, and only then
+// write the meta page — making the meta write the atomic commit point of
+// the checkpoint.
+func (p *BufferPool) FlushAllExcept(except PageID) error {
+	return p.flushExcept(except)
+}
+
+func (p *BufferPool) flushExcept(except PageID) error {
 	for si := range p.shards {
 		sh := &p.shards[si]
 		sh.mu.Lock()
 		for i := range sh.frames {
 			f := &sh.frames[i]
-			if f.id != InvalidPage && f.dirty {
+			if f.id != InvalidPage && f.id != except && f.dirty {
 				if err := sh.store.WritePage(f.id, f.data); err != nil {
 					sh.mu.Unlock()
 					return err
@@ -458,6 +470,29 @@ func (p *BufferPool) FlushAll() error {
 		}
 		sh.mu.Unlock()
 	}
+	return nil
+}
+
+// FlushPage writes page id back to the store if it is resident and
+// dirty. A non-resident page was either never dirtied or already written
+// back by eviction, so there is nothing to do.
+func (p *BufferPool) FlushPage(id PageID) error {
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	idx, ok := sh.table[id]
+	if !ok {
+		return nil
+	}
+	f := &sh.frames[idx]
+	if !f.dirty {
+		return nil
+	}
+	if err := sh.store.WritePage(f.id, f.data); err != nil {
+		return err
+	}
+	sh.stats.Writes++
+	f.dirty = false
 	return nil
 }
 

@@ -15,8 +15,12 @@ import "errors"
 //     retried (injected faults, and the class a real device's EINTR/EAGAIN
 //     family maps to). The BufferPool retries these with capped,
 //     jittered exponential backoff before giving up.
+//   - ErrWriteFailed: a write-path operation (page write, file sync, WAL
+//     append) failed against the device and durability can no longer be
+//     promised for it. Unlike ErrTransientIO it is not auto-retried: the
+//     caller must decide whether the mutation is abandoned or replayed.
 //
-// Both always travel wrapped with the page id (and usually the operation),
+// All always travel wrapped with the page id (and usually the operation),
 // so a surfaced error reads like "storage: page 17: checksum mismatch ...:
 // corrupt page".
 var (
@@ -24,6 +28,9 @@ var (
 	ErrCorruptPage = errors.New("corrupt page")
 	// ErrTransientIO marks failures worth retrying.
 	ErrTransientIO = errors.New("transient I/O failure")
+	// ErrWriteFailed marks a failed durable write (page write, sync, or
+	// WAL append).
+	ErrWriteFailed = errors.New("write failed")
 )
 
 // IsCorrupt reports whether err is classified as page corruption.
@@ -31,3 +38,7 @@ func IsCorrupt(err error) bool { return errors.Is(err, ErrCorruptPage) }
 
 // IsTransient reports whether err is classified as retryable.
 func IsTransient(err error) bool { return errors.Is(err, ErrTransientIO) }
+
+// IsWriteFailed reports whether err is classified as a durable-write
+// failure.
+func IsWriteFailed(err error) bool { return errors.Is(err, ErrWriteFailed) }

@@ -51,6 +51,12 @@ type FaultConfig struct {
 	FailWritesAfter int
 	FailAllocsAfter int
 
+	// FailSyncsAfter is the same countdown for Sync; injected failures
+	// wrap ErrWriteFailed (a failed fsync is a durability loss, not a
+	// retryable hiccup). The crash-recovery loop uses it to kill an index
+	// mid-checkpoint.
+	FailSyncsAfter int
+
 	// TransientReadErrs fails each of the next n ReadPage calls
 	// transiently and then subsides — unlike the sticky FailReadsAfter,
 	// this is the knob for observing a retry that eventually succeeds.
@@ -62,6 +68,7 @@ type FaultStats struct {
 	ReadErrors  uint64 // transient read failures injected
 	WriteErrors uint64 // transient write failures injected
 	AllocErrors uint64 // allocate failures injected
+	SyncErrors  uint64 // sync failures injected
 	BitFlips    uint64 // pages corrupted by a bit flip
 	TornWrites  uint64 // pages corrupted by a torn write
 }
@@ -245,6 +252,21 @@ func (s *FaultStore) Allocate() (PageID, error) {
 
 // NumPages implements Store.
 func (s *FaultStore) NumPages() int { return s.inner.NumPages() }
+
+// Sync implements Store.
+func (s *FaultStore) Sync() error {
+	s.mu.Lock()
+	if s.cfg.FailSyncsAfter > 0 {
+		if s.cfg.FailSyncsAfter == 1 {
+			s.stats.SyncErrors++
+			s.mu.Unlock()
+			return fmt.Errorf("storage: injected fault syncing store: %w", ErrWriteFailed)
+		}
+		s.cfg.FailSyncsAfter--
+	}
+	s.mu.Unlock()
+	return s.inner.Sync()
+}
 
 // Close implements Store.
 func (s *FaultStore) Close() error { return s.inner.Close() }

@@ -20,9 +20,16 @@
 // The buffer pool and both stores are safe for concurrent use: the pool
 // shards its frames by page id behind per-shard mutexes so that the
 // parallel ANN executor's subtree workers can read index pages through a
-// shared pool. The index structures built on top remain single-writer
-// (concurrent *reads* of a finished index are safe; concurrent inserts
-// are not).
+// shared pool. The index structures built on top remain single-writer,
+// but once a tree enables copy-on-write versioning (see the mbrqt and
+// rstar packages) that single writer may run concurrently with readers:
+// published pages are never mutated, so reader pins and writer updates
+// touch disjoint pages.
+//
+// Durability is layered on top by the WAL (see wal.go): mutations are
+// logged and fsynced before they touch tree pages, checkpoints flush the
+// pool with the tree's meta page written and synced last, and recovery
+// replays the committed log suffix against the last checkpointed root.
 package storage
 
 import (
@@ -56,6 +63,10 @@ type Store interface {
 	Allocate() (PageID, error)
 	// NumPages returns the number of allocated pages.
 	NumPages() int
+	// Sync forces previously written pages to stable storage. A failure
+	// wraps ErrWriteFailed: the durability of everything written since
+	// the last successful Sync is unknown.
+	Sync() error
 	// Close releases the underlying resources.
 	Close() error
 }
@@ -120,6 +131,9 @@ func (s *MemStore) NumPages() int {
 	defer s.mu.RUnlock()
 	return len(s.pages)
 }
+
+// Sync implements Store. Memory is as stable as it gets.
+func (s *MemStore) Sync() error { return nil }
 
 // Close implements Store.
 func (s *MemStore) Close() error {
@@ -268,16 +282,20 @@ func (s *FileStore) WritePage(id PageID, buf []byte) error {
 		return fmt.Errorf("storage: write of unallocated page %d (have %d)", id, n)
 	}
 	if s.legacy {
-		_, err := s.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
-		return err
+		if _, err := s.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+			return fmt.Errorf("storage: page %d: %v: %w", id, err, ErrWriteFailed)
+		}
+		return nil
 	}
 	physPtr := physBufPool.Get().(*[]byte)
 	phys := *physPtr
 	defer physBufPool.Put(physPtr)
 	copy(phys[PageHeaderSize:], buf[:PageSize])
 	sealPage(phys, id)
-	_, err := s.f.WriteAt(phys, int64(id)*physPageSize)
-	return err
+	if _, err := s.f.WriteAt(phys, int64(id)*physPageSize); err != nil {
+		return fmt.Errorf("storage: page %d: %v: %w", id, err, ErrWriteFailed)
+	}
+	return nil
 }
 
 // Allocate implements Store. In the current format the fresh page is
@@ -319,6 +337,15 @@ func (s *FileStore) NumPages() int {
 
 // Path returns the location of the backing file.
 func (s *FileStore) Path() string { return s.path }
+
+// Sync implements Store: an fsync of the backing file, the durability
+// fence every checkpoint relies on.
+func (s *FileStore) Sync() error {
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync page file: %v: %w", err, ErrWriteFailed)
+	}
+	return nil
+}
 
 // Close implements Store, removing the file if it was created as a temp
 // store.

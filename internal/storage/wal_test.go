@@ -1,0 +1,289 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestWALAppendRecover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	for i, pt := range pts {
+		if err := w.AppendInsert(uint64(i), pt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.AppendDelete(99, []float64{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Records != 4 || st.Fsyncs != 1 {
+		t.Fatalf("stats after one group commit: %+v", st)
+	}
+	if w.Empty() {
+		t.Fatal("WAL with records reports empty")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	snap, ops, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Fatalf("unexpected meta snapshot %+v", snap)
+	}
+	if len(ops) != 4 {
+		t.Fatalf("recovered %d ops, want 4", len(ops))
+	}
+	for i, pt := range pts {
+		if !ops[i].IsWALInsert() || ops[i].ID != uint64(i) || !sliceEq(ops[i].Point, pt) {
+			t.Fatalf("op %d = %+v, want insert %d %v", i, ops[i], i, pt)
+		}
+	}
+	if !ops[3].IsWALDelete() || ops[3].ID != 99 {
+		t.Fatalf("op 3 = %+v, want delete 99", ops[3])
+	}
+}
+
+func TestWALMetaSnapshotSplitsReplay(t *testing.T) {
+	f := NewMemWALFile()
+	w, err := NewWALOn(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, PageSize)
+	page[0], page[100] = 0xAB, 0xCD
+	w.AppendInsert(1, []float64{1})
+	w.AppendInsert(2, []float64{2})
+	w.AppendMeta(7, page)
+	w.AppendInsert(3, []float64{3})
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := NewWALOn(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ops, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.PageID != 7 || !bytes.Equal(snap.Page, page) {
+		t.Fatalf("snapshot not recovered: %+v", snap)
+	}
+	if len(ops) != 1 || ops[0].ID != 3 {
+		t.Fatalf("ops after snapshot = %+v, want just insert 3", ops)
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	f := NewMemWALFile()
+	w, err := NewWALOn(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AppendInsert(1, []float64{1, 2})
+	w.AppendInsert(2, []float64{3, 4})
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	goodSize, _ := f.Size()
+
+	// A torn append: only part of the third record reaches the file.
+	rec := AppendWALInsert(nil, 3, []float64{5, 6})
+	var framed []byte
+	framed = binary.LittleEndian.AppendUint32(framed, uint32(len(rec)))
+	framed = binary.LittleEndian.AppendUint32(framed, 0xDEADBEEF) // wrong CRC anyway
+	framed = append(framed, rec...)
+	f.WriteAt(framed[:len(framed)-5], goodSize)
+
+	w2, err := NewWALOn(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ops, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil || len(ops) != 2 {
+		t.Fatalf("recovered snap=%v ops=%d, want nil/2", snap, len(ops))
+	}
+	if size, _ := f.Size(); size != goodSize {
+		t.Fatalf("torn tail not truncated: size %d, want %d", size, goodSize)
+	}
+	// The log must accept appends cleanly after truncation.
+	if err := w2.AppendInsert(3, []float64{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	w3, _ := NewWALOn(f)
+	_, ops, err = w3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 {
+		t.Fatalf("after post-recovery append: %d ops, want 3", len(ops))
+	}
+}
+
+func TestWALBitFlipCutsCommitPoint(t *testing.T) {
+	f := NewMemWALFile()
+	w, _ := NewWALOn(f)
+	w.AppendInsert(1, []float64{1})
+	w.AppendInsert(2, []float64{2})
+	w.AppendInsert(3, []float64{3})
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit of the second record (below its checksum).
+	rec1 := walHeaderSize + walRecHeader + 1 + 8 + 2 + 8
+	var b [1]byte
+	f.ReadAt(b[:], int64(rec1+walRecHeader+3))
+	b[0] ^= 0x10
+	f.WriteAt(b[:], int64(rec1+walRecHeader+3))
+
+	w2, _ := NewWALOn(f)
+	_, ops, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0].ID != 1 {
+		t.Fatalf("recovered %+v, want exactly the record before the flip", ops)
+	}
+}
+
+func TestWALResetAndEmpty(t *testing.T) {
+	f := NewMemWALFile()
+	w, _ := NewWALOn(f)
+	if !w.Empty() {
+		t.Fatal("fresh WAL not empty")
+	}
+	w.AppendInsert(1, []float64{1})
+	w.Sync()
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Empty() {
+		t.Fatal("WAL not empty after Reset")
+	}
+	if w.Stats().Checkpoints != 1 {
+		t.Fatalf("checkpoints = %d, want 1", w.Stats().Checkpoints)
+	}
+	w2, _ := NewWALOn(f)
+	snap, ops, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil || len(ops) != 0 {
+		t.Fatalf("reset log recovered snap=%v ops=%d", snap, len(ops))
+	}
+}
+
+func TestWALFaultTornWriteRecoversPrefix(t *testing.T) {
+	mem := NewMemWALFile()
+	// First batch lands cleanly.
+	w, _ := NewWALOn(mem)
+	w.AppendInsert(1, []float64{1, 1})
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	goodSize, _ := mem.Size()
+
+	// Second batch is torn mid-write at every possible byte offset; the
+	// recovered log must always be a prefix of the op sequence.
+	batch := [][]float64{{2, 2}, {3, 3}}
+	var encoded []byte
+	for i, pt := range batch {
+		rec := AppendWALInsert(nil, uint64(i+2), pt)
+		encoded = binary.LittleEndian.AppendUint32(encoded, uint32(len(rec)))
+		encoded = append(encoded, 0, 0, 0, 0)
+		encoded = append(encoded, rec...)
+	}
+	for keep := 0; keep <= len(encoded); keep += 7 {
+		mem.Truncate(goodSize)
+		fw := NewFaultWALFile(mem, WALFaultConfig{TornWriteAfter: 1, TornKeepBytes: keep})
+		w2, err := NewWALOn(fw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2.AppendInsert(2, batch[0])
+		w2.AppendInsert(3, batch[1])
+		if err := w2.Sync(); err == nil {
+			t.Fatalf("keep=%d: torn sync did not fail", keep)
+		} else if !IsWriteFailed(err) {
+			t.Fatalf("keep=%d: torn sync error %v not classified as write failure", keep, err)
+		}
+		// The WAL is broken now; appends must refuse.
+		if err := w2.AppendInsert(4, []float64{4, 4}); err == nil {
+			t.Fatalf("keep=%d: broken WAL accepted an append", keep)
+		}
+
+		// "Crash" and recover: the committed prefix plus 0..2 records of
+		// the torn batch, never garbage.
+		w3, err := NewWALOn(mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, ops, err := w3.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap != nil {
+			t.Fatalf("keep=%d: phantom snapshot", keep)
+		}
+		if len(ops) < 1 || len(ops) > 3 {
+			t.Fatalf("keep=%d: recovered %d ops", keep, len(ops))
+		}
+		for i, op := range ops {
+			if op.ID != uint64(i+1) {
+				t.Fatalf("keep=%d: op %d has id %d — not a prefix", keep, i, op.ID)
+			}
+		}
+	}
+}
+
+func TestWALRoundTripFloats(t *testing.T) {
+	vals := []float64{0, -0.0, 1.5, math.Inf(1), math.Inf(-1), math.NaN(), math.MaxFloat64}
+	payload := AppendWALInsert(nil, 42, vals)
+	rec, err := DecodeWALRecord(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if math.Float64bits(rec.Point[i]) != math.Float64bits(v) {
+			t.Fatalf("value %d: %v != %v (bits)", i, rec.Point[i], v)
+		}
+	}
+}
+
+func sliceEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -274,6 +274,68 @@ func (m *PairsReq) decode(d *Decoder) {
 	m.ExcludeSelf = d.Bool("pairs exclude-self")
 }
 
+// InsertReq (OpInsert) durably adds a batch of points to a live index.
+// IDs and Points are parallel slices; the whole batch is committed with
+// one log fsync, so a success reply means all of it survives any crash.
+type InsertReq struct {
+	Index  string
+	IDs    []uint64
+	Points [][]float64
+}
+
+func (m *InsertReq) encode(e *Encoder) {
+	e.String(m.Index)
+	e.U64s(m.IDs)
+	e.Uvarint(uint64(len(m.Points)))
+	for _, p := range m.Points {
+		e.F64s(p)
+	}
+}
+
+func (m *InsertReq) decode(d *Decoder) {
+	m.Index = d.String("insert index")
+	m.IDs = d.U64s("insert ids")
+	n := d.Count(1, "insert points")
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Points = make([][]float64, n)
+	for i := range m.Points {
+		m.Points[i] = d.F64s("insert point")
+	}
+}
+
+// DeleteReq (OpDelete) durably removes a batch of points (matched by id
+// AND coordinates) from a live index. Absent points are durable no-ops,
+// counted by the reply's Found.
+type DeleteReq struct {
+	Index  string
+	IDs    []uint64
+	Points [][]float64
+}
+
+func (m *DeleteReq) encode(e *Encoder) {
+	e.String(m.Index)
+	e.U64s(m.IDs)
+	e.Uvarint(uint64(len(m.Points)))
+	for _, p := range m.Points {
+		e.F64s(p)
+	}
+}
+
+func (m *DeleteReq) decode(d *Decoder) {
+	m.Index = d.String("delete index")
+	m.IDs = d.U64s("delete ids")
+	n := d.Count(1, "delete points")
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Points = make([][]float64, n)
+	for i := range m.Points {
+		m.Points[i] = d.F64s("delete point")
+	}
+}
+
 // --- responses --------------------------------------------------------------
 
 // ErrorReply (KindError) carries a typed failure.
@@ -344,6 +406,13 @@ type StatsReply struct {
 	CacheInvalidations uint64
 	CacheEntries       uint64
 	CacheBytes         uint64
+
+	WALRecords     uint64
+	WALFsyncs      uint64
+	WALCheckpoints uint64
+	WALReplayed    uint64
+	WALReplayNs    uint64
+	SnapshotPins   uint64
 }
 
 func (m *StatsReply) encode(e *Encoder) {
@@ -353,6 +422,8 @@ func (m *StatsReply) encode(e *Encoder) {
 		m.PoolEvictions, m.PoolRetries, m.PoolCorruptPages, m.PinnedFrames,
 		m.CacheHits, m.CacheMisses, m.CacheEvictions, m.CacheInvalidations,
 		m.CacheEntries, m.CacheBytes,
+		m.WALRecords, m.WALFsyncs, m.WALCheckpoints, m.WALReplayed,
+		m.WALReplayNs, m.SnapshotPins,
 	} {
 		e.U64(v)
 	}
@@ -365,6 +436,8 @@ func (m *StatsReply) decode(d *Decoder) {
 		&m.PoolEvictions, &m.PoolRetries, &m.PoolCorruptPages, &m.PinnedFrames,
 		&m.CacheHits, &m.CacheMisses, &m.CacheEvictions, &m.CacheInvalidations,
 		&m.CacheEntries, &m.CacheBytes,
+		&m.WALRecords, &m.WALFsyncs, &m.WALCheckpoints, &m.WALReplayed,
+		&m.WALReplayNs, &m.SnapshotPins,
 	} {
 		*p = d.U64("stats counter")
 	}
@@ -492,6 +565,33 @@ func (m *PairsReply) decode(d *Decoder) {
 	for i := range m.Pairs {
 		m.Pairs[i].decode(d)
 	}
+}
+
+// InsertReply answers OpInsert. Size is the index's point count after
+// the batch.
+type InsertReply struct {
+	Inserted uint64
+	Size     uint64
+}
+
+func (m *InsertReply) encode(e *Encoder) { e.U64(m.Inserted); e.U64(m.Size) }
+func (m *InsertReply) decode(d *Decoder) {
+	m.Inserted = d.U64("insert inserted")
+	m.Size = d.U64("insert size")
+}
+
+// DeleteReply answers OpDelete. Found counts the batch entries that
+// matched an indexed point; Size is the index's point count after the
+// batch.
+type DeleteReply struct {
+	Found uint64
+	Size  uint64
+}
+
+func (m *DeleteReply) encode(e *Encoder) { e.U64(m.Found); e.U64(m.Size) }
+func (m *DeleteReply) decode(d *Decoder) {
+	m.Found = d.U64("delete found")
+	m.Size = d.U64("delete size")
 }
 
 // Report is the per-request observability record carried back to the
@@ -678,6 +778,10 @@ func requestBody(op Op) (Message, error) {
 		return &WithinReq{}, nil
 	case OpClosestPairs:
 		return &PairsReq{}, nil
+	case OpInsert:
+		return &InsertReq{}, nil
+	case OpDelete:
+		return &DeleteReq{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown request op %d", uint8(op))
 	}
@@ -716,6 +820,10 @@ func responseBody(kind ResponseKind, op Op) (Message, error) {
 			return &RangeReply{}, nil
 		case OpClosestPairs:
 			return &PairsReply{}, nil
+		case OpInsert:
+			return &InsertReply{}, nil
+		case OpDelete:
+			return &DeleteReply{}, nil
 		}
 		return nil, fmt.Errorf("wire: op %s has no single-frame result", op)
 	default:

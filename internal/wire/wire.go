@@ -59,6 +59,10 @@ const (
 	OpWithinDistance Op = 9
 	// OpClosestPairs returns the k closest cross-index pairs.
 	OpClosestPairs Op = 10
+	// OpInsert durably adds a batch of points to a live index.
+	OpInsert Op = 11
+	// OpDelete durably removes a batch of points from a live index.
+	OpDelete Op = 12
 )
 
 // String implements fmt.Stringer; it is also the server's per-op
@@ -85,6 +89,10 @@ func (op Op) String() string {
 		return "within_distance"
 	case OpClosestPairs:
 		return "closest_pairs"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}
@@ -126,6 +134,10 @@ const (
 	CodeCorruptIndex ErrorCode = 6
 	// CodeInternal: anything else, including recovered panics.
 	CodeInternal ErrorCode = 7
+	// CodeWriteFailed: a mutation could not be made durable (failed log
+	// append or fsync); the index refuses further writes until reopened,
+	// and the failed batch's durability is indeterminate.
+	CodeWriteFailed ErrorCode = 8
 )
 
 // String implements fmt.Stringer with the protocol's canonical names.
@@ -145,6 +157,8 @@ func (c ErrorCode) String() string {
 		return "CORRUPT_INDEX"
 	case CodeInternal:
 		return "INTERNAL"
+	case CodeWriteFailed:
+		return "WRITE_FAILED"
 	default:
 		return fmt.Sprintf("CODE(%d)", uint16(c))
 	}

@@ -39,6 +39,9 @@ func requestSamples() []struct {
 		{RequestHeader{ID: 16, Op: OpJoin, TraceID: "req-0042", WantReport: true}, &JoinReq{R: "r", K: 1, Self: true}},
 		{RequestHeader{ID: 17, Op: OpKNN, TraceID: "probe/7"}, &KNNReq{Index: "pts", K: 2, Point: []float64{1, 2}}},
 		{RequestHeader{ID: 18, Op: OpJoin, Epsilon: 0.1, RecallTarget: 0.95, WantReport: true}, &JoinReq{R: "r", S: "s", K: 2}},
+		// Mutations.
+		{RequestHeader{ID: 19, Op: OpInsert}, &InsertReq{Index: "pts", IDs: []uint64{10, 11}, Points: [][]float64{{1, 2}, {3, 4}}}},
+		{RequestHeader{ID: 20, Op: OpDelete}, &DeleteReq{Index: "pts", IDs: []uint64{10}, Points: [][]float64{{1, 2}}}},
 	}
 }
 
@@ -74,7 +77,7 @@ func responseSamples() []struct {
 		{1, KindResult, OpOpen, &OpenReply{Info: IndexInfo{Name: "pts", Kind: 1, Points: 100, Dim: 2}}},
 		{2, KindResult, OpClose, &CloseReply{}},
 		{3, KindResult, OpList, &ListReply{Indexes: []IndexInfo{{Name: "a", Points: 1, Dim: 3}, {Name: "b"}}}},
-		{4, KindResult, OpStats, &StatsReply{Info: IndexInfo{Name: "pts"}, PoolHits: 10, CacheBytes: 1 << 20}},
+		{4, KindResult, OpStats, &StatsReply{Info: IndexInfo{Name: "pts"}, PoolHits: 10, CacheBytes: 1 << 20, WALRecords: 42, WALFsyncs: 7, SnapshotPins: 3}},
 		{5, KindResult, OpKNN, &KNNReply{Neighbors: nb}},
 		{6, KindResult, OpBatchKNN, &BatchKNNReply{Results: res}},
 		{7, KindResult, OpRange, &RangeReply{IDs: []uint64{3, 1, 4}}},
@@ -86,6 +89,9 @@ func responseSamples() []struct {
 		{13, KindResult, OpKNN, &KNNReply{}},
 		{14, KindEnd, OpJoin, &StreamEnd{Count: 7, Report: sampleReport()}},
 		{15, KindEnd, OpJoin, &StreamEnd{Count: 0, Report: &Report{}}},
+		{16, KindResult, OpInsert, &InsertReply{Inserted: 2, Size: 102}},
+		{17, KindResult, OpDelete, &DeleteReply{Found: 1, Size: 101}},
+		{18, KindError, OpInsert, &ErrorReply{Code: CodeWriteFailed, Msg: "fsync failed"}},
 	}
 }
 
