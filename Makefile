@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench-smoke trace-smoke bench-parallel bench-parallel-smoke bench-nodecache bench-approx bench-approx-smoke chaos chaos-recover fuzz-smoke race-sched serve-smoke obs-serve-smoke
+.PHONY: build test race vet check bench-smoke trace-smoke fuzz-corpus bench-parallel bench-parallel-smoke bench-nodecache bench-approx bench-approx-smoke bench-shard chaos chaos-recover fuzz-smoke race-sched serve-smoke obs-serve-smoke router-smoke
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,12 @@ chaos-recover:
 		-run 'ChaosCrashRecovery|RecoveryAfterCrash|WriteFailedClassification|ConcurrentWritesAndQueries|SnapshotIsolation' \
 		./ann/ ./internal/mbrqt ./internal/rstar
 
+# fuzz-corpus regenerates the wire seed corpora from the sample frame
+# lists (corpus_test.go) after a protocol change; curated legacy-*
+# seeds are preserved.
+fuzz-corpus:
+	$(GO) test ./internal/wire -run TestRefreshFuzzCorpus -write-corpus
+
 # fuzz-smoke gives each decode fuzzer a short budget on top of the
 # checked-in corpora (which every plain `go test` already replays).
 # `go test -fuzz` accepts one matching target per invocation, hence the
@@ -52,6 +58,21 @@ fuzz-smoke:
 # byte parity with direct library calls plus a clean SIGTERM drain.
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/annserve
+
+# router-smoke boots the real annrouter daemon over two in-process
+# annserve shards (shard-map file, flags, signal handling), asserts
+# routed kNN and self-join byte parity against direct library calls on
+# the curve-ordered dataset, and delivers a SIGTERM for a clean drain.
+router-smoke:
+	$(GO) test -run TestRouterSmoke -count=1 -v ./cmd/annrouter
+
+# bench-shard measures distributed routing: four Hilbert-sharded
+# in-process backends behind the scatter-gather router vs one node
+# serving the same (curve-ordered) dataset, with byte-parity checks and
+# shard-prune counters. Fails if parity breaks or the NXNDIST/MINDIST
+# bounds never prune a shard.
+bench-shard:
+	$(GO) run ./cmd/annbench -exp shard -scale 0.05 -json BENCH_shard.json
 
 # obs-serve-smoke boots the daemon with the full observability surface
 # (slow-query ring, access log, debug endpoints, Prometheus exposition)

@@ -104,6 +104,14 @@ type IndexConfig struct {
 	// the defaults (200µs base, 5ms cap).
 	RetryBackoff    time.Duration
 	RetryBackoffMax time.Duration
+	// CheckpointEveryBytes, when positive, auto-checkpoints a file-backed
+	// live index once the write-ahead log exceeds this many bytes: the
+	// mutation batch that pushes the log past the budget triggers the
+	// same checkpoint Flush runs (pages synced, log truncated) before
+	// returning. This bounds both the log's disk footprint and the replay
+	// work a crash incurs. 0 (the default) keeps checkpoint cadence
+	// manual — Flush, Close, and recovery still checkpoint as before.
+	CheckpointEveryBytes int64
 }
 
 // Error classification re-exported from the storage layer, so callers
@@ -236,6 +244,9 @@ type Index struct {
 	verMu    sync.Mutex
 	head     *version
 	tail     *version
+
+	// ckptEveryBytes is IndexConfig.CheckpointEveryBytes (0 = manual).
+	ckptEveryBytes int64
 }
 
 // BuildIndex bulk-loads an index over points. Object ids are the
@@ -284,7 +295,8 @@ func BuildIndex(points []Point, cfg IndexConfig) (*Index, error) {
 		store.Close()
 		return nil, err
 	}
-	ix := &Index{tree: tree, pool: pool, store: store, size: len(points), kind: cfg.Kind}
+	ix := &Index{tree: tree, pool: pool, store: store, size: len(points), kind: cfg.Kind,
+		ckptEveryBytes: cfg.CheckpointEveryBytes}
 	var wal *storage.WAL
 	if cfg.PageFile != "" {
 		wal, err = createWALAt(cfg.PageFile + ".wal")
@@ -375,6 +387,28 @@ func (ix *Index) RangeSearch(lo, hi Point) ([]ObjectID, error) {
 		out[i] = uint64(r.Object)
 	}
 	return out, nil
+}
+
+// RangeSearchWithPoints returns the ids and coordinates of all indexed
+// points inside the box [lo, hi] (boundaries inclusive), as parallel
+// slices. It backs the wire protocol's OpRangePoints — the
+// boundary-strip fetch distributed within-distance queries are built
+// on, where the caller needs the coordinates to compute exact
+// cross-shard distances locally.
+func (ix *Index) RangeSearchWithPoints(lo, hi Point) ([]ObjectID, []Point, error) {
+	v, t := ix.acquire()
+	defer ix.release(v)
+	res, err := index.RangeSearch(t, geom.NewRect(geom.Point(lo), geom.Point(hi)))
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]ObjectID, len(res))
+	pts := make([]Point, len(res))
+	for i, r := range res {
+		ids[i] = uint64(r.Object)
+		pts[i] = Point(r.Point)
+	}
+	return ids, pts, nil
 }
 
 // AllNearestNeighbors computes, for every point of r, its nearest

@@ -102,6 +102,17 @@ func IsBadRequest(err error) bool { return wire.IsCode(err, wire.CodeBadRequest)
 // IsCorruptIndex reports whether an index file failed verification.
 func IsCorruptIndex(err error) bool { return wire.IsCode(err, wire.CodeCorruptIndex) }
 
+// IsShardUnavailable reports whether a strict-mode router failed the
+// request because a shard's backend was down (after retries).
+func IsShardUnavailable(err error) bool { return wire.IsCode(err, wire.CodeShardUnavailable) }
+
+// IsPartialResult reports whether a degraded-mode router served the
+// request with one or more shards unavailable. For queries returning
+// data alongside this error (KNN, BatchKNN, Range) the data is the
+// partial gather; for streams, everything received before the error is
+// exact for the shards that answered.
+func IsPartialResult(err error) bool { return wire.IsCode(err, wire.CodePartialResult) }
+
 // IsWriteFailed reports whether err is the server's WRITE_FAILED error:
 // an Insert/Delete batch could not be made durable (failed log append or
 // fsync). The index refuses further writes until reopened; the failed
@@ -293,12 +304,15 @@ func (c *Client) Delete(ctx context.Context, index string, ids []uint64, points 
 // --- queries ----------------------------------------------------------------
 
 // KNN returns the k nearest indexed points to q in the named index.
+// Against a degraded-mode router with a dead shard, the neighbors are
+// returned alongside a non-nil error satisfying IsPartialResult.
 func (c *Client) KNN(ctx context.Context, index string, q ann.Point, k int) ([]ann.Neighbor, error) {
 	reply, err := c.roundTrip(ctx, wire.OpKNN, &wire.KNNReq{Index: index, K: uint32(k), Point: q})
 	if err != nil {
 		return nil, err
 	}
-	return toNeighbors(reply.(*wire.KNNReply).Neighbors), nil
+	rep := reply.(*wire.KNNReply)
+	return toNeighbors(rep.Neighbors), partialErr(rep.Partial)
 }
 
 // BatchKNN answers one kNN probe per query point in a single request;
@@ -312,7 +326,8 @@ func (c *Client) BatchKNN(ctx context.Context, index string, qs []ann.Point, k i
 	if err != nil {
 		return nil, err
 	}
-	return toResults(reply.(*wire.BatchKNNReply).Results), nil
+	rep := reply.(*wire.BatchKNNReply)
+	return toResults(rep.Results), partialErr(rep.Partial)
 }
 
 // Range returns the ids of the indexed points inside the box [lo, hi].
@@ -321,7 +336,45 @@ func (c *Client) Range(ctx context.Context, index string, lo, hi ann.Point) ([]u
 	if err != nil {
 		return nil, err
 	}
-	return reply.(*wire.RangeReply).IDs, nil
+	rep := reply.(*wire.RangeReply)
+	return rep.IDs, partialErr(rep.Partial)
+}
+
+// RangePoints returns the ids AND coordinates of the indexed points
+// inside the box [lo, hi] — the boundary-strip fetch routed
+// within-distance queries are built on. Requires a protocol version 2
+// server.
+func (c *Client) RangePoints(ctx context.Context, index string, lo, hi ann.Point) ([]uint64, []ann.Point, error) {
+	reply, err := c.roundTrip(ctx, wire.OpRangePoints, &wire.RangePointsReq{Index: index, Lo: lo, Hi: hi})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := reply.(*wire.RangePointsReply)
+	pts := make([]ann.Point, len(rep.Points))
+	for i, p := range rep.Points {
+		pts[i] = p
+	}
+	return rep.IDs, pts, partialErr(rep.Partial)
+}
+
+// ShardMap fetches the shard topology of a routed dataset from an
+// annrouter. A plain annserve answers BAD_REQUEST (IsBadRequest).
+func (c *Client) ShardMap(ctx context.Context, name string) (wire.ShardMap, error) {
+	reply, err := c.roundTrip(ctx, wire.OpShardMap, &wire.ShardMapReq{Name: name})
+	if err != nil {
+		return wire.ShardMap{}, err
+	}
+	return reply.(*wire.ShardMapReply).Map, nil
+}
+
+// partialErr converts a reply's PartialInfo block into the typed
+// PARTIAL_RESULT error (nil for a complete reply).
+func partialErr(p *wire.PartialInfo) error {
+	if p == nil {
+		return nil
+	}
+	return &wire.Error{Code: wire.CodePartialResult,
+		Msg: fmt.Sprintf("shards unavailable: %v", p.Missing)}
 }
 
 // ClosestPairs returns the k closest (r, s) pairs across two catalog

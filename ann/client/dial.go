@@ -1,0 +1,76 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// DialConfig tunes DialRetry's capped jittered exponential backoff —
+// the same retry discipline the storage layer applies to transient page
+// reads (storage.BufferPoolConfig), applied to connection establishment.
+// The zero value selects the defaults.
+type DialConfig struct {
+	// Retries is how many times to retry after the first failed attempt
+	// (so Retries+1 attempts total). Default 5.
+	Retries int
+	// Backoff is the wait before the first retry; it doubles per attempt.
+	// Default 25ms.
+	Backoff time.Duration
+	// BackoffMax caps the doubling. Default 1s.
+	BackoffMax time.Duration
+}
+
+func (cfg DialConfig) withDefaults() DialConfig {
+	if cfg.Retries == 0 {
+		cfg.Retries = 5
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 25 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = time.Second
+	}
+	return cfg
+}
+
+// DialRetry is DialContext with capped jittered exponential backoff on
+// dial and handshake failure. A freshly restarted or not-yet-listening
+// server refuses connections for a moment; plain Dial surfaces the
+// first ECONNREFUSED, while DialRetry rides it out. Context
+// cancellation or expiry stops the retry loop immediately and is never
+// retried; every other dial/handshake failure is treated as transient
+// (connection refused, reset mid-handshake, resolver hiccups) because a
+// non-transient cause — wrong address, version mismatch — exhausts the
+// bounded attempt budget in a bounded time anyway.
+func DialRetry(ctx context.Context, addr string, cfg DialConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	backoff := cfg.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= cfg.Retries; attempt++ {
+		if attempt > 0 {
+			// Full jitter in [backoff/2, backoff): desynchronises a fleet
+			// of clients reconnecting to the same restarted backend.
+			wait := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)))
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return nil, errors.Join(ctx.Err(), lastErr)
+			}
+			backoff *= 2
+			if backoff > cfg.BackoffMax {
+				backoff = cfg.BackoffMax
+			}
+		}
+		c, err := DialContext(ctx, addr)
+		if err == nil {
+			return c, nil
+		}
+		if ctx.Err() != nil {
+			return nil, errors.Join(ctx.Err(), err)
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}

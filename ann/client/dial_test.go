@@ -1,0 +1,94 @@
+package client
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"allnn/internal/wire"
+)
+
+// TestDialRetryRidesOutRefusedConnections reserves a port, keeps it
+// closed through the first attempts, then starts listening: plain Dial
+// fails immediately, DialRetry connects once the listener is up.
+func TestDialRetryRidesOutRefusedConnections(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // port now refuses connections
+
+	if _, err := Dial(addr); err == nil {
+		t.Fatal("plain Dial succeeded against a closed port")
+	}
+
+	// Re-listen shortly after DialRetry starts knocking.
+	errc := make(chan error, 1)
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			errc <- err
+			return
+		}
+		defer ln2.Close()
+		conn, err := ln2.Accept()
+		if err != nil {
+			errc <- err
+			return
+		}
+		defer conn.Close()
+		errc <- wire.ReadHandshake(conn)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := DialRetry(ctx, addr, DialConfig{Backoff: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("DialRetry: %v", err)
+	}
+	defer c.Close()
+	if err := <-errc; err != nil {
+		t.Fatalf("server side: %v", err)
+	}
+}
+
+// TestDialRetryStopsOnCancel verifies cancellation cuts the backoff
+// loop short instead of burning the full attempt budget.
+func TestDialRetryStopsOnCancel(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = DialRetry(ctx, addr, DialConfig{Retries: 50, Backoff: 30 * time.Millisecond, BackoffMax: 30 * time.Millisecond})
+	if err == nil {
+		t.Fatal("DialRetry succeeded against a closed port")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("DialRetry ran %v past its context", elapsed)
+	}
+}
+
+// TestDialRetryExhaustsBudget verifies the bounded attempt budget
+// surfaces the last dial error.
+func TestDialRetryExhaustsBudget(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	_, err = DialRetry(context.Background(), addr, DialConfig{Retries: 2, Backoff: time.Millisecond})
+	if err == nil {
+		t.Fatal("DialRetry succeeded against a closed port")
+	}
+}

@@ -89,6 +89,7 @@ func OpenIndex(path string, cfg IndexConfig) (*Index, error) {
 		}
 		ix = &Index{tree: t, pool: pool, store: store, size: t.Len(), kind: RStar}
 	}
+	ix.ckptEveryBytes = cfg.CheckpointEveryBytes
 
 	ix.enableLiveUpdates(wal)
 	if snap != nil || len(ops) > 0 {

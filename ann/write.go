@@ -271,7 +271,7 @@ func (ix *Index) InsertBatch(ids []ObjectID, pts []Point) error {
 	}
 	ix.size = ix.mut.Len()
 	ix.publishLocked()
-	return nil
+	return ix.maybeCheckpointLocked()
 }
 
 // Delete removes one point from a live index, reporting whether it was
@@ -321,7 +321,24 @@ func (ix *Index) DeleteBatch(ids []ObjectID, pts []Point) (int, error) {
 	}
 	ix.size = ix.mut.Len()
 	ix.publishLocked()
-	return found, nil
+	return found, ix.maybeCheckpointLocked()
+}
+
+// maybeCheckpointLocked enforces IndexConfig.CheckpointEveryBytes: when
+// the just-committed batch pushed the WAL past the byte budget, the
+// regular checkpoint protocol runs before the batch returns, truncating
+// the log. Runs after publishLocked, so a checkpoint failure leaves the
+// batch durable AND visible — the error reports only that the log could
+// not be folded into the base state, and the next batch (or Flush)
+// retries. Caller holds writeMu.
+func (ix *Index) maybeCheckpointLocked() error {
+	if ix.wal == nil || ix.ckptEveryBytes <= 0 || ix.wal.Size() <= ix.ckptEveryBytes {
+		return nil
+	}
+	if err := ix.checkpointLocked(); err != nil {
+		return fmt.Errorf("ann: auto-checkpoint after committed batch: %w", err)
+	}
+	return nil
 }
 
 // writableLocked reports whether the index accepts mutations.

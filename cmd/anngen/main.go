@@ -8,6 +8,17 @@
 //	anngen -kind tac -n 700000 -out tac.pts
 //	anngen -kind fc  -n 580000 -out fc.pts
 //	anngen -kind uniform -n 100000 -dim 2 -extent 1000 -out uni.pts
+//
+// With -shards N the dataset is additionally partitioned into N
+// space-filling-curve range shards (per -curve): the main output file
+// is written in curve order (the global id order a router reproduces),
+// one <base>.shardK<ext> file per shard holds that shard's points, and
+// <base>.shardmap.json holds the router topology. Backend addresses can
+// be filled in at generation time with -shard-addrs or edited into the
+// JSON afterwards:
+//
+//	anngen -kind clusters -n 100000 -out pts.pts -shards 4 -curve hilbert \
+//	    -shard-addrs :4321,:4322,:4323,:4324
 package main
 
 import (
@@ -16,10 +27,14 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
+	"strings"
 
+	"allnn/internal/curve"
 	"allnn/internal/datagen"
 	"allnn/internal/geom"
 	"allnn/internal/obs"
+	"allnn/internal/router"
 )
 
 func main() {
@@ -44,6 +59,9 @@ func run(args []string, stdout io.Writer) error {
 		spread   = fs.Float64("spread", 0.02, "cluster spread as a fraction of the extent")
 		skew     = fs.Float64("skew", 3, "skew exponent (skewed kind)")
 		out      = fs.String("out", "", "output file (required)")
+		shards   = fs.Int("shards", 0, "partition into this many curve-range shards (0: single file, no shard map)")
+		curveStr = fs.String("curve", "hilbert", "partitioning curve: zorder | hilbert (with -shards)")
+		addrsStr = fs.String("shard-addrs", "", "comma-separated backend addresses for the shard map (with -shards; may be left blank and edited into the JSON)")
 	)
 	var prof obs.ProfileFlags
 	prof.Register(fs)
@@ -84,9 +102,67 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown dataset kind %q", *kind)
 	}
 
+	if *shards > 0 {
+		return writeSharded(stdout, *out, pts, *shards, *curveStr, *addrsStr)
+	}
+
 	if err := datagen.WriteFile(*out, pts); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "wrote %d %d-dimensional points to %s\n", len(pts), len(pts[0]), *out)
+	return nil
+}
+
+// writeSharded partitions pts by curve range and writes the
+// curve-ordered full dataset, the per-shard datasets, and the shard
+// map. The full file's point order is the concatenation of the shards
+// in key order — exactly the global id order a router over the shards
+// produces, so it doubles as the single-node parity baseline.
+func writeSharded(stdout io.Writer, out string, pts []geom.Point, n int, curveStr, addrsStr string) error {
+	kind, err := curve.ParseKind(curveStr)
+	if err != nil {
+		return err
+	}
+	part, err := curve.Partition(pts, n, kind)
+	if err != nil {
+		return err
+	}
+
+	ext := filepath.Ext(out)
+	base := strings.TrimSuffix(out, ext)
+	var addrs []string
+	if addrsStr != "" {
+		addrs = strings.Split(addrsStr, ",")
+		if len(addrs) != len(part.Shards) {
+			return fmt.Errorf("-shard-addrs names %d backends but the partitioning produced %d shards", len(addrs), len(part.Shards))
+		}
+	}
+
+	ordered := make([]geom.Point, 0, len(pts))
+	for i, s := range part.Shards {
+		shardPts := make([]geom.Point, len(s.Points))
+		for j, idx := range s.Points {
+			shardPts[j] = pts[idx]
+		}
+		ordered = append(ordered, shardPts...)
+		path := fmt.Sprintf("%s.shard%d%s", base, i, ext)
+		if err := datagen.WriteFile(path, shardPts); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote shard %d: %d points, keys [%d, %d] to %s\n",
+			i, len(shardPts), s.LoKey, s.HiKey, path)
+	}
+	if err := datagen.WriteFile(out, ordered); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d %d-dimensional points (curve-ordered) to %s\n", len(ordered), len(ordered[0]), out)
+
+	name := filepath.Base(base)
+	m := router.MapFromPartitioning(name, part, addrs)
+	mapPath := base + ".shardmap.json"
+	if err := m.Save(mapPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote shard map (%d shards, %s curve) to %s\n", len(m.Shards), m.Curve, mapPath)
 	return nil
 }

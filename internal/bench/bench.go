@@ -164,6 +164,7 @@ func Experiments() []Experiment {
 		{"approx", "Approximate mode: ε / recall-target sweep vs exact and the brute-force oracle, with measured recall", RunApprox},
 		{"nodecache", "Decoded-node cache: cache-off vs cold vs warm, MBA and RBA", RunNodeCache},
 		{"mba", "Observability deep-dive: one traced MBA self-join with the unified QueryReport (counters, stage timings; -trace writes Perfetto JSON)", RunMBAReport},
+		{"shard", "Distributed routing: Hilbert-sharded backends behind the scatter-gather router vs a single node, with shard-prune counters and byte-parity checks", RunShard},
 	}
 }
 

@@ -1,0 +1,398 @@
+package bench
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"allnn/ann"
+	"allnn/ann/client"
+	"allnn/internal/curve"
+	"allnn/internal/datagen"
+	"allnn/internal/geom"
+	"allnn/internal/obs"
+	"allnn/internal/router"
+	"allnn/internal/server"
+)
+
+// Shard-experiment shape: the clustered workload makes the Hilbert
+// shards spatially tight, which is what gives NXNDIST/MINDIST pruning
+// something to cut — a uniform dataset's shard MBRs tile the space and
+// almost every query touches every shard.
+const (
+	shardCount   = 4
+	shardKNNK    = 10
+	shardJoinK   = 4
+	shardQueries = 200
+)
+
+// RunShard measures the distributed router against a single node over
+// the identical dataset: a clustered 2-D workload is cut into
+// Hilbert-range shards, each mounted on its own in-process annserve
+// backend, and a strict-mode router scatter-gathers point kNN and the
+// ANN self-join across them. The single-node baseline serves the same
+// points in curve order, so global ids line up and every routed answer
+// must be byte-identical to the single-node one — the experiment fails
+// otherwise. The router's shard-pruning counters are read from its
+// metrics registry per workload; on this clustered workload the
+// NXNDIST-seeded two-phase kNN must prune at least one shard contact or
+// the run fails. With Config.JSONPath set, a machine-readable summary
+// suitable for committing as BENCH_shard.json is written there.
+func RunShard(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w := cfg.Out
+	prov := CollectProvenance()
+
+	// The generator clamps out-of-bounds cluster samples onto the bounds
+	// corners, piling up coincident points; a point at distance-0 from
+	// several twins makes the engine's neighbor tie order (traversal-
+	// dependent) diverge from the router's canonical (distance, id)
+	// order. Deduplicating keeps the parity check meaningful: distinct
+	// random points tie with probability ~0.
+	pts := dedupePoints(datagen.GaussianClusters(cfg.Seed, cfg.scaled(500_000), datagen.ScaledBounds(2, 1000), 40, 0.02))
+	part, err := curve.Partition(pts, shardCount, curve.Hilbert)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nDistributed routing: %d clustered 2-D points, %d Hilbert shards, strict mode\n",
+		len(pts), len(part.Shards))
+	fmt.Fprintf(w, "host: %d CPUs, GOMAXPROCS=%d, %s; in-process backends over loopback TCP\n",
+		prov.NumCPU, prov.GOMAXPROCS, prov.GoVersion)
+
+	// One in-process annserve per shard, plus a single-node baseline
+	// serving the whole dataset in curve order (the router's global id
+	// order, so answers compare byte-for-byte).
+	var cleanups []func()
+	defer func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}()
+	startBackend := func(name string, pts []ann.Point) (string, error) {
+		ix, err := ann.BuildIndex(pts, ann.IndexConfig{})
+		if err != nil {
+			return "", err
+		}
+		srv := server.New(server.Config{})
+		if err := srv.Catalog().Add(name, ix); err != nil {
+			return "", err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		cleanups = append(cleanups, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			<-done
+			srv.Catalog().CloseAll()
+		})
+		return ln.Addr().String(), nil
+	}
+
+	addrs := make([]string, len(part.Shards))
+	ordered := make([]ann.Point, 0, len(pts))
+	for i, s := range part.Shards {
+		shardPts := make([]ann.Point, len(s.Points))
+		for j, idx := range s.Points {
+			shardPts[j] = ann.Point(pts[idx])
+			ordered = append(ordered, ann.Point(pts[idx]))
+		}
+		addr, err := startBackend(fmt.Sprintf("clustered-%d", i), shardPts)
+		if err != nil {
+			return err
+		}
+		addrs[i] = addr
+	}
+	singleAddr, err := startBackend("clustered", ordered)
+	if err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry()
+	rt, err := router.New(router.Config{Metrics: reg}, router.MapFromPartitioning("clustered", part, addrs))
+	if err != nil {
+		return err
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	rtDone := make(chan error, 1)
+	go func() { rtDone <- rt.Serve(rln) }()
+	cleanups = append(cleanups, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		rt.Shutdown(ctx)
+		<-rtDone
+	})
+
+	routed, err := client.Dial(rln.Addr().String())
+	if err != nil {
+		return err
+	}
+	cleanups = append(cleanups, func() { routed.Close() })
+	single, err := client.Dial(singleAddr)
+	if err != nil {
+		return err
+	}
+	cleanups = append(cleanups, func() { single.Close() })
+
+	contacted := reg.Counter("router.shards_contacted")
+	pruned := reg.Counter("router.shards_pruned")
+	ctx := context.Background()
+
+	type run struct {
+		name             string
+		routed, baseline time.Duration
+		contacted        uint64
+		pruned           uint64
+		results          uint64
+		identical        bool
+	}
+	var runs []run
+	measure := func(name string, fn func(cl *client.Client, h *hashSink) error) error {
+		c0, p0 := contacted.Value(), pruned.Value()
+		var rh, sh hashSink
+		start := time.Now()
+		if err := fn(routed, &rh); err != nil {
+			return fmt.Errorf("%s (routed): %w", name, err)
+		}
+		routedWall := time.Since(start)
+		start = time.Now()
+		if err := fn(single, &sh); err != nil {
+			return fmt.Errorf("%s (single): %w", name, err)
+		}
+		r := run{
+			name:      name,
+			routed:    routedWall,
+			baseline:  time.Since(start),
+			contacted: contacted.Value() - c0,
+			pruned:    pruned.Value() - p0,
+			results:   rh.count,
+			identical: rh.sum() == sh.sum(),
+		}
+		runs = append(runs, r)
+		heartbeat(cfg, "shard: "+name, r.routed, r.results)
+		if !r.identical {
+			return fmt.Errorf("shard: %s: routed results differ from the single-node baseline", name)
+		}
+		return nil
+	}
+
+	// Workload 1: point kNN over queries sampled from the dataset (every
+	// query has a tight owner shard, so phase-2 fan-out is where the
+	// NXNDIST seed earns its pruning).
+	queries := make([]ann.Point, 0, shardQueries)
+	for i := 0; i < len(ordered) && len(queries) < shardQueries; i += max(1, len(ordered)/shardQueries) {
+		queries = append(queries, ordered[i])
+	}
+	if err := measure(fmt.Sprintf("kNN k=%d x%d", shardKNNK, len(queries)), func(cl *client.Client, h *hashSink) error {
+		for _, q := range queries {
+			nbs, err := cl.KNN(ctx, "clustered", q, shardKNNK)
+			if err != nil {
+				return err
+			}
+			for _, n := range nbs {
+				h.add(n.ID, n.Dist)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Workload 2: within-distance self-join at a radius that keeps pairs
+	// mostly intra-cluster. Pair order differs between engine and router
+	// (the router re-orders cross-shard pairs), so the hash is over the
+	// multiset: per-pair hashes are summed, not chained.
+	dist := 0.004 * 1000 // 2x the cluster-spread sigma
+	if err := measure(fmt.Sprintf("within d=%g", dist), func(cl *client.Client, h *hashSink) error {
+		_, err := cl.WithinDistance(ctx, "clustered", "clustered", dist, true, func(rID, sID uint64, d float64) error {
+			h.add(rID, float64(sID))
+			return nil
+		})
+		return err
+	}); err != nil {
+		return err
+	}
+
+	// Workload 3: the ANN self-join. The router emits ascending global
+	// id (the canonical routed order); a single node emits index
+	// traversal order. Both streams are canonicalized by id before the
+	// order-sensitive chained hash, so per-point results — neighbor ids,
+	// distances, and ranks — must still match exactly.
+	if err := measure(fmt.Sprintf("self-join k=%d", shardJoinK), func(cl *client.Client, h *hashSink) error {
+		st, err := cl.SelfJoin(ctx, "clustered", shardJoinK)
+		if err != nil {
+			return err
+		}
+		var results []ann.Result
+		for st.Next() {
+			results = append(results, st.Result())
+		}
+		if err := st.Close(); err != nil {
+			return err
+		}
+		sort.Slice(results, func(a, b int) bool { return results[a].ID < results[b].ID })
+		for _, res := range results {
+			h.chain(uint64(res.ID))
+			for _, n := range res.Neighbors {
+				h.chain(uint64(n.ID), math.Float64bits(n.Dist))
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\n%-20s %10s %12s %10s %8s %8s %10s\n",
+		"workload", "routed", "single-node", "contacted", "pruned", "prune%", "identical")
+	for _, r := range runs {
+		total := r.contacted + r.pruned
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(r.pruned) / float64(total)
+		}
+		fmt.Fprintf(w, "%-20s %10s %12s %10d %8d %7.1f%% %10v\n",
+			r.name, fmtDur(r.routed), fmtDur(r.baseline), r.contacted, r.pruned, pct, r.identical)
+	}
+
+	var totalPruned uint64
+	for _, r := range runs {
+		totalPruned += r.pruned
+	}
+	if totalPruned == 0 {
+		return fmt.Errorf("shard: no shard contacts pruned on a clustered %d-shard workload — the NXNDIST/MINDIST bounds are not biting", len(part.Shards))
+	}
+	fmt.Fprintf(w, "\n%d shard contacts pruned across the suite (clustered data keeps shard MBRs tight)\n", totalPruned)
+
+	if cfg.JSONPath != "" {
+		type runJSON struct {
+			Workload        string `json:"workload"`
+			RoutedNS        int64  `json:"routed_ns"`
+			SingleNS        int64  `json:"single_node_ns"`
+			ShardsContacted uint64 `json:"shards_contacted"`
+			ShardsPruned    uint64 `json:"shards_pruned"`
+			Results         uint64 `json:"results"`
+			Identical       bool   `json:"identical_to_single_node"`
+		}
+		doc := struct {
+			Experiment string     `json:"experiment"`
+			Dataset    string     `json:"dataset"`
+			Points     int        `json:"points"`
+			Dim        int        `json:"dim"`
+			Shards     int        `json:"shards"`
+			Curve      string     `json:"curve"`
+			Mode       string     `json:"mode"`
+			Provenance Provenance `json:"provenance"`
+			Runs       []runJSON  `json:"runs"`
+		}{
+			Experiment: "shard",
+			Dataset:    "clustered",
+			Points:     len(pts),
+			Dim:        2,
+			Shards:     len(part.Shards),
+			Curve:      part.Kind.String(),
+			Mode:       "strict",
+			Provenance: prov,
+		}
+		for _, r := range runs {
+			doc.Runs = append(doc.Runs, runJSON{
+				Workload:        r.name,
+				RoutedNS:        r.routed.Nanoseconds(),
+				SingleNS:        r.baseline.Nanoseconds(),
+				ShardsContacted: r.contacted,
+				ShardsPruned:    r.pruned,
+				Results:         r.results,
+				Identical:       r.identical,
+			})
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(cfg.JSONPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "JSON summary written to %s\n", cfg.JSONPath)
+	}
+	return nil
+}
+
+// hashSink accumulates a result hash two ways: chain() is
+// order-sensitive (FNV over the value stream) for workloads whose
+// routed emit order must match the single node's; add() folds an
+// order-insensitive term (per-record hashes summed) for workloads where
+// only the result multiset is pinned.
+type hashSink struct {
+	chained uint64
+	bag     uint64
+	count   uint64
+}
+
+func (h *hashSink) chain(vs ...uint64) {
+	if h.chained == 0 {
+		h.chained = 14695981039346656037 // FNV-64a offset basis
+	}
+	for _, v := range vs {
+		var word [8]byte
+		binary.LittleEndian.PutUint64(word[:], v)
+		for _, b := range word {
+			h.chained ^= uint64(b)
+			h.chained *= 1099511628211
+		}
+	}
+	h.count++
+}
+
+func (h *hashSink) add(id uint64, v float64) {
+	f := fnv.New64a()
+	var word [16]byte
+	binary.LittleEndian.PutUint64(word[:8], id)
+	binary.LittleEndian.PutUint64(word[8:], math.Float64bits(v))
+	f.Write(word[:])
+	h.bag += f.Sum64()
+	h.count++
+}
+
+func (h *hashSink) sum() uint64 { return h.chained ^ h.bag }
+
+// dedupePoints drops exact coordinate duplicates, preserving order.
+func dedupePoints(pts []geom.Point) []geom.Point {
+	seen := make(map[string]struct{}, len(pts))
+	out := pts[:0]
+	var key []byte
+	for _, p := range pts {
+		key = key[:0]
+		for _, v := range p {
+			var word [8]byte
+			binary.LittleEndian.PutUint64(word[:], math.Float64bits(v))
+			key = append(key, word[:]...)
+		}
+		if _, dup := seen[string(key)]; dup {
+			continue
+		}
+		seen[string(key)] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+package curve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"allnn/internal/geom"
+)
+
+// Kind names a space-filling curve family for partitioning.
+type Kind uint8
+
+const (
+	// ZOrder partitions by Morton key (any dimensionality).
+	ZOrder Kind = 1
+	// Hilbert partitions by Hilbert key (2-D only).
+	Hilbert Kind = 2
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ZOrder:
+		return "zorder"
+	case Hilbert:
+		return "hilbert"
+	default:
+		return fmt.Sprintf("curve.Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind maps a curve name ("zorder"/"hilbert") to its Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "zorder", "z":
+		return ZOrder, nil
+	case "hilbert", "h":
+		return Hilbert, nil
+	default:
+		return 0, fmt.Errorf("curve: unknown curve kind %q (want zorder or hilbert)", s)
+	}
+}
+
+// Encoder maps points to curve keys. Both ZEncoder and HilbertEncoder
+// satisfy it.
+type Encoder interface {
+	Value(p geom.Point) uint64
+}
+
+// NewEncoder builds the encoder for a curve kind over bounds. Hilbert
+// requires 2-D bounds.
+func NewEncoder(kind Kind, bounds geom.Rect) (Encoder, error) {
+	switch kind {
+	case ZOrder:
+		return NewZEncoder(bounds), nil
+	case Hilbert:
+		if bounds.Dim() != 2 {
+			return nil, fmt.Errorf("curve: Hilbert partitioning requires 2-D data, got %d-D", bounds.Dim())
+		}
+		return NewHilbertEncoder(bounds), nil
+	default:
+		return nil, fmt.Errorf("curve: unknown curve kind %d", kind)
+	}
+}
+
+// Shard is one contiguous curve-key range of a partitioning. Key ranges
+// are inclusive on both ends: a point belongs to the shard whose
+// [LoKey, HiKey] contains its curve value. Ranges of consecutive shards
+// are adjacent (next.LoKey == prev.HiKey+1), so together they tile the
+// entire uint64 key space: every representable key lands in exactly one
+// shard, including keys of points that were not in the partitioned
+// dataset (future inserts route deterministically).
+type Shard struct {
+	LoKey uint64 // first curve key owned by this shard
+	HiKey uint64 // last curve key owned by this shard (inclusive)
+	MBR   geom.Rect
+	// Points holds indices into the partitioned dataset, in ascending
+	// curve-key order. The concatenation of all shards' Points is the
+	// curve-sorted order of the whole dataset.
+	Points []int
+}
+
+// Contains reports whether key falls in the shard's range.
+func (s *Shard) Contains(key uint64) bool { return key >= s.LoKey && key <= s.HiKey }
+
+// Partitioning is a dataset cut into balanced contiguous curve-range
+// shards. The boundary MBRs are tight over each shard's points — they
+// may overlap spatially (curve ranges are disjoint in key space, not in
+// geometry), which is exactly why routed queries need MINDIST/NXNDIST
+// pruning rather than plain containment tests.
+type Partitioning struct {
+	Kind   Kind
+	Bounds geom.Rect // encoder bounds (bounding rect of the dataset)
+	Shards []Shard
+
+	enc Encoder
+}
+
+// Partition cuts pts into at most n balanced contiguous curve-range
+// shards. Every shard is non-empty; heavily duplicated keys can force
+// fewer than n shards (a run of equal keys is never split across a
+// boundary, so that each curve value is owned by exactly one shard).
+func Partition(pts []geom.Point, n int, kind Kind) (*Partitioning, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("curve: cannot partition an empty dataset")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("curve: shard count %d < 1", n)
+	}
+	bounds := geom.BoundingRect(pts)
+	enc, err := NewEncoder(kind, bounds)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]uint64, len(pts))
+	for i, p := range pts {
+		keys[i] = enc.Value(p)
+	}
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	part := &Partitioning{Kind: kind, Bounds: bounds, enc: enc}
+	start := 0
+	for start < len(order) {
+		remainingShards := n - len(part.Shards)
+		if remainingShards < 1 {
+			remainingShards = 1
+		}
+		size := (len(order) - start + remainingShards - 1) / remainingShards
+		end := start + size
+		if end > len(order) {
+			end = len(order)
+		}
+		// Never cut inside a run of equal keys: the whole run belongs to
+		// the shard that owns its key.
+		for end < len(order) && keys[order[end]] == keys[order[end-1]] {
+			end++
+		}
+		idx := make([]int, end-start)
+		copy(idx, order[start:end])
+		mbr := geom.EmptyRect(bounds.Dim())
+		for _, i := range idx {
+			mbr.ExpandPoint(pts[i])
+		}
+		part.Shards = append(part.Shards, Shard{MBR: mbr, Points: idx})
+		start = end
+	}
+
+	// Assign key ranges: shard boundaries sit between the last key of one
+	// shard and the first key of the next (strictly greater by
+	// construction). The first shard starts at 0 and the last ends at
+	// MaxUint64 so the ranges tile the whole key space.
+	for i := range part.Shards {
+		if i == 0 {
+			part.Shards[i].LoKey = 0
+		} else {
+			part.Shards[i].LoKey = part.Shards[i-1].HiKey + 1
+		}
+		if i == len(part.Shards)-1 {
+			part.Shards[i].HiKey = math.MaxUint64
+		} else {
+			next := part.Shards[i+1].Points[0]
+			part.Shards[i].HiKey = keys[next] - 1
+		}
+	}
+	return part, nil
+}
+
+// Key returns the curve key of p under the partitioning's encoder.
+func (p *Partitioning) Key(pt geom.Point) uint64 { return p.enc.Value(pt) }
+
+// Locate returns the index of the shard owning pt's curve key.
+func (p *Partitioning) Locate(pt geom.Point) int {
+	return LocateKey(p.Key(pt), len(p.Shards), func(i int) uint64 { return p.Shards[i].LoKey })
+}
+
+// LocateKey finds, by binary search over ascending range starts, the
+// index of the shard owning key. n is the shard count and loKey returns
+// shard i's LoKey. Because shard ranges tile the key space, every key
+// has exactly one owner.
+func LocateKey(key uint64, n int, loKey func(int) uint64) int {
+	// First shard whose LoKey is > key, minus one.
+	i := sort.Search(n, func(i int) bool { return loKey(i) > key })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}

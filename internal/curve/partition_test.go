@@ -1,0 +1,201 @@
+package curve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"allnn/internal/datagen"
+	"allnn/internal/geom"
+)
+
+// checkPartitioning asserts the range-partition invariants: shard key
+// ranges are disjoint, adjacent, and cover the whole uint64 key space;
+// every input point's curve value lands in exactly one shard's range,
+// and that shard is the one holding the point; MBRs are tight.
+func checkPartitioning(t *testing.T, pts []geom.Point, part *Partitioning, want int) {
+	t.Helper()
+	if len(part.Shards) == 0 {
+		t.Fatal("partitioning has no shards")
+	}
+	if len(part.Shards) > want {
+		t.Fatalf("got %d shards, requested at most %d", len(part.Shards), want)
+	}
+
+	// Coverage and disjointness: ranges are adjacent, start at 0, end at
+	// MaxUint64, and each is non-inverted.
+	if lo := part.Shards[0].LoKey; lo != 0 {
+		t.Fatalf("first shard LoKey = %d, want 0", lo)
+	}
+	if hi := part.Shards[len(part.Shards)-1].HiKey; hi != math.MaxUint64 {
+		t.Fatalf("last shard HiKey = %d, want MaxUint64", hi)
+	}
+	for i, s := range part.Shards {
+		if s.HiKey < s.LoKey {
+			t.Fatalf("shard %d has inverted range [%d, %d]", i, s.LoKey, s.HiKey)
+		}
+		if len(s.Points) == 0 {
+			t.Fatalf("shard %d is empty", i)
+		}
+		if i > 0 {
+			prev := part.Shards[i-1]
+			if s.LoKey != prev.HiKey+1 {
+				t.Fatalf("shard %d LoKey = %d, want %d (gap/overlap after shard %d)", i, s.LoKey, prev.HiKey+1, i-1)
+			}
+		}
+	}
+
+	// Balance: with distinct keys the largest shard should not dwarf the
+	// smallest (equal-key runs may skew this, so allow 2x + run slack).
+	min, max := len(pts), 0
+	total := 0
+	for _, s := range part.Shards {
+		if len(s.Points) < min {
+			min = len(s.Points)
+		}
+		if len(s.Points) > max {
+			max = len(s.Points)
+		}
+		total += len(s.Points)
+	}
+	if total != len(pts) {
+		t.Fatalf("shards hold %d points, dataset has %d", total, len(pts))
+	}
+
+	// Every point: key in exactly one range, owner shard holds it, MBR
+	// contains it.
+	owners := make(map[int]int) // point index -> shard
+	for si, s := range part.Shards {
+		for _, pi := range s.Points {
+			if prev, dup := owners[pi]; dup {
+				t.Fatalf("point %d appears in shards %d and %d", pi, prev, si)
+			}
+			owners[pi] = si
+		}
+	}
+	for pi, p := range pts {
+		key := part.Key(p)
+		matches := 0
+		owner := -1
+		for si := range part.Shards {
+			if part.Shards[si].Contains(key) {
+				matches++
+				owner = si
+			}
+		}
+		if matches != 1 {
+			t.Fatalf("point %d key %d is contained by %d shard ranges, want exactly 1", pi, key, matches)
+		}
+		if owners[pi] != owner {
+			t.Fatalf("point %d held by shard %d but its key %d is owned by shard %d", pi, owners[pi], key, owner)
+		}
+		if got := part.Locate(p); got != owner {
+			t.Fatalf("Locate(point %d) = %d, want %d", pi, got, owner)
+		}
+		if !part.Shards[owner].MBR.Contains(p) {
+			t.Fatalf("shard %d MBR %v does not contain its point %v", owner, part.Shards[owner].MBR, p)
+		}
+	}
+
+	// Keys within each shard are ascending (curve order preserved).
+	for si, s := range part.Shards {
+		for j := 1; j < len(s.Points); j++ {
+			a := part.Key(pts[s.Points[j-1]])
+			b := part.Key(pts[s.Points[j]])
+			if a > b {
+				t.Fatalf("shard %d points not in curve order at position %d", si, j)
+			}
+		}
+	}
+}
+
+func TestPartitionHilbert2D(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		pts := datagen.GaussianClusters(41, 600, datagen.UnitBounds(2), 5, 0.04)
+		part, err := Partition(pts, n, Hilbert)
+		if err != nil {
+			t.Fatalf("Partition(hilbert, %d shards): %v", n, err)
+		}
+		checkPartitioning(t, pts, part, n)
+	}
+}
+
+func TestPartitionZOrderDims(t *testing.T) {
+	for _, dim := range []int{2, 3, 7} {
+		for _, n := range []int{3, 5} {
+			pts := datagen.Uniform(int64(dim)*100+int64(n), 500, datagen.UnitBounds(dim))
+			part, err := Partition(pts, n, ZOrder)
+			if err != nil {
+				t.Fatalf("Partition(zorder, dim %d, %d shards): %v", dim, n, err)
+			}
+			checkPartitioning(t, pts, part, n)
+		}
+	}
+}
+
+// TestPartitionDuplicateKeys forces long equal-key runs (all points in
+// one grid cell per cluster) and checks runs are never split.
+func TestPartitionDuplicateKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var pts []geom.Point
+	// Three distinct locations, each repeated many times: at most three
+	// distinct curve keys.
+	locs := []geom.Point{{0.1, 0.1}, {0.5, 0.55}, {0.9, 0.85}}
+	for i := 0; i < 120; i++ {
+		pts = append(pts, locs[rng.Intn(len(locs))].Clone())
+	}
+	part, err := Partition(pts, 8, ZOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Shards) > 3 {
+		t.Fatalf("got %d shards from 3 distinct keys, want <= 3", len(part.Shards))
+	}
+	checkPartitioning(t, pts, part, 8)
+}
+
+func TestPartitionSmallAndDegenerate(t *testing.T) {
+	// Fewer points than shards.
+	pts := datagen.Uniform(3, 3, datagen.UnitBounds(2))
+	part, err := Partition(pts, 10, Hilbert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitioning(t, pts, part, 10)
+
+	// Single point.
+	part, err = Partition(pts[:1], 4, ZOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitioning(t, pts[:1], part, 4)
+
+	if _, err := Partition(nil, 2, ZOrder); err == nil {
+		t.Fatal("Partition(empty) should fail")
+	}
+	if _, err := Partition(pts, 0, ZOrder); err == nil {
+		t.Fatal("Partition(0 shards) should fail")
+	}
+	pts3 := datagen.Uniform(5, 16, datagen.UnitBounds(3))
+	if _, err := Partition(pts3, 2, Hilbert); err == nil {
+		t.Fatal("Hilbert partition of 3-D data should fail")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+	}{{"zorder", ZOrder}, {"z", ZOrder}, {"hilbert", Hilbert}, {"h", Hilbert}} {
+		got, err := ParseKind(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseKind(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseKind("peano"); err == nil {
+		t.Fatal("ParseKind(peano) should fail")
+	}
+	if ZOrder.String() != "zorder" || Hilbert.String() != "hilbert" {
+		t.Fatal("Kind.String mismatch")
+	}
+}

@@ -1,0 +1,166 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"allnn/ann/client"
+	"allnn/internal/wire"
+)
+
+// backend is one shard's connection to its annserve node: a lazily
+// dialled wire client plus health state. A backend that fails a
+// transport-level operation is marked down for an exponentially growing
+// cool-off (capped), during which RPCs against it fail immediately —
+// one slow dead node must not add its full dial timeout to every
+// scatter. Protocol-level errors (BAD_REQUEST and friends) prove the
+// node alive and never trip the breaker.
+type backend struct {
+	shardName string
+	addr      string
+	dial      client.DialConfig
+
+	backoffBase time.Duration
+	backoffMax  time.Duration
+
+	mu        sync.Mutex
+	cli       *client.Client
+	fails     int
+	downUntil time.Time
+}
+
+func newBackend(shardName, addr string, cfg Config) *backend {
+	return &backend{
+		shardName:   shardName,
+		addr:        addr,
+		dial:        cfg.Dial,
+		backoffBase: cfg.BackoffBase,
+		backoffMax:  cfg.BackoffMax,
+	}
+}
+
+// shardError marks an RPC failure as "this shard is unavailable" — the
+// signal the gather layer turns into SHARD_UNAVAILABLE (strict mode) or
+// a PartialInfo entry (degraded mode). Any other error from a backend
+// RPC is a real answer from a live node and propagates untouched.
+type shardError struct {
+	shard string
+	err   error
+}
+
+func (e *shardError) Error() string {
+	return fmt.Sprintf("shard %s unavailable: %v", e.shard, e.err)
+}
+
+func (e *shardError) Unwrap() error { return e.err }
+
+// transientRPC classifies the failure taxonomy the backend retries or
+// breaks on: transport errors (dead conn, refused dial, timeout at the
+// socket) plus the two wire codes that mean "node alive but not
+// serving right now" (SERVER_BUSY, SHUTTING_DOWN). Everything else —
+// BAD_REQUEST, NOT_FOUND, engine errors — is an authoritative answer.
+func transientRPC(err error) bool {
+	var we *wire.Error
+	if errors.As(err, &we) {
+		return we.Code == wire.CodeServerBusy || we.Code == wire.CodeShuttingDown
+	}
+	// The caller's own context expiring is not the backend's fault.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true // transport-level failure
+}
+
+// acquire returns a connected client, dialling if needed. While the
+// breaker is open it fails immediately with a shardError.
+func (b *backend) acquire(ctx context.Context) (*client.Client, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cli != nil {
+		return b.cli, nil
+	}
+	if wait := time.Until(b.downUntil); wait > 0 {
+		return nil, &shardError{shard: b.shardName,
+			err: fmt.Errorf("backend %s cooling off for %v after %d failures", b.addr, wait.Round(time.Millisecond), b.fails)}
+	}
+	cli, err := client.DialRetry(ctx, b.addr, b.dial)
+	if err != nil {
+		b.tripLocked()
+		return nil, &shardError{shard: b.shardName, err: err}
+	}
+	b.cli = cli
+	return cli, nil
+}
+
+// dropConn discards cli if it is still the backend's current
+// connection, and trips the breaker.
+func (b *backend) dropConn(cli *client.Client) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cli == cli {
+		cli.Close()
+		b.cli = nil
+	}
+	b.tripLocked()
+}
+
+// tripLocked opens the breaker: cool-off doubles per consecutive
+// failure, capped.
+func (b *backend) tripLocked() {
+	b.fails++
+	d := b.backoffBase << (b.fails - 1)
+	if d > b.backoffMax || d <= 0 {
+		d = b.backoffMax
+	}
+	b.downUntil = time.Now().Add(d)
+}
+
+// markUp resets the breaker after a successful RPC.
+func (b *backend) markUp() {
+	b.mu.Lock()
+	b.fails = 0
+	b.downUntil = time.Time{}
+	b.mu.Unlock()
+}
+
+// close tears the connection down (router shutdown).
+func (b *backend) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cli != nil {
+		b.cli.Close()
+		b.cli = nil
+	}
+}
+
+// do runs one RPC against the backend, retrying a transient failure
+// once on a fresh connection (a stale pooled conn whose peer restarted
+// looks exactly like a dead node until redialled). A second transient
+// failure trips the breaker and surfaces as a shardError.
+func (b *backend) do(ctx context.Context, fn func(*client.Client) error) error {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		cli, err := b.acquire(ctx)
+		if err != nil {
+			return err
+		}
+		err = fn(cli)
+		if err == nil {
+			b.markUp()
+			return nil
+		}
+		if !transientRPC(err) {
+			b.markUp()
+			return err
+		}
+		b.dropConn(cli)
+		lastErr = err
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return &shardError{shard: b.shardName, err: lastErr}
+}

@@ -1,0 +1,615 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"allnn/ann"
+	"allnn/ann/client"
+	"allnn/internal/curve"
+	"allnn/internal/datagen"
+	"allnn/internal/geom"
+	"allnn/internal/obs"
+	"allnn/internal/server"
+)
+
+// --- fixture -----------------------------------------------------------------
+
+// testBackend is one in-process annserve shard the tests can kill.
+type testBackend struct {
+	srv  *server.Server
+	addr string
+	done chan error
+}
+
+func (b *testBackend) kill(t *testing.T) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("killing backend %s: %v", b.addr, err)
+	}
+	if err := <-b.done; err != nil {
+		t.Fatalf("backend %s serve: %v", b.addr, err)
+	}
+	b.done = nil
+	b.srv.Catalog().CloseAll()
+}
+
+// fixture is a routed deployment: n shard backends, a curve-ordered
+// single-node baseline over the identical points, and a router in the
+// requested mode.
+type fixture struct {
+	name     string
+	pts      []ann.Point // curve order == global id order
+	perShard [][2]uint64 // [idBase, count] per shard
+	backends []*testBackend
+	reg      *obs.Registry
+	routed   *client.Client
+	single   *client.Client
+}
+
+// startBackend serves the given points as index name on a loopback
+// listener and registers cleanup.
+func startBackend(t *testing.T, name string, pts []ann.Point) *testBackend {
+	t.Helper()
+	ix, err := ann.BuildIndex(pts, ann.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{})
+	if err := srv.Catalog().Add(name, ix); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &testBackend{srv: srv, addr: ln.Addr().String(), done: make(chan error, 1)}
+	go func() { b.done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		if b.done == nil {
+			return // already killed by the test
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-b.done
+		srv.Catalog().CloseAll()
+	})
+	return b
+}
+
+// startFixture partitions pts into shards Hilbert shards and stands up
+// the whole deployment. Backoff is kept short so failure tests don't
+// stall on the circuit breaker.
+func startFixture(t *testing.T, pts []geom.Point, shards int, mode Mode, fanout int) *fixture {
+	t.Helper()
+	part, err := curve.Partition(pts, shards, curve.Hilbert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{name: "pts", reg: obs.NewRegistry()}
+	addrs := make([]string, len(part.Shards))
+	for i, s := range part.Shards {
+		shardPts := make([]ann.Point, len(s.Points))
+		for j, idx := range s.Points {
+			shardPts[j] = ann.Point(pts[idx])
+			f.pts = append(f.pts, ann.Point(pts[idx]))
+		}
+		f.perShard = append(f.perShard, [2]uint64{uint64(len(f.pts) - len(shardPts)), uint64(len(shardPts))})
+		b := startBackend(t, fmt.Sprintf("pts-%d", i), shardPts)
+		f.backends = append(f.backends, b)
+		addrs[i] = b.addr
+	}
+	sb := startBackend(t, "pts", f.pts)
+
+	rt, err := New(Config{
+		Mode:        mode,
+		MaxFanout:   fanout,
+		Metrics:     f.reg,
+		Dial:        client.DialConfig{Retries: 1, Backoff: 10 * time.Millisecond},
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+	}, MapFromPartitioning("pts", part, addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- rt.Serve(rln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		rt.Shutdown(ctx)
+		if err := <-done; err != nil {
+			t.Errorf("router serve: %v", err)
+		}
+	})
+
+	f.routed = dial(t, rln.Addr().String())
+	f.single = dial(t, sb.addr)
+	return f
+}
+
+func dial(t *testing.T, addr string) *client.Client {
+	t.Helper()
+	cl, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// uniformPoints is the general-position workload: uniform random floats
+// never tie, so parity is exact with no canonicalization caveats.
+func uniformPoints(seed int64, n int) []geom.Point {
+	return datagen.Uniform(seed, n, datagen.ScaledBounds(2, 1000))
+}
+
+// queryMix samples on-data and off-data query points.
+func queryMix(pts []ann.Point) []ann.Point {
+	qs := []ann.Point{{0, 0}, {500, 500}, {999.5, 3.25}}
+	for i := 0; i < len(pts); i += 37 {
+		qs = append(qs, pts[i])
+	}
+	return qs
+}
+
+// collectJoin drains a self-join stream; the error (nil, partial, or
+// hard failure) is returned alongside whatever arrived.
+func collectJoin(t *testing.T, cl *client.Client, name string, k int) ([]ann.Result, error) {
+	t.Helper()
+	st, err := cl.SelfJoin(context.Background(), name, k)
+	if err != nil {
+		return nil, err
+	}
+	var out []ann.Result
+	for st.Next() {
+		out = append(out, st.Result())
+	}
+	return out, st.Close()
+}
+
+// sortResults canonicalizes a join stream by ascending id (the order
+// the router emits natively; a single node emits traversal order).
+func sortResults(rs []ann.Result) {
+	sort.Slice(rs, func(a, b int) bool { return rs[a].ID < rs[b].ID })
+}
+
+type pair struct {
+	r, s uint64
+	d    float64
+}
+
+func collectWithin(t *testing.T, cl *client.Client, name string, dist float64) ([]pair, error) {
+	t.Helper()
+	var out []pair
+	_, err := cl.WithinDistance(context.Background(), name, name, dist, true, func(r, s uint64, d float64) error {
+		out = append(out, pair{r, s, d})
+		return nil
+	})
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].r != out[b].r {
+			return out[a].r < out[b].r
+		}
+		return out[a].s < out[b].s
+	})
+	return out, err
+}
+
+// --- parity ------------------------------------------------------------------
+
+// TestRoutedParity pins the acceptance criterion: every routed answer
+// is identical to the single node's over the same curve-ordered
+// dataset — point and batched kNN exactly (k ∈ {1, 4}), range and
+// range-points as id-sorted sets, within-distance as the sorted pair
+// multiset, and the ANN self-join per point after id-canonicalizing the
+// single node's traversal-ordered stream. Runs with serial scatter
+// (fanout 1) and parallel fan-out.
+func TestRoutedParity(t *testing.T) {
+	pts := uniformPoints(11, 600)
+	for _, fanout := range []int{1, 0} {
+		label := "parallel"
+		if fanout == 1 {
+			label = "serial"
+		}
+		t.Run(label, func(t *testing.T) {
+			f := startFixture(t, pts, 4, Strict, fanout)
+			ctx := context.Background()
+
+			for _, k := range []int{1, 4} {
+				for _, q := range queryMix(f.pts) {
+					want, err := f.single.KNN(ctx, "pts", q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := f.routed.KNN(ctx, "pts", q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("k=%d q=%v: routed %+v, single %+v", k, q, got, want)
+					}
+				}
+
+				qs := queryMix(f.pts)
+				want, err := f.single.BatchKNN(ctx, "pts", qs, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := f.routed.BatchKNN(ctx, "pts", qs, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("batch k=%d: routed and single answers differ", k)
+				}
+
+				gotJoin, err := collectJoin(t, f.routed, "pts", k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sort.SliceIsSorted(gotJoin, func(a, b int) bool { return gotJoin[a].ID < gotJoin[b].ID }) {
+					t.Fatalf("k=%d: routed join stream is not in ascending global id order", k)
+				}
+				wantJoin, err := collectJoin(t, f.single, "pts", k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sortResults(wantJoin)
+				if len(gotJoin) != len(wantJoin) {
+					t.Fatalf("k=%d: routed join has %d results, single %d", k, len(gotJoin), len(wantJoin))
+				}
+				for i := range wantJoin {
+					if !reflect.DeepEqual(gotJoin[i], wantJoin[i]) {
+						t.Fatalf("k=%d id=%d: routed %+v, single %+v", k, wantJoin[i].ID, gotJoin[i], wantJoin[i])
+					}
+				}
+			}
+
+			for _, box := range [][2]ann.Point{
+				{{100, 100}, {300, 300}},
+				{{0, 0}, {1000, 1000}},
+				{{400, 400}, {401, 401}}, // likely empty
+			} {
+				want, err := f.single.Range(ctx, "pts", box[0], box[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+				got, err := f.routed.Range(ctx, "pts", box[0], box[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+					t.Fatalf("range %v: routed %v, single (sorted) %v", box, got, want)
+				}
+
+				ids, rpts, err := f.routed.RangePoints(ctx, "pts", box[0], box[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(ids, got) && !(len(ids) == 0 && len(got) == 0) {
+					t.Fatalf("range-points %v: ids %v, range ids %v", box, ids, got)
+				}
+				for i, id := range ids {
+					if !reflect.DeepEqual(rpts[i], f.pts[id]) {
+						t.Fatalf("range-points %v: id %d has point %v, dataset has %v", box, id, rpts[i], f.pts[id])
+					}
+				}
+			}
+
+			gotW, err := collectWithin(t, f.routed, "pts", 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantW, err := collectWithin(t, f.single, "pts", 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gotW) == 0 {
+				t.Fatal("within-distance produced no pairs; widen the radius")
+			}
+			if !reflect.DeepEqual(gotW, wantW) {
+				t.Fatalf("within d=30: routed %d pairs, single %d pairs, contents differ", len(gotW), len(wantW))
+			}
+		})
+	}
+}
+
+// TestRoutedKNNPrunesShards verifies the two-phase NXNDIST bound does
+// real work: on clustered data, interior queries must skip shards whose
+// MINDIST exceeds the merged k-best bound, and parity must survive the
+// pruning.
+func TestRoutedKNNPrunesShards(t *testing.T) {
+	pts := datagen.GaussianClusters(7, 800, datagen.ScaledBounds(2, 1000), 20, 0.01)
+	// Clamping at the bounds corners can create coincident points whose
+	// tie order is engine-defined; drop duplicates to keep parity exact.
+	seen := map[[2]float64]bool{}
+	var uniq []geom.Point
+	for _, p := range pts {
+		key := [2]float64{p[0], p[1]}
+		if !seen[key] {
+			seen[key] = true
+			uniq = append(uniq, p)
+		}
+	}
+	f := startFixture(t, uniq, 4, Strict, 0)
+	ctx := context.Background()
+
+	pruned := f.reg.Counter("router.shards_pruned")
+	before := pruned.Value()
+	for i := 0; i < len(f.pts); i += 11 {
+		q := f.pts[i]
+		want, err := f.single.KNN(ctx, "pts", q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.routed.KNN(ctx, "pts", q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("q=%v: routed %+v, single %+v", q, got, want)
+		}
+	}
+	if pruned.Value() == before {
+		t.Fatal("no shard contacts pruned across a clustered kNN sweep; the NXNDIST bound is not biting")
+	}
+}
+
+// --- failure model -----------------------------------------------------------
+
+// deadShardQuery returns a query point owned by the given shard (its
+// first point) and one owned by a different live shard.
+func (f *fixture) ownerPoints(dead int) (deadQ, liveQ ann.Point) {
+	deadBase := f.perShard[dead][0]
+	deadQ = f.pts[deadBase]
+	for i := range f.perShard {
+		if i != dead {
+			return deadQ, f.pts[f.perShard[i][0]]
+		}
+	}
+	panic("single-shard fixture")
+}
+
+// TestStrictShardFailure kills one backend under a strict router: any
+// request that needs the dead shard fails fast with SHARD_UNAVAILABLE,
+// while queries whose bounds prune the dead shard keep answering
+// exactly.
+func TestStrictShardFailure(t *testing.T) {
+	pts := datagen.GaussianClusters(7, 600, datagen.ScaledBounds(2, 1000), 12, 0.01)
+	f := startFixture(t, pts, 4, Strict, 0)
+	ctx := context.Background()
+
+	const dead = 1
+	deadQ, liveQ := f.ownerPoints(dead)
+	// Pre-failure sanity: the live query's k=1 answer, for post-kill
+	// comparison (its bound must prune the dead shard).
+	wantLive, err := f.routed.KNN(ctx, "pts", liveQ, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.backends[dead].kill(t)
+
+	if _, err := f.routed.KNN(ctx, "pts", deadQ, 1); !client.IsShardUnavailable(err) {
+		t.Fatalf("kNN owned by the dead shard: got %v, want SHARD_UNAVAILABLE", err)
+	}
+	if _, err := collectJoin(t, f.routed, "pts", 4); !client.IsShardUnavailable(err) {
+		t.Fatalf("self-join with a dead shard: got %v, want SHARD_UNAVAILABLE", err)
+	}
+	if _, err := collectWithin(t, f.routed, "pts", 20); !client.IsShardUnavailable(err) {
+		t.Fatalf("within-distance with a dead shard: got %v, want SHARD_UNAVAILABLE", err)
+	}
+	if unavailable := f.reg.Counter("router.shard_unavailable").Value(); unavailable == 0 {
+		t.Fatal("router.shard_unavailable counter did not advance")
+	}
+
+	// An on-cluster k=1 query owned by a live shard: the NXNDIST-seeded
+	// bound prunes the dead shard, so strict mode still answers.
+	gotLive, err := f.routed.KNN(ctx, "pts", liveQ, 1)
+	if err != nil {
+		t.Fatalf("kNN pruning the dead shard: %v", err)
+	}
+	if !reflect.DeepEqual(gotLive, wantLive) {
+		t.Fatalf("post-failure answer changed: %+v, want %+v", gotLive, wantLive)
+	}
+}
+
+// TestDegradedPartialResult kills one backend under a degraded router:
+// replies carry the live shards' exact answer plus the PARTIAL_RESULT
+// marker, and streams end with PARTIAL_RESULT instead of a clean end.
+func TestDegradedPartialResult(t *testing.T) {
+	pts := uniformPoints(23, 500)
+	f := startFixture(t, pts, 4, Degraded, 0)
+	ctx := context.Background()
+
+	const dead = 2
+	deadBase, deadCount := f.perShard[dead][0], f.perShard[dead][1]
+	inDead := func(id uint64) bool { return id >= deadBase && id < deadBase+deadCount }
+	f.backends[dead].kill(t)
+
+	// Degraded kNN is the exact answer over the union of live shards —
+	// checked against brute force over the live points.
+	q := ann.Point{500, 500}
+	const k = 5
+	got, err := f.routed.KNN(ctx, "pts", q, k)
+	if !client.IsPartialResult(err) {
+		t.Fatalf("degraded kNN error: got %v, want PARTIAL_RESULT", err)
+	}
+	type cand struct {
+		id uint64
+		d  float64
+	}
+	var want []cand
+	for id, p := range f.pts {
+		if inDead(uint64(id)) {
+			continue
+		}
+		dx, dy := p[0]-q[0], p[1]-q[1]
+		want = append(want, cand{uint64(id), math.Sqrt(dx*dx + dy*dy)})
+	}
+	sort.Slice(want, func(a, b int) bool { return want[a].d < want[b].d })
+	if len(got) != k {
+		t.Fatalf("degraded kNN returned %d neighbors, want %d", len(got), k)
+	}
+	for i, n := range got {
+		if n.ID != want[i].id || math.Abs(n.Dist-want[i].d) > 1e-9 {
+			t.Fatalf("degraded kNN rank %d: got id %d dist %v, want id %d dist %v",
+				i, n.ID, n.Dist, want[i].id, want[i].d)
+		}
+	}
+
+	// Degraded streams: data from the live shards, then PARTIAL_RESULT.
+	results, err := collectJoin(t, f.routed, "pts", 2)
+	if !client.IsPartialResult(err) {
+		t.Fatalf("degraded self-join error: got %v, want PARTIAL_RESULT", err)
+	}
+	if len(results) == 0 {
+		t.Fatal("degraded self-join returned no results from the live shards")
+	}
+	for _, r := range results {
+		if inDead(uint64(r.ID)) {
+			t.Fatalf("degraded self-join emitted result for dead-shard point %d", r.ID)
+		}
+		for _, n := range r.Neighbors {
+			if inDead(uint64(n.ID)) {
+				t.Fatalf("degraded self-join point %d lists dead-shard neighbor %d", r.ID, n.ID)
+			}
+		}
+	}
+	if got := len(results); got != len(f.pts)-int(deadCount) {
+		t.Fatalf("degraded self-join returned %d results, want %d (live points)", got, len(f.pts)-int(deadCount))
+	}
+
+	pairs, err := collectWithin(t, f.routed, "pts", 40)
+	if !client.IsPartialResult(err) {
+		t.Fatalf("degraded within error: got %v, want PARTIAL_RESULT", err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("degraded within-distance returned no pairs from the live shards")
+	}
+	for _, p := range pairs {
+		if inDead(p.r) || inDead(p.s) {
+			t.Fatalf("degraded within emitted dead-shard pair (%d, %d)", p.r, p.s)
+		}
+	}
+	if f.reg.Counter("router.partial_results").Value() == 0 {
+		t.Fatal("router.partial_results counter did not advance")
+	}
+}
+
+// --- request validation ------------------------------------------------------
+
+func TestRouterRejects(t *testing.T) {
+	f := startFixture(t, uniformPoints(5, 200), 2, Strict, 0)
+	ctx := context.Background()
+
+	if _, err := f.routed.KNN(ctx, "nope", ann.Point{1, 2}, 1); !client.IsNotFound(err) {
+		t.Errorf("unknown dataset: got %v, want NOT_FOUND", err)
+	}
+	if _, err := f.routed.KNN(ctx, "pts", ann.Point{1, 2, 3}, 1); !client.IsBadRequest(err) {
+		t.Errorf("dimension mismatch: got %v, want BAD_REQUEST", err)
+	}
+	if _, err := f.routed.KNN(ctx, "pts", ann.Point{1, 2}, 0); !client.IsBadRequest(err) {
+		t.Errorf("k=0: got %v, want BAD_REQUEST", err)
+	}
+	st, err := f.routed.SelfJoinApprox(ctx, "pts", 2, client.JoinOptions{Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for st.Next() {
+	}
+	if err := st.Close(); !client.IsBadRequest(err) {
+		t.Errorf("approximate routed join: got %v, want BAD_REQUEST", err)
+	}
+	if _, err := f.routed.WithinDistance(ctx, "pts", "other", 5, true, func(uint64, uint64, float64) error { return nil }); !client.IsBadRequest(err) {
+		t.Errorf("cross-dataset within: got %v, want BAD_REQUEST", err)
+	}
+	if _, err := f.routed.Insert(ctx, "pts", nil, []ann.Point{{1, 2}}); !client.IsBadRequest(err) {
+		t.Errorf("mutation through the router: got %v, want BAD_REQUEST", err)
+	}
+}
+
+func TestShardMapServed(t *testing.T) {
+	f := startFixture(t, uniformPoints(3, 300), 3, Strict, 0)
+	m, err := f.routed.ShardMap(context.Background(), "pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "pts" || len(m.Shards) != 3 {
+		t.Fatalf("shard map: name %q, %d shards; want pts, 3", m.Name, len(m.Shards))
+	}
+	var total uint64
+	for i, s := range m.Shards {
+		if s.Count == 0 {
+			t.Errorf("shard %d is empty", i)
+		}
+		if s.IDBase != total {
+			t.Errorf("shard %d id base %d, want %d", i, s.IDBase, total)
+		}
+		total += s.Count
+	}
+	if total != 300 {
+		t.Fatalf("shard counts sum to %d, want 300", total)
+	}
+	if _, err := f.routed.ShardMap(context.Background(), "nope"); !client.IsNotFound(err) {
+		t.Fatalf("unknown dataset shard map: got %v, want NOT_FOUND", err)
+	}
+}
+
+// --- unit tests --------------------------------------------------------------
+
+func TestGatherPartialDedup(t *testing.T) {
+	g := &gather{mode: Degraded}
+	for _, name := range []string{"b", "a", "b", "a", "c"} {
+		if !g.shardDown(name, fmt.Errorf("down")) {
+			t.Fatal("degraded gather aborted on a shard failure")
+		}
+	}
+	p := g.partial()
+	if p == nil || !reflect.DeepEqual(p.Missing, []string{"a", "b", "c"}) {
+		t.Fatalf("partial() = %+v, want sorted deduped [a b c]", p)
+	}
+	if !g.isMissing("a") || g.isMissing("d") {
+		t.Fatal("isMissing misreports")
+	}
+}
+
+func TestInflate(t *testing.T) {
+	r := geom.NewRect(geom.Point{1, 2}, geom.Point{3, 4})
+	in := inflate(r, 0.5)
+	if !reflect.DeepEqual(in.Lo, geom.Point{0.5, 1.5}) || !reflect.DeepEqual(in.Hi, geom.Point{3.5, 4.5}) {
+		t.Fatalf("inflate = %+v", in)
+	}
+	// The input must be untouched (Clone semantics).
+	if !reflect.DeepEqual(r.Lo, geom.Point{1, 2}) {
+		t.Fatalf("inflate mutated its input: %+v", r)
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+		ok   bool
+	}{
+		{"strict", Strict, true}, {"", Strict, true}, {"degraded", Degraded, true}, {"lenient", 0, false},
+	} {
+		got, err := ParseMode(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}

@@ -69,6 +69,8 @@ func (s *Server) dispatch(ctx context.Context, rc *reqCtx, hdr wire.RequestHeade
 		return s.withSlot(ctx, rc, func() error { return s.handleBatchKNN(ctx, hdr, req, w) })
 	case *wire.RangeReq:
 		return s.withSlot(ctx, rc, func() error { return s.handleRange(ctx, hdr, req, w) })
+	case *wire.RangePointsReq:
+		return s.withSlot(ctx, rc, func() error { return s.handleRangePoints(ctx, hdr, req, w) })
 	case *wire.JoinReq:
 		return s.withSlot(ctx, rc, func() error { return s.handleJoin(ctx, rc, hdr, req, w) })
 	case *wire.WithinReq:
@@ -282,6 +284,33 @@ func (s *Server) handleRange(ctx context.Context, hdr wire.RequestHeader, req *w
 		return err
 	}
 	return w.send(hdr.ID, wire.KindResult, hdr.Op, &wire.RangeReply{IDs: ids})
+}
+
+// handleRangePoints is the coordinate-bearing variant of handleRange,
+// serving the boundary-strip fetches a router's distributed
+// within-distance evaluation issues: the router needs the points
+// themselves to compute exact cross-shard distances.
+func (s *Server) handleRangePoints(ctx context.Context, hdr wire.RequestHeader, req *wire.RangePointsReq, w *connWriter) error {
+	e, ix, err := s.catalog.acquire(req.Index)
+	if err != nil {
+		return err
+	}
+	defer e.release()
+	if len(req.Lo) != ix.Dim() || len(req.Hi) != ix.Dim() {
+		return badRequest("box dims (%d, %d) do not match index %q dim %d", len(req.Lo), len(req.Hi), req.Index, ix.Dim())
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ids, pts, err := ix.RangeSearchWithPoints(ann.Point(req.Lo), ann.Point(req.Hi))
+	if err != nil {
+		return err
+	}
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p
+	}
+	return w.send(hdr.ID, wire.KindResult, hdr.Op, &wire.RangePointsReply{IDs: ids, Points: out})
 }
 
 // --- join ops ---------------------------------------------------------------

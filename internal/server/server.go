@@ -158,7 +158,7 @@ func New(cfg Config) *Server {
 	s.latencies = make(map[wire.Op]*obs.Histogram)
 	for _, op := range []wire.Op{
 		wire.OpOpen, wire.OpClose, wire.OpList, wire.OpStats,
-		wire.OpKNN, wire.OpBatchKNN, wire.OpRange,
+		wire.OpKNN, wire.OpBatchKNN, wire.OpRange, wire.OpRangePoints,
 		wire.OpJoin, wire.OpWithinDistance, wire.OpClosestPairs,
 	} {
 		s.latencies[op] = reg.Histogram("server."+op.String()+".latency_ns", obs.LatencyBuckets())

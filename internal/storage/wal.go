@@ -580,6 +580,11 @@ func (w *WAL) Reset() error {
 // clean shutdown, false when recovery has work to do.
 func (w *WAL) Empty() bool { return w.size == walHeaderSize }
 
+// Size returns the durable log size in bytes, excluding the fixed file
+// header — the replay debt a crash right now would incur, and the
+// quantity auto-checkpoint policies budget against.
+func (w *WAL) Size() int64 { return w.size - walHeaderSize }
+
 // Close closes the backend without checkpointing; call Reset first for
 // a clean shutdown.
 func (w *WAL) Close() error { return w.f.Close() }

@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var writeCorpus = flag.Bool("write-corpus", false,
+	"rewrite testdata/fuzz seed corpora from requestSamples/responseSamples")
+
+// TestRefreshFuzzCorpus regenerates the checked-in fuzz seed corpora
+// when run with -write-corpus (see `make fuzz-corpus`), so that every
+// sample frame — including newly added protocol frames — is a seed.
+// Without the flag it verifies the corpus is fresh: every sample's
+// encoding must exist as a seed file, which fails the build when a new
+// frame is added to the samples but the corpus was not regenerated.
+func TestRefreshFuzzCorpus(t *testing.T) {
+	var reqs, resps [][]byte
+	for _, s := range requestSamples() {
+		payload, err := EncodeRequest(s.hdr, s.body, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, payload)
+	}
+	for _, s := range responseSamples() {
+		payload, err := EncodeResponse(s.id, s.kind, s.op, s.body, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resps = append(resps, payload)
+	}
+	for dir, payloads := range map[string][][]byte{
+		"FuzzDecodeRequest":  reqs,
+		"FuzzDecodeResponse": resps,
+	} {
+		path := filepath.Join("testdata", "fuzz", dir)
+		if *writeCorpus {
+			// Only the generated seed-NN files are ours to rewrite;
+			// legacy-* entries are curated (fuzzer-minimized and
+			// prior-version) inputs that a refresh must not discard.
+			old, err := filepath.Glob(filepath.Join(path, "seed-*"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range old {
+				if err := os.Remove(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := os.MkdirAll(path, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range payloads {
+				seed := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", p)
+				name := filepath.Join(path, fmt.Sprintf("seed-%02d", i))
+				if err := os.WriteFile(name, []byte(seed), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			t.Logf("wrote %d seeds to %s", len(payloads), path)
+			continue
+		}
+		have := make(map[string]bool)
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			t.Fatalf("reading corpus %s (run `make fuzz-corpus`?): %v", path, err)
+		}
+		for _, e := range entries {
+			b, err := os.ReadFile(filepath.Join(path, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			have[string(b)] = true
+		}
+		for i, p := range payloads {
+			seed := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", p)
+			if !have[seed] {
+				t.Errorf("%s: sample %d has no seed file — run `make fuzz-corpus` to refresh", dir, i)
+			}
+		}
+	}
+}

@@ -443,9 +443,11 @@ func (m *StatsReply) decode(d *Decoder) {
 	}
 }
 
-// KNNReply answers OpKNN.
+// KNNReply answers OpKNN. Partial is set only by a degraded-mode
+// router when a shard was unavailable (see PartialInfo).
 type KNNReply struct {
 	Neighbors []Neighbor
+	Partial   *PartialInfo
 }
 
 func (m *KNNReply) encode(e *Encoder) {
@@ -453,23 +455,30 @@ func (m *KNNReply) encode(e *Encoder) {
 	for i := range m.Neighbors {
 		m.Neighbors[i].encode(e)
 	}
+	if m.Partial != nil {
+		m.Partial.encode(e)
+	}
 }
 
 func (m *KNNReply) decode(d *Decoder) {
 	n := d.Count(8+8+1, "knn neighbors")
-	if d.Err() != nil || n == 0 {
+	if d.Err() != nil {
 		return
 	}
-	m.Neighbors = make([]Neighbor, n)
-	for i := range m.Neighbors {
-		m.Neighbors[i].decode(d)
+	if n > 0 {
+		m.Neighbors = make([]Neighbor, n)
+		for i := range m.Neighbors {
+			m.Neighbors[i].decode(d)
+		}
 	}
+	m.Partial = decodeTrailingPartial(d)
 }
 
 // BatchKNNReply answers OpBatchKNN, one Result per query point in
-// request order.
+// request order. Partial is set only by a degraded-mode router.
 type BatchKNNReply struct {
 	Results []Result
+	Partial *PartialInfo
 }
 
 func (m *BatchKNNReply) encode(e *Encoder) {
@@ -477,26 +486,43 @@ func (m *BatchKNNReply) encode(e *Encoder) {
 	for i := range m.Results {
 		m.Results[i].encode(e)
 	}
+	if m.Partial != nil {
+		m.Partial.encode(e)
+	}
 }
 
 func (m *BatchKNNReply) decode(d *Decoder) {
 	n := d.Count(minResultBytes, "batch results")
-	if d.Err() != nil || n == 0 {
+	if d.Err() != nil {
 		return
 	}
-	m.Results = make([]Result, n)
-	for i := range m.Results {
-		m.Results[i].decode(d)
+	if n > 0 {
+		m.Results = make([]Result, n)
+		for i := range m.Results {
+			m.Results[i].decode(d)
+		}
+	}
+	m.Partial = decodeTrailingPartial(d)
+}
+
+// RangeReply answers OpRange. Partial is set only by a degraded-mode
+// router.
+type RangeReply struct {
+	IDs     []uint64
+	Partial *PartialInfo
+}
+
+func (m *RangeReply) encode(e *Encoder) {
+	e.U64s(m.IDs)
+	if m.Partial != nil {
+		m.Partial.encode(e)
 	}
 }
 
-// RangeReply answers OpRange.
-type RangeReply struct {
-	IDs []uint64
+func (m *RangeReply) decode(d *Decoder) {
+	m.IDs = d.U64s("range ids")
+	m.Partial = decodeTrailingPartial(d)
 }
-
-func (m *RangeReply) encode(e *Encoder) { e.U64s(m.IDs) }
-func (m *RangeReply) decode(d *Decoder) { m.IDs = d.U64s("range ids") }
 
 // JoinFrame is one KindStream chunk of an OpJoin result stream.
 type JoinFrame struct {
@@ -782,6 +808,10 @@ func requestBody(op Op) (Message, error) {
 		return &InsertReq{}, nil
 	case OpDelete:
 		return &DeleteReq{}, nil
+	case OpShardMap:
+		return &ShardMapReq{}, nil
+	case OpRangePoints:
+		return &RangePointsReq{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown request op %d", uint8(op))
 	}
@@ -824,6 +854,10 @@ func responseBody(kind ResponseKind, op Op) (Message, error) {
 			return &InsertReply{}, nil
 		case OpDelete:
 			return &DeleteReply{}, nil
+		case OpShardMap:
+			return &ShardMapReply{}, nil
+		case OpRangePoints:
+			return &RangePointsReply{}, nil
 		}
 		return nil, fmt.Errorf("wire: op %s has no single-frame result", op)
 	default:

@@ -26,9 +26,18 @@ import (
 // immediately (it is probably being probed by a non-annserve client).
 const Magic = "ANNS"
 
-// Version is the protocol version this build speaks. The handshake
-// rejects mismatches outright — there are no negotiated downgrades.
-const Version = 1
+// Version is the protocol version this build speaks. Version 2 added
+// the shard-routing frames (OpShardMap, OpRangePoints, the partial-
+// result reply block and the SHARD_UNAVAILABLE/PARTIAL_RESULT error
+// codes). A server accepts any version in [MinVersion, Version] — the
+// version-1 frame set is unchanged, so old clients keep working — but
+// there are no negotiated downgrades: a version-2 client talking to a
+// version-1 server is rejected at the handshake rather than failing
+// mid-stream on a frame the server cannot parse.
+const Version = 2
+
+// MinVersion is the oldest protocol version a server still accepts.
+const MinVersion = 1
 
 // MaxFrame bounds a single frame's payload. Requests are small; join
 // result streams chunk themselves well below this. A peer announcing a
@@ -63,6 +72,14 @@ const (
 	OpInsert Op = 11
 	// OpDelete durably removes a batch of points from a live index.
 	OpDelete Op = 12
+	// OpShardMap returns the shard topology of a routed dataset
+	// (annrouter only; a plain annserve answers BAD_REQUEST).
+	// Version-gated: requires protocol version >= 2.
+	OpShardMap Op = 13
+	// OpRangePoints returns the ids AND coordinates inside an
+	// axis-aligned box — the boundary-strip fetch the router uses to
+	// recover cross-shard pairs. Version-gated: requires version >= 2.
+	OpRangePoints Op = 14
 )
 
 // String implements fmt.Stringer; it is also the server's per-op
@@ -93,6 +110,10 @@ func (op Op) String() string {
 		return "insert"
 	case OpDelete:
 		return "delete"
+	case OpShardMap:
+		return "shard_map"
+	case OpRangePoints:
+		return "range_points"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}
@@ -138,6 +159,15 @@ const (
 	// append or fsync); the index refuses further writes until reopened,
 	// and the failed batch's durability is indeterminate.
 	CodeWriteFailed ErrorCode = 8
+	// CodeShardUnavailable: a routed request needed a shard whose
+	// backend is down (after retries). Strict-mode routers fail the
+	// whole request with this code rather than return partial data.
+	CodeShardUnavailable ErrorCode = 9
+	// CodePartialResult: a degraded-mode router gathered what it could
+	// but one or more shards were unavailable. For streams this arrives
+	// after the KindStream frames in place of KindEnd: everything
+	// streamed so far is exact for the shards that answered.
+	CodePartialResult ErrorCode = 10
 )
 
 // String implements fmt.Stringer with the protocol's canonical names.
@@ -159,6 +189,10 @@ func (c ErrorCode) String() string {
 		return "INTERNAL"
 	case CodeWriteFailed:
 		return "WRITE_FAILED"
+	case CodeShardUnavailable:
+		return "SHARD_UNAVAILABLE"
+	case CodePartialResult:
+		return "PARTIAL_RESULT"
 	default:
 		return fmt.Sprintf("CODE(%d)", uint16(c))
 	}
@@ -260,8 +294,8 @@ func ReadHandshake(r io.Reader) error {
 	if string(b[:4]) != Magic {
 		return fmt.Errorf("wire: bad handshake magic %q", b[:4])
 	}
-	if b[4] != Version {
-		return fmt.Errorf("wire: protocol version %d, want %d", b[4], Version)
+	if b[4] < MinVersion || b[4] > Version {
+		return fmt.Errorf("wire: protocol version %d, want %d..%d", b[4], MinVersion, Version)
 	}
 	return nil
 }

@@ -42,6 +42,27 @@ func requestSamples() []struct {
 		// Mutations.
 		{RequestHeader{ID: 19, Op: OpInsert}, &InsertReq{Index: "pts", IDs: []uint64{10, 11}, Points: [][]float64{{1, 2}, {3, 4}}}},
 		{RequestHeader{ID: 20, Op: OpDelete}, &DeleteReq{Index: "pts", IDs: []uint64{10}, Points: [][]float64{{1, 2}}}},
+		// Shard-routing frames (protocol version 2).
+		{RequestHeader{ID: 21, Op: OpShardMap}, &ShardMapReq{Name: "pts"}},
+		{RequestHeader{ID: 22, Op: OpRangePoints}, &RangePointsReq{Index: "pts", Lo: []float64{0, 0}, Hi: []float64{1, 1}}},
+		{RequestHeader{ID: 23, Op: OpRangePoints, TraceID: "strip-3"}, &RangePointsReq{Index: "s0"}},
+	}
+}
+
+// sampleShardMap is a two-shard topology exercising every ShardMap
+// field.
+func sampleShardMap() ShardMap {
+	return ShardMap{
+		Name:     "pts",
+		Curve:    2, // hilbert
+		BoundsLo: []float64{0, 0},
+		BoundsHi: []float64{1, 1},
+		Shards: []ShardInfo{
+			{Name: "pts-s0", Addr: "10.0.0.1:7070", LoKey: 0, HiKey: 1 << 40, IDBase: 0, Count: 500,
+				MBRLo: []float64{0, 0}, MBRHi: []float64{0.6, 1}},
+			{Name: "pts-s1", Addr: "10.0.0.2:7070", LoKey: 1<<40 + 1, HiKey: math.MaxUint64, IDBase: 500, Count: 500,
+				MBRLo: []float64{0.4, 0}, MBRHi: []float64{1, 1}},
+		},
 	}
 }
 
@@ -92,6 +113,18 @@ func responseSamples() []struct {
 		{16, KindResult, OpInsert, &InsertReply{Inserted: 2, Size: 102}},
 		{17, KindResult, OpDelete, &DeleteReply{Found: 1, Size: 101}},
 		{18, KindError, OpInsert, &ErrorReply{Code: CodeWriteFailed, Msg: "fsync failed"}},
+		// Shard-routing frames (protocol version 2).
+		{19, KindResult, OpShardMap, &ShardMapReply{Map: sampleShardMap()}},
+		{20, KindResult, OpRangePoints, &RangePointsReply{IDs: []uint64{3, 7}, Points: [][]float64{{0.1, 0.2}, {0.3, 0.4}}}},
+		{21, KindResult, OpRangePoints, &RangePointsReply{}},
+		{22, KindResult, OpKNN, &KNNReply{Neighbors: nb, Partial: &PartialInfo{Missing: []string{"pts-s1"}}}},
+		{23, KindResult, OpBatchKNN, &BatchKNNReply{Results: res, Partial: &PartialInfo{Missing: []string{"pts-s0", "pts-s1"}}}},
+		{24, KindResult, OpRange, &RangeReply{IDs: []uint64{1}, Partial: &PartialInfo{}}},
+		{25, KindError, OpJoin, &ErrorReply{Code: CodePartialResult, Msg: "shard pts-s1 unavailable"}},
+		{26, KindError, OpKNN, &ErrorReply{Code: CodeShardUnavailable, Msg: "dial refused"}},
+		{27, KindResult, OpRangePoints, &RangePointsReply{IDs: []uint64{9}, Points: [][]float64{{1.5, -2.5}},
+			Partial: &PartialInfo{Missing: []string{"pts-s2"}}}},
+		{28, KindResult, OpRangePoints, &RangePointsReply{Partial: &PartialInfo{Missing: []string{"pts-s0"}}}},
 	}
 }
 
@@ -359,6 +392,96 @@ func TestStreamEndReport(t *testing.T) {
 	}
 }
 
+// TestPartialExtension pins the compatibility contract of the trailing
+// PartialInfo block on scatter-gather replies: a complete reply is
+// byte-identical to the version-1 encoding, a partial one appends the
+// block after the body, and the round trip is lossless.
+func TestPartialExtension(t *testing.T) {
+	nb := []Neighbor{{ID: 7, Dist: 1.25, Point: []float64{3, 4}}}
+	complete, err := EncodeResponse(1, KindResult, OpKNN, &KNNReply{Neighbors: nb}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := EncodeResponse(1, KindResult, OpKNN,
+		&KNNReply{Neighbors: nb, Partial: &PartialInfo{Missing: []string{"s1"}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(partial[:len(complete)], complete) {
+		t.Error("partial KNNReply is not the complete frame plus a trailing block")
+	}
+	// count (1) + string len (1) + "s1" (2).
+	if len(partial) != len(complete)+4 {
+		t.Fatalf("partial block adds %d bytes, want 4", len(partial)-len(complete))
+	}
+	_, _, _, body, err := DecodeResponse(complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body.(*KNNReply).Partial != nil {
+		t.Error("complete reply decoded with a Partial block")
+	}
+	_, _, _, body, err = DecodeResponse(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := body.(*KNNReply).Partial
+	if got == nil || len(got.Missing) != 1 || got.Missing[0] != "s1" {
+		t.Errorf("partial reply decoded as %+v", got)
+	}
+
+	// Same contract on RangeReply (whose body has no element count of
+	// its own beyond the id list).
+	full, err := EncodeResponse(2, KindResult, OpRange, &RangeReply{IDs: []uint64{3, 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := EncodeResponse(2, KindResult, OpRange,
+		&RangeReply{IDs: []uint64{3, 1}, Partial: &PartialInfo{Missing: []string{"a", "b"}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(part[:len(full)], full) {
+		t.Error("partial RangeReply is not the complete frame plus a trailing block")
+	}
+	_, _, _, body, err = DecodeResponse(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := body.(*RangeReply).Partial; got == nil || len(got.Missing) != 2 {
+		t.Errorf("partial RangeReply decoded as %+v", got)
+	}
+}
+
+// TestShardMapRoundTrip exercises the full topology encoding.
+func TestShardMapRoundTrip(t *testing.T) {
+	want := sampleShardMap()
+	payload, err := EncodeResponse(9, KindResult, OpShardMap, &ShardMapReply{Map: want}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, body, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := body.(*ShardMapReply).Map; !reflect.DeepEqual(got, want) {
+		t.Errorf("shard map round trip = %+v, want %+v", got, want)
+	}
+	// A hostile shard count with no backing bytes fails cleanly.
+	e := NewEncoder(nil)
+	e.U64(9)
+	e.U8(uint8(KindResult))
+	e.U8(uint8(OpShardMap))
+	e.String("pts")
+	e.U8(1)
+	e.F64s(nil)
+	e.F64s(nil)
+	e.Uvarint(1 << 40)
+	if _, _, _, _, err := DecodeResponse(e.Bytes()); err == nil {
+		t.Error("absurd shard count accepted")
+	}
+}
+
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	payloads := [][]byte{{}, {1}, bytes.Repeat([]byte{0xAB}, 100_000)}
@@ -396,6 +519,17 @@ func TestHandshake(t *testing.T) {
 	}
 	if err := ReadHandshake(bytes.NewReader([]byte{'A', 'N', 'N', 'S', 99})); err == nil {
 		t.Error("future version accepted")
+	}
+	// The version gate: every version in [MinVersion, Version] is
+	// accepted (version-1 clients predate the shard-routing frames but
+	// speak a compatible frame set), anything outside is rejected.
+	for v := MinVersion; v <= Version; v++ {
+		if err := ReadHandshake(bytes.NewReader([]byte{'A', 'N', 'N', 'S', byte(v)})); err != nil {
+			t.Errorf("version %d rejected: %v", v, err)
+		}
+	}
+	if err := ReadHandshake(bytes.NewReader([]byte{'A', 'N', 'N', 'S', 0})); err == nil {
+		t.Error("version 0 accepted")
 	}
 }
 
